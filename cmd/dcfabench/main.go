@@ -1,0 +1,112 @@
+// Command dcfabench regenerates the paper's evaluation tables and
+// figures on the simulated platform.
+//
+// Usage:
+//
+//	dcfabench -all            # everything
+//	dcfabench -fig 9          # one figure (5, 7, 8, 9, 10, 11, 12)
+//	dcfabench -table 1        # one table (1, 2, 3)
+//	dcfabench -fig 12 -stencil-iters 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate (5, 7, 8, 9, 10, 11, 12)")
+	table := flag.Int("table", 0, "table to regenerate (1, 2, 3)")
+	all := flag.Bool("all", false, "regenerate every table and figure")
+	ablation := flag.String("ablation", "", "ablation study: threshold, eager, mrcache, ringdepth, pack, collectives, all")
+	stencilIters := flag.Int("stencil-iters", bench.StencilIters, "stencil iterations per configuration")
+	calibration := flag.String("calibration", "", "JSON file overriding the default platform calibration")
+	flag.Parse()
+
+	bench.StencilIters = *stencilIters
+	plat := perfmodel.Default()
+	if *calibration != "" {
+		data, err := os.ReadFile(*calibration)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcfabench:", err)
+			os.Exit(1)
+		}
+		if plat, err = perfmodel.Load(data); err != nil {
+			fmt.Fprintln(os.Stderr, "dcfabench:", err)
+			os.Exit(1)
+		}
+	}
+	out := os.Stdout
+
+	if *all {
+		bench.Table1(out)
+		bench.Table2(out, bench.MsgSizes)
+		bench.Table3(out)
+		for _, f := range bench.AllFigures(plat) {
+			f.Render(out)
+		}
+		return
+	}
+	switch *ablation {
+	case "":
+	case "threshold":
+		bench.AblationOffloadThreshold(plat).Render(out)
+	case "eager":
+		bench.AblationEagerThreshold(plat).Render(out)
+	case "mrcache":
+		bench.AblationMRCache(plat).Render(out)
+	case "ringdepth":
+		bench.AblationRingDepth(plat).Render(out)
+	case "pack":
+		bench.AblationDatatypePack(plat).Render(out)
+	case "collectives":
+		bench.AblationCollectives(plat).Render(out)
+	case "all":
+		for _, f := range bench.AllAblations(plat) {
+			f.Render(out)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "dcfabench: unknown ablation %q\n", *ablation)
+		os.Exit(2)
+	}
+	switch *table {
+	case 0:
+	case 1:
+		bench.Table1(out)
+	case 2:
+		bench.Table2(out, bench.MsgSizes)
+	case 3:
+		bench.Table3(out)
+	default:
+		fmt.Fprintf(os.Stderr, "dcfabench: unknown table %d\n", *table)
+		os.Exit(2)
+	}
+	switch *fig {
+	case 0:
+	case 5:
+		bench.Figure5(plat).Render(out)
+	case 7:
+		bench.Figure7(plat).Render(out)
+	case 8:
+		bench.Figure8(plat).Render(out)
+	case 9:
+		bench.Figure9(plat).Render(out)
+	case 10:
+		bench.Figure10(plat).Render(out)
+	case 11:
+		bench.Figure11(plat).Render(out)
+	case 12:
+		bench.Figure12(plat).Render(out)
+	default:
+		fmt.Fprintf(os.Stderr, "dcfabench: unknown figure %d (figures 1-4 and 6 are architecture diagrams, not measurements)\n", *fig)
+		os.Exit(2)
+	}
+	if *fig == 0 && *table == 0 && *ablation == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,84 @@
+// Command pingpong runs a blocking MPI ping-pong between two ranks in
+// any execution mode and prints the latency/bandwidth sweep. With
+// -trace it also dumps the protocol timeline of a single 64 KiB
+// exchange (which §IV-B3 protocol ran, when the handshake crossed).
+//
+// Usage:
+//
+//	pingpong -mode dcfa|dcfa-nooffload|host|intel-phi [-iters 10] [-trace]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/perfmodel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// dumpTrace runs one traced 64 KiB blocking transfer and prints the
+// protocol timeline.
+func dumpTrace(plat *perfmodel.Platform) {
+	c := cluster.New(plat, 2)
+	cfg := core.ConfigFromPlatform(plat)
+	tr := trace.New(0)
+	cfg.Trace = tr
+	w := core.NewWorld(c.Eng, plat, cfg, c.DCFAEnvs(2))
+	err := w.Run(func(r *core.Rank) error {
+		p := r.Proc()
+		buf := r.Mem(64 << 10)
+		if r.ID() == 0 {
+			return r.Send(p, 1, 0, core.Whole(buf))
+		}
+		_, err := r.Recv(p, 0, 0, core.Whole(buf))
+		return err
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pingpong: trace run:", err)
+		os.Exit(1)
+	}
+	fmt.Println("protocol timeline of one 64 KiB DCFA-MPI transfer:")
+	tr.Dump(os.Stdout)
+	fmt.Println("summary:", tr.Summary())
+	fmt.Println()
+}
+
+func main() {
+	mode := flag.String("mode", "dcfa", "execution mode: dcfa, dcfa-nooffload, host, intel-phi")
+	iters := flag.Int("iters", 10, "iterations per size")
+	showTrace := flag.Bool("trace", false, "dump the protocol timeline of one 64 KiB transfer first")
+	flag.Parse()
+
+	if *showTrace {
+		dumpTrace(perfmodel.Default())
+	}
+
+	var m bench.Mode
+	switch *mode {
+	case "dcfa":
+		m = bench.ModeDCFA
+	case "dcfa-nooffload":
+		m = bench.ModeDCFABase
+	case "host":
+		m = bench.ModeHost
+	case "intel-phi":
+		m = bench.ModePhiMPI
+	default:
+		fmt.Fprintf(os.Stderr, "pingpong: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	plat := perfmodel.Default()
+	rtts := bench.BlockingPingPongRTTs(plat, m, bench.MsgSizes, *iters)
+	fmt.Printf("blocking ping-pong, mode=%s (%d iterations per size)\n", m, *iters)
+	fmt.Printf("%10s %14s %12s\n", "bytes", "RTT", "GB/s")
+	for i, n := range bench.MsgSizes {
+		bw := float64(n) / (float64(rtts[i]/2) / float64(sim.Second)) / 1e9
+		fmt.Printf("%10d %14v %12.3f\n", n, rtts[i], bw)
+	}
+}

@@ -1,0 +1,92 @@
+// Command stencilrun executes the five-point stencil experiment in one
+// configuration and reports timing (and the verified checksum when
+// -verify is set).
+//
+// Usage:
+//
+//	stencilrun -mode dcfa -procs 8 -threads 56 -iters 100
+//	stencilrun -mode host-offload -procs 4 -threads 28 -verify -n 256 -iters 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/perfmodel"
+	"repro/internal/stencil"
+)
+
+func main() {
+	mode := flag.String("mode", "dcfa", "dcfa, dcfa-nooffload, intel-phi, host-offload, serial")
+	procs := flag.Int("procs", 8, "MPI processes (1D decomposition)")
+	px := flag.Int("px", 0, "process-grid columns (enables the 2D decomposition with -py)")
+	py := flag.Int("py", 0, "process-grid rows")
+	threads := flag.Int("threads", 56, "OpenMP threads per process")
+	iters := flag.Int("iters", 100, "iterations")
+	n := flag.Int("n", 1280, "interior grid dimension")
+	verify := flag.Bool("verify", false, "run the real math and check against the serial reference")
+	flag.Parse()
+
+	plat := perfmodel.Default()
+	if *px > 0 || *py > 0 {
+		pr2 := stencil.Params2D{N: *n, Iters: *iters, Px: *px, Py: *py, Threads: *threads, SkipCompute: !*verify}
+		res, err := stencil.Run2D(plat, pr2, *mode != "dcfa-nooffload")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "stencilrun:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("mode=dcfa-2d grid=%dx%d threads=%d n=%d iters=%d\n", *px, *py, *threads, *n, *iters)
+		fmt.Printf("total=%v per-iteration=%v\n", res.Total, res.PerIter)
+		if *verify {
+			ref := stencil.Reference(stencil.Params{N: *n, Iters: *iters, Procs: 1, Threads: 1})
+			want := stencil.ReferenceChecksum2D(ref, pr2)
+			status := "OK"
+			if res.Checksum != want {
+				status = "MISMATCH"
+			}
+			fmt.Printf("checksum=%.10g reference=%.10g [%s]\n", res.Checksum, want, status)
+			if status != "OK" {
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	pr := stencil.Params{N: *n, Iters: *iters, Procs: *procs, Threads: *threads, SkipCompute: !*verify}
+	var (
+		res stencil.Result
+		err error
+	)
+	switch *mode {
+	case "dcfa":
+		res, err = stencil.RunDCFA(plat, pr, true)
+	case "dcfa-nooffload":
+		res, err = stencil.RunDCFA(plat, pr, false)
+	case "intel-phi":
+		res, err = stencil.RunPhiMPI(plat, pr)
+	case "host-offload":
+		res, err = stencil.RunHostOffload(plat, pr)
+	case "serial":
+		res, err = stencil.RunSerial(plat, pr)
+	default:
+		fmt.Fprintf(os.Stderr, "stencilrun: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stencilrun:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mode=%s procs=%d threads=%d n=%d iters=%d\n", *mode, *procs, *threads, *n, *iters)
+	fmt.Printf("total=%v per-iteration=%v\n", res.Total, res.PerIter)
+	if *verify {
+		want := stencil.ReferenceChecksum(stencil.Reference(pr), pr)
+		status := "OK"
+		if res.Checksum != want {
+			status = "MISMATCH"
+		}
+		fmt.Printf("checksum=%.10g reference=%.10g [%s]\n", res.Checksum, want, status)
+		if status != "OK" {
+			os.Exit(1)
+		}
+	}
+}

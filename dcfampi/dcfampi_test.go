@@ -1,0 +1,132 @@
+package dcfampi_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/dcfampi"
+)
+
+func TestQuickstartPingPong(t *testing.T) {
+	job := dcfampi.New(dcfampi.ModeDCFA, 2, nil)
+	err := job.Run(func(r *dcfampi.Rank) error {
+		p := r.Proc()
+		buf := r.Mem(1024)
+		if r.ID() == 0 {
+			for i := range buf.Data {
+				buf.Data[i] = byte(i)
+			}
+			return r.Send(p, 1, 0, dcfampi.Whole(buf))
+		}
+		if _, err := r.Recv(p, 0, 0, dcfampi.Whole(buf)); err != nil {
+			return err
+		}
+		want := make([]byte, 1024)
+		for i := range want {
+			want[i] = byte(i)
+		}
+		if !bytes.Equal(buf.Data, want) {
+			return errors.New("payload corrupted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllModesRunCollectives(t *testing.T) {
+	modes := []dcfampi.Mode{
+		dcfampi.ModeDCFA, dcfampi.ModeDCFABase, dcfampi.ModeHostMPI,
+		dcfampi.ModeIntelPhi, dcfampi.ModeHostOffload, dcfampi.ModeSymmetric,
+	}
+	for _, m := range modes {
+		t.Run(m.String(), func(t *testing.T) {
+			job := dcfampi.New(m, 4, nil)
+			err := job.Run(func(r *dcfampi.Rank) error {
+				p := r.Proc()
+				buf := r.Mem(8)
+				dcfampi.PutF64s(buf.Data, []float64{float64(r.ID() + 1)})
+				if err := r.Allreduce(p, dcfampi.Whole(buf), dcfampi.OpSumF64); err != nil {
+					return err
+				}
+				if got := dcfampi.GetF64s(buf.Data, 1)[0]; got != 10 {
+					return errors.New("allreduce wrong")
+				}
+				return r.Barrier(p)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestHostOffloadModeExposesDevices(t *testing.T) {
+	job := dcfampi.New(dcfampi.ModeHostOffload, 2, nil)
+	if len(job.Devices()) != 2 {
+		t.Fatalf("devices %d, want 2", len(job.Devices()))
+	}
+	if dcfampi.New(dcfampi.ModeDCFA, 2, nil).Devices() != nil {
+		t.Fatal("DCFA mode should have no offload devices")
+	}
+}
+
+func TestOptionsOverrides(t *testing.T) {
+	plat := dcfampi.DefaultPlatform()
+	plat.IBBandwidth = 1e9
+	job := dcfampi.New(dcfampi.ModeHostMPI, 4, &dcfampi.Options{Nodes: 2, Platform: plat})
+	// 4 ranks on 2 nodes: ranks 0/2 share node 0, ranks 1/3 node 1.
+	err := job.Run(func(r *dcfampi.Rank) error {
+		return r.Barrier(r.Proc())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadRankCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero ranks did not panic")
+		}
+	}()
+	dcfampi.New(dcfampi.ModeDCFA, 0, nil)
+}
+
+func TestModeStrings(t *testing.T) {
+	for _, m := range []dcfampi.Mode{
+		dcfampi.ModeDCFA, dcfampi.ModeDCFABase, dcfampi.ModeHostMPI,
+		dcfampi.ModeIntelPhi, dcfampi.ModeHostOffload, dcfampi.Mode(42),
+	} {
+		if m.String() == "" {
+			t.Fatal("empty mode string")
+		}
+	}
+}
+
+func TestVirtualClockVisible(t *testing.T) {
+	job := dcfampi.New(dcfampi.ModeDCFA, 2, nil)
+	err := job.Run(func(r *dcfampi.Rank) error {
+		p := r.Proc()
+		before := r.Now()
+		buf := r.Mem(4)
+		if r.ID() == 0 {
+			if err := r.Send(p, 1, 0, dcfampi.Whole(buf)); err != nil {
+				return err
+			}
+		} else {
+			if _, err := r.Recv(p, 0, 0, dcfampi.Whole(buf)); err != nil {
+				return err
+			}
+		}
+		if r.Now() <= before {
+			return errors.New("virtual clock did not advance")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,11 @@
+// Package repro reproduces "Direct MPI Library for Intel Xeon Phi
+// co-processors" (Si, Ishikawa, Takagi — IEEE IPDPSW 2013) as a pure-Go
+// system: a deterministic simulation of the Xeon/Xeon-Phi/InfiniBand
+// platform, the DCFA direct-communication facility, the DCFA-MPI
+// library with its four protocols and offloading send-buffer design,
+// the two Intel MPI baseline modes, and a benchmark harness that
+// regenerates every evaluation figure and table.
+//
+// Start with the public API in repro/dcfampi; see README.md, DESIGN.md
+// and EXPERIMENTS.md.
+package repro

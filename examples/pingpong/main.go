@@ -1,0 +1,66 @@
+// Pingpong sweeps message sizes over the public API and prints the
+// bandwidth curve for DCFA-MPI against the 'Intel MPI on Xeon Phi'
+// baseline — a small-scale Figure 9.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/dcfampi"
+)
+
+var sizes = []int{4, 1024, 8192, 65536, 1 << 20, 4 << 20}
+
+// sweep measures the blocking round trip for every size on one job.
+func sweep(mode dcfampi.Mode) ([]dcfampi.Time, error) {
+	rtts := make([]dcfampi.Time, len(sizes))
+	job := dcfampi.New(mode, 2, nil)
+	err := job.Run(func(r *dcfampi.Rank) error {
+		p := r.Proc()
+		for i, n := range sizes {
+			buf := r.Mem(n)
+			if err := r.Barrier(p); err != nil {
+				return err
+			}
+			start := r.Now()
+			if r.ID() == 0 {
+				if err := r.Send(p, 1, i, dcfampi.Whole(buf)); err != nil {
+					return err
+				}
+				if _, err := r.Recv(p, 1, i, dcfampi.Whole(buf)); err != nil {
+					return err
+				}
+				rtts[i] = r.Now() - start
+			} else {
+				if _, err := r.Recv(p, 0, i, dcfampi.Whole(buf)); err != nil {
+					return err
+				}
+				if err := r.Send(p, 0, i, dcfampi.Whole(buf)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	return rtts, err
+}
+
+func main() {
+	dcfa, err := sweep(dcfampi.ModeDCFA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	intel, err := sweep(dcfampi.ModeIntelPhi)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%10s %16s %16s %10s\n", "bytes", "DCFA-MPI GB/s", "Intel-Phi GB/s", "speedup")
+	for i, n := range sizes {
+		bw := func(t dcfampi.Time) float64 {
+			return float64(n) / (float64(t) / 2 / 1e9) / 1e9
+		}
+		fmt.Printf("%10d %16.3f %16.3f %9.2fx\n",
+			n, bw(dcfa[i]), bw(intel[i]), float64(intel[i])/float64(dcfa[i]))
+	}
+}

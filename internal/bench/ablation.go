@@ -1,0 +1,396 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/cg"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/perfmodel"
+	"repro/internal/sim"
+)
+
+// Ablations isolate the design choices DESIGN.md calls out: the
+// offload-send-buffer threshold (the paper: "The message size at the
+// beginning of offloading should be tuned ... 8Kbytes shows the best
+// performance"), the eager/rendezvous switch, the MR cache pool, the
+// eager ring depth, and the future-work datatype-pack offload.
+
+// dcfaWorldWithCfg builds a 2-rank DCFA world with a custom config.
+func dcfaWorldWithCfg(plat *perfmodel.Platform, cfg core.Config) *core.World {
+	c := cluster.New(plat, 2)
+	return core.NewWorld(c.Eng, plat, cfg, c.DCFAEnvs(2))
+}
+
+// exchangeSweep measures per-size nonblocking exchange times on w.
+func exchangeSweep(w *core.World, sizes []int, iters int) []sim.Duration {
+	out := make([]sim.Duration, len(sizes))
+	err := w.Run(func(r *core.Rank) error {
+		p := r.Proc()
+		other := 1 - r.ID()
+		for si, n := range sizes {
+			sb := r.Mem(n)
+			rb := r.Mem(n)
+			if err := r.Barrier(p); err != nil {
+				return err
+			}
+			// One warmup exchange to amortize registrations.
+			if _, err := r.Sendrecv(p, other, si, core.Whole(sb), other, si, core.Whole(rb)); err != nil {
+				return err
+			}
+			start := p.Now()
+			for it := 0; it < iters; it++ {
+				if _, err := r.Sendrecv(p, other, si, core.Whole(sb), other, si, core.Whole(rb)); err != nil {
+					return err
+				}
+			}
+			if r.ID() == 0 {
+				out[si] = (p.Now() - start) / sim.Duration(iters)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// AblationOffloadThreshold sweeps the offloading start size. For each
+// threshold t the eager switch is min(t, 8 KiB), so messages between
+// the switch and t use the direct (slow) rendezvous path — exactly the
+// trade-off the paper tuned. The Y value is the total time of one
+// exchange at each probe size; the "total" series exposes the optimum.
+func AblationOffloadThreshold(plat *perfmodel.Platform) *Figure {
+	thresholds := []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10}
+	probes := []int{4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 256 << 10}
+	f := &Figure{
+		ID:     "Ablation A1",
+		Title:  "Offload-send-buffer threshold tuning (paper §IV-B4: 8 KiB optimal)",
+		XLabel: "threshold",
+		YLabel: "µs per exchange (sum over probe sizes)",
+	}
+	var total Series
+	total.Label = "sum over probe sizes"
+	perProbe := make([]Series, len(probes))
+	for i, n := range probes {
+		perProbe[i].Label = fmt.Sprintf("%s msg", formatX(n))
+	}
+	for _, t := range thresholds {
+		cfg := core.ConfigFromPlatform(plat)
+		cfg.Offload = true
+		cfg.OffloadMinSize = t
+		if t < cfg.EagerMax {
+			cfg.EagerMax = t
+		}
+		w := dcfaWorldWithCfg(plat, cfg)
+		ts := exchangeSweep(w, probes, defaultIters)
+		sum := 0.0
+		for i := range probes {
+			perProbe[i].Points = append(perProbe[i].Points, Point{X: t, Y: usec(ts[i])})
+			sum += usec(ts[i])
+		}
+		total.Points = append(total.Points, Point{X: t, Y: sum})
+	}
+	f.Series = append(perProbe, total)
+	best, bestY := 0, 0.0
+	for _, p := range total.Points {
+		if best == 0 || p.Y < bestY {
+			best, bestY = p.X, p.Y
+		}
+	}
+	f.Notes = append(f.Notes, fmt.Sprintf("best threshold %s (paper tuned to 8K)", formatX(best)))
+	return f
+}
+
+// AblationEagerThreshold sweeps the eager/rendezvous switch with the
+// offload design disabled, isolating the one-copy vs zero-copy
+// trade-off on the co-processor.
+func AblationEagerThreshold(plat *perfmodel.Platform) *Figure {
+	thresholds := []int{1 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10}
+	probes := []int{512, 2 << 10, 8 << 10, 32 << 10}
+	f := &Figure{
+		ID:     "Ablation A2",
+		Title:  "Eager/rendezvous switch (offload disabled)",
+		XLabel: "eager max",
+		YLabel: "µs per exchange",
+	}
+	perProbe := make([]Series, len(probes))
+	for i, n := range probes {
+		perProbe[i].Label = fmt.Sprintf("%s msg", formatX(n))
+	}
+	for _, t := range thresholds {
+		cfg := core.ConfigFromPlatform(plat)
+		cfg.Offload = false
+		cfg.EagerMax = t
+		w := dcfaWorldWithCfg(plat, cfg)
+		ts := exchangeSweep(w, probes, defaultIters)
+		for i := range probes {
+			perProbe[i].Points = append(perProbe[i].Points, Point{X: t, Y: usec(ts[i])})
+		}
+	}
+	f.Series = perProbe
+	return f
+}
+
+// AblationMRCache compares the buffer cache pool against per-message
+// registration on a buffer-reusing rendezvous workload (the paper: the
+// pool "can only benefit applications which always reuse a few
+// buffers").
+func AblationMRCache(plat *perfmodel.Platform) *Figure {
+	f := &Figure{
+		ID:     "Ablation A3",
+		Title:  "MR cache pool vs per-message registration (64 KiB rendezvous, reused buffers)",
+		XLabel: "cache entries",
+		YLabel: "µs per exchange",
+	}
+	var s Series
+	s.Label = "64K exchange"
+	for _, cap := range []int{1, 2, 4, 64} {
+		cfg := core.ConfigFromPlatform(plat)
+		cfg.Offload = false // force user-buffer registration
+		cfg.MRCacheCap = cap
+		w := dcfaWorldWithCfg(plat, cfg)
+		ts := exchangeSweep(w, []int{64 << 10}, defaultIters)
+		s.Points = append(s.Points, Point{X: cap, Y: usec(ts[0])})
+	}
+	f.Series = []Series{s}
+	worst := s.Points[0].Y
+	bestY := s.Points[len(s.Points)-1].Y
+	f.Notes = append(f.Notes, fmt.Sprintf("cache saves %.1f µs per exchange (%.1f×)", worst-bestY, worst/bestY))
+	return f
+}
+
+// AblationRingDepth varies the eager ring depth under a one-way burst:
+// shallow rings stall on credits.
+func AblationRingDepth(plat *perfmodel.Platform) *Figure {
+	f := &Figure{
+		ID:     "Ablation A4",
+		Title:  "Eager ring depth under a 128-message burst",
+		XLabel: "slots",
+		YLabel: "µs per message",
+	}
+	var s Series
+	s.Label = "1 KiB burst"
+	const burst = 128
+	for _, slots := range []int{2, 4, 8, 16, 64} {
+		cfg := core.ConfigFromPlatform(plat)
+		cfg.EagerSlots = slots
+		w := dcfaWorldWithCfg(plat, cfg)
+		var per sim.Duration
+		err := w.Run(func(r *core.Rank) error {
+			p := r.Proc()
+			if err := r.Barrier(p); err != nil {
+				return err
+			}
+			if r.ID() == 0 {
+				reqs := make([]*core.Request, burst)
+				start := p.Now()
+				for i := range reqs {
+					b := r.Mem(1024)
+					var err error
+					reqs[i], err = r.Isend(p, 1, 1, core.Whole(b))
+					if err != nil {
+						return err
+					}
+				}
+				if err := r.WaitAll(p, reqs...); err != nil {
+					return err
+				}
+				per = (p.Now() - start) / burst
+				return nil
+			}
+			for i := 0; i < burst; i++ {
+				b := r.Mem(1024)
+				if _, err := r.Recv(p, 0, 1, core.Whole(b)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			panic(err)
+		}
+		s.Points = append(s.Points, Point{X: slots, Y: usec(per)})
+	}
+	f.Series = []Series{s}
+	return f
+}
+
+// AblationDatatypePack compares local vs host-offloaded noncontiguous
+// packing across packed sizes — the paper's §VI future-work proposal.
+func AblationDatatypePack(plat *perfmodel.Platform) *Figure {
+	f := &Figure{
+		ID:     "Ablation A5",
+		Title:  "Datatype pack: Phi-local vs host-offloaded (future work, §VI)",
+		XLabel: "packed bytes",
+		YLabel: "µs per typed send",
+	}
+	sizes := []int{4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+	measure := func(offload bool) Series {
+		var s Series
+		if offload {
+			s.Label = "host-offloaded pack"
+		} else {
+			s.Label = "Phi-local pack"
+		}
+		for _, n := range sizes {
+			cfg := core.ConfigFromPlatform(plat)
+			cfg.OffloadDatatypePack = offload
+			cfg.OffloadPackMinSize = 1 // always offload when enabled
+			w := dcfaWorldWithCfg(plat, cfg)
+			blocks := n / 64
+			dt := core.Vector(blocks, 8, 16, 8) // 64-byte blocks, half-dense
+			var elapsed sim.Duration
+			err := w.Run(func(r *core.Rank) error {
+				p := r.Proc()
+				buf := r.Mem(dt.Extent())
+				if err := r.Barrier(p); err != nil {
+					return err
+				}
+				if r.ID() == 0 {
+					// Warmup then timed sends.
+					if err := r.SendTyped(p, 1, 0, core.Whole(buf), dt); err != nil {
+						return err
+					}
+					start := p.Now()
+					for i := 0; i < 5; i++ {
+						if err := r.SendTyped(p, 1, 0, core.Whole(buf), dt); err != nil {
+							return err
+						}
+					}
+					elapsed = (p.Now() - start) / 5
+					return nil
+				}
+				for i := 0; i < 6; i++ {
+					if _, err := r.RecvTyped(p, 0, 0, core.Whole(buf), dt); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				panic(err)
+			}
+			s.Points = append(s.Points, Point{X: n, Y: usec(elapsed)})
+		}
+		return s
+	}
+	f.Series = []Series{measure(false), measure(true)}
+	local := f.Series[0]
+	off := f.Series[1]
+	for i := range sizes {
+		if off.Points[i].Y < local.Points[i].Y {
+			f.Notes = append(f.Notes, fmt.Sprintf("offload wins from %s packed", formatX(sizes[i])))
+			break
+		}
+	}
+	return f
+}
+
+// AblationCollectives measures Allreduce latency scaling with rank
+// count under DCFA-MPI and the proxied Intel mode — the collective cost
+// the paper defers to future work ("some heavy functions, such as
+// collective communication ... are planned to be offloaded").
+func AblationCollectives(plat *perfmodel.Platform) *Figure {
+	f := &Figure{
+		ID:     "Ablation A6",
+		Title:  "Allreduce latency vs rank count (8 B and 64 KiB payloads)",
+		XLabel: "ranks",
+		YLabel: "µs per allreduce",
+	}
+	payloads := []int{8, 64 << 10}
+	for _, m := range []Mode{ModeDCFA, ModePhiMPI} {
+		for _, n := range payloads {
+			s := Series{Label: fmt.Sprintf("%s %s", m, formatX(n))}
+			for _, ranks := range []int{2, 4, 8} {
+				c := cluster.New(plat, ranks)
+				var w *core.World
+				if m == ModeDCFA {
+					w = c.DCFAWorld(ranks, true)
+				} else {
+					w = baseline.PhiMPIWorld(c, ranks)
+				}
+				var per sim.Duration
+				err := w.Run(func(r *core.Rank) error {
+					p := r.Proc()
+					buf := r.Mem(n)
+					// Warmup.
+					if err := r.Allreduce(p, core.Whole(buf), core.OpSumF64); err != nil {
+						return err
+					}
+					if err := r.Barrier(p); err != nil {
+						return err
+					}
+					start := p.Now()
+					const iters = 5
+					for i := 0; i < iters; i++ {
+						if err := r.Allreduce(p, core.Whole(buf), core.OpSumF64); err != nil {
+							return err
+						}
+					}
+					if r.ID() == 0 {
+						per = (p.Now() - start) / iters
+					}
+					return nil
+				})
+				if err != nil {
+					panic(err)
+				}
+				s.Points = append(s.Points, Point{X: ranks, Y: usec(per)})
+			}
+			f.Series = append(f.Series, s)
+		}
+	}
+	return f
+}
+
+// AblationCG runs the Conjugate Gradient workload (internal/cg) across
+// modes and process counts: a second full application exercising the
+// halo-exchange + Allreduce pattern on the library.
+func AblationCG(plat *perfmodel.Platform) *Figure {
+	f := &Figure{
+		ID:     "Ablation A7",
+		Title:  "Conjugate Gradient (256² Poisson, 30 iters) time per iteration",
+		XLabel: "procs",
+		YLabel: "µs per iteration",
+	}
+	build := func(m Mode, procs int) *core.World {
+		c := cluster.New(plat, procs)
+		switch m {
+		case ModeDCFA:
+			return c.DCFAWorld(procs, true)
+		case ModePhiMPI:
+			return baseline.PhiMPIWorld(c, procs)
+		default:
+			return c.HostWorld(procs)
+		}
+	}
+	for _, m := range []Mode{ModeDCFA, ModePhiMPI, ModeHost} {
+		s := Series{Label: m.String()}
+		for _, procs := range []int{1, 2, 4, 8} {
+			pr := cg.Params{N: 256, MaxIter: 30, Tol: 1e-30, Procs: procs, Threads: 16}
+			res, err := cg.RunWorld(build(m, procs), pr)
+			if err != nil {
+				panic(err)
+			}
+			s.Points = append(s.Points, Point{X: procs, Y: usec(res.PerIter)})
+		}
+		f.Series = append(f.Series, s)
+	}
+	return f
+}
+
+// AllAblations regenerates every ablation figure.
+func AllAblations(plat *perfmodel.Platform) []*Figure {
+	return []*Figure{
+		AblationOffloadThreshold(plat),
+		AblationEagerThreshold(plat),
+		AblationMRCache(plat),
+		AblationRingDepth(plat),
+		AblationDatatypePack(plat),
+		AblationCollectives(plat),
+		AblationCG(plat),
+	}
+}

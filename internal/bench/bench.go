@@ -1,0 +1,142 @@
+// Package bench regenerates every measurement in the paper's
+// evaluation section (§V): Figures 5, 7, 8, 9, 10, 11 and 12 and
+// Tables I–III, as data series computed on the simulated platform. Each
+// figure function builds fresh clusters, runs the measurement, and
+// returns a renderable Figure; cmd/dcfabench prints them and
+// bench_test.go wraps them as Go benchmarks.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Point is one measurement: X is the swept parameter (message bytes,
+// process count, thread count), Y the measured value.
+type Point struct {
+	X int
+	Y float64
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// At returns the Y value at x.
+func (s Series) At(x int) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Figure is a renderable reproduction of one paper figure.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// ByLabel returns the series with the given label.
+func (f *Figure) ByLabel(label string) (Series, bool) {
+	for _, s := range f.Series {
+		if s.Label == label {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+// Render prints the figure as an aligned table, one row per X value and
+// one column per series.
+func (f *Figure) Render(w io.Writer) {
+	fmt.Fprintf(w, "=== %s: %s ===\n", f.ID, f.Title)
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Label)
+	}
+	// Collect the X axis (union, in first-seen order).
+	var xs []int
+	seen := map[int]bool{}
+	for _, s := range f.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	rows := make([][]string, 0, len(xs))
+	for _, x := range xs {
+		row := []string{formatX(x)}
+		for _, s := range f.Series {
+			if y, ok := s.At(x); ok {
+				row = append(row, fmt.Sprintf("%.4g", y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+		rows = append(rows, row)
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	printRow(cols)
+	for _, row := range rows {
+		printRow(row)
+	}
+	fmt.Fprintf(w, "  (%s)\n", f.YLabel)
+	for _, n := range f.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// formatX pretty-prints byte sizes and small counts.
+func formatX(x int) string {
+	switch {
+	case x >= 1<<20 && x%(1<<20) == 0:
+		return fmt.Sprintf("%dM", x>>20)
+	case x >= 1<<10 && x%(1<<10) == 0:
+		return fmt.Sprintf("%dK", x>>10)
+	default:
+		return fmt.Sprintf("%d", x)
+	}
+}
+
+// MsgSizes is the message-size sweep used by the communication figures.
+var MsgSizes = []int{4, 64, 1024, 4096, 8192, 16384, 65536, 262144, 1 << 20, 4 << 20}
+
+// gbps converts a byte count moved in d virtual time to GB/s.
+func gbps(n int, d sim.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(n) / (float64(d) / float64(sim.Second)) / 1e9
+}
+
+// usec converts virtual time to microseconds.
+func usec(d sim.Duration) float64 { return d.Micros() }

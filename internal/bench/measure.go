@@ -1,0 +1,261 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/ib"
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/sim"
+)
+
+// RawOneWay measures the one-way time of an n-byte raw RDMA write from
+// a buffer in srcKind memory on node 0 to dstKind memory on node 1
+// (Figure 5's primitive), averaged over iters ping-pong rounds.
+func RawOneWay(plat *perfmodel.Platform, srcKind, dstKind machine.DomainKind, n, iters int) sim.Duration {
+	eng := sim.NewEngine()
+	fab := ib.NewFabric(eng, plat)
+	n0, n1 := machine.NewNode(0), machine.NewNode(1)
+	h0, h1 := fab.AttachHCA(n0), fab.AttachHCA(n1)
+	ctxA := h0.Open(srcKind)
+	ctxB := h1.Open(dstKind)
+	pdA, pdB := ctxA.AllocPD(), ctxB.AllocPD()
+	cqA := ctxA.CreateCQ(1024)
+	cqB := ctxB.CreateCQ(1024)
+	qpA := ctxA.CreateQP(pdA, cqA, cqA)
+	qpB := ctxB.CreateQP(pdB, cqB, cqB)
+	if err := ib.ConnectPair(qpA, qpB); err != nil {
+		panic(err)
+	}
+	src := n0.Domain(srcKind).Alloc(n)
+	dst := n1.Domain(dstKind).Alloc(n)
+	var total sim.Duration
+	eng.Spawn("fig5", func(p *sim.Proc) {
+		smr, err := ctxA.RegMR(p, pdA, src.Dom, src.Addr, n)
+		if err != nil {
+			panic(err)
+		}
+		dmr, err := ctxB.RegMR(p, pdB, dst.Dom, dst.Addr, n)
+		if err != nil {
+			panic(err)
+		}
+		for it := 1; it <= iters; it++ {
+			// Stamp the marker the receiver polls for.
+			binary.LittleEndian.PutUint32(src.Data[n-4:], uint32(it))
+			start := p.Now()
+			if err := qpA.PostSend(p, &ib.SendWR{
+				WRID: uint64(it), Opcode: ib.OpRDMAWrite, Signaled: true,
+				SGL:    []ib.SGE{{Addr: src.Addr, Len: n, LKey: smr.LKey}},
+				Remote: ib.RemoteAddr{Addr: dmr.Addr, RKey: dmr.RKey},
+			}); err != nil {
+				panic(err)
+			}
+			// Receiver-side memory polling for the marker.
+			for binary.LittleEndian.Uint32(dst.Data[n-4:]) != uint32(it) {
+				h1.Doorbell.Wait(p)
+			}
+			total += p.Now() - start
+			cqA.WaitPoll(p, 1)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		panic(err)
+	}
+	return total / sim.Duration(iters)
+}
+
+// Mode selects an MPI configuration for the communication sweeps.
+type Mode int
+
+const (
+	// ModeDCFA is DCFA-MPI with the offloading send-buffer design.
+	ModeDCFA Mode = iota
+	// ModeDCFABase is DCFA-MPI without the offload design.
+	ModeDCFABase
+	// ModeHost is the host MPI reference (YAMPII on the Xeons).
+	ModeHost
+	// ModePhiMPI is 'Intel MPI on Xeon Phi co-processors'.
+	ModePhiMPI
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeDCFA:
+		return "DCFA-MPI+offload"
+	case ModeDCFABase:
+		return "DCFA-MPI"
+	case ModeHost:
+		return "Host MPI"
+	case ModePhiMPI:
+		return "IntelMPI-on-Phi"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// buildWorld constructs a fresh 2-node world for the mode.
+func buildWorld(plat *perfmodel.Platform, m Mode, ranks int) *core.World {
+	c := cluster.New(plat, ranks)
+	switch m {
+	case ModeDCFA:
+		return c.DCFAWorld(ranks, true)
+	case ModeDCFABase:
+		return c.DCFAWorld(ranks, false)
+	case ModeHost:
+		return c.HostWorld(ranks)
+	case ModePhiMPI:
+		return baseline.PhiMPIWorld(c, ranks)
+	default:
+		panic("bench: unknown mode")
+	}
+}
+
+// NonblockingExchangeTimes measures, for each size, the average time of
+// one bidirectional MPI_Isend/MPI_Irecv exchange between 2 ranks
+// (Figures 7 and 8's primitive). One world serves the whole sweep, so
+// MR caches behave as in the paper's steady state.
+func NonblockingExchangeTimes(plat *perfmodel.Platform, m Mode, sizes []int, iters int) []sim.Duration {
+	out := make([]sim.Duration, len(sizes))
+	w := buildWorld(plat, m, 2)
+	err := w.Run(func(r *core.Rank) error {
+		p := r.Proc()
+		other := 1 - r.ID()
+		for si, n := range sizes {
+			sb := r.Mem(n)
+			rb := r.Mem(n)
+			if err := r.Barrier(p); err != nil {
+				return err
+			}
+			start := p.Now()
+			for it := 0; it < iters; it++ {
+				sq, err := r.Isend(p, other, si, core.Whole(sb))
+				if err != nil {
+					return err
+				}
+				rq, err := r.Irecv(p, other, si, core.Whole(rb))
+				if err != nil {
+					return err
+				}
+				if err := r.WaitAll(p, sq, rq); err != nil {
+					return err
+				}
+			}
+			if r.ID() == 0 {
+				out[si] = (p.Now() - start) / sim.Duration(iters)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// BlockingPingPongRTTs measures the blocking Send/Recv round-trip time
+// for each size (Figure 9's primitive: "bandwidth result is calculated
+// using the round trip latency of MPI blocking communication").
+func BlockingPingPongRTTs(plat *perfmodel.Platform, m Mode, sizes []int, iters int) []sim.Duration {
+	out := make([]sim.Duration, len(sizes))
+	w := buildWorld(plat, m, 2)
+	err := w.Run(func(r *core.Rank) error {
+		p := r.Proc()
+		other := 1 - r.ID()
+		for si, n := range sizes {
+			buf := r.Mem(n)
+			if err := r.Barrier(p); err != nil {
+				return err
+			}
+			start := p.Now()
+			for it := 0; it < iters; it++ {
+				if r.ID() == 0 {
+					if err := r.Send(p, other, si, core.Whole(buf)); err != nil {
+						return err
+					}
+					if _, err := r.Recv(p, other, si, core.Whole(buf)); err != nil {
+						return err
+					}
+				} else {
+					if _, err := r.Recv(p, other, si, core.Whole(buf)); err != nil {
+						return err
+					}
+					if err := r.Send(p, other, si, core.Whole(buf)); err != nil {
+						return err
+					}
+				}
+			}
+			if r.ID() == 0 {
+				out[si] = (p.Now() - start) / sim.Duration(iters)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// CommOnlyDCFA measures the per-iteration time of the communication-only
+// application (Table II) under DCFA-MPI: the data stays in co-processor
+// memory and only the MPI exchange happens.
+func CommOnlyDCFA(plat *perfmodel.Platform, sizes []int, iters int) []sim.Duration {
+	return NonblockingExchangeTimes(plat, ModeDCFA, sizes, iters)
+}
+
+// CommOnlyHostOffload measures the same application under 'Intel MPI on
+// Xeon + offload': per iteration the results are copied out of the
+// card, exchanged between hosts, and the received data copied back in —
+// with the paper's four optimizations applied (persistent aligned
+// buffers, no per-iteration offload init, double buffering for what the
+// data dependencies allow).
+func CommOnlyHostOffload(plat *perfmodel.Platform, sizes []int, iters int) []sim.Duration {
+	out := make([]sim.Duration, len(sizes))
+	c := cluster.New(plat, 2)
+	w, devs := baseline.HostOffloadWorld(c, 2)
+	err := w.Run(func(r *core.Rank) error {
+		p := r.Proc()
+		dev := devs[r.ID()]
+		dev.Init(p)
+		other := 1 - r.ID()
+		for si, n := range sizes {
+			hostSend := r.Mem(n)
+			hostRecv := r.Mem(n)
+			micBuf := dev.Node.Mic.Alloc(n)
+			if err := r.Barrier(p); err != nil {
+				return err
+			}
+			start := p.Now()
+			for it := 0; it < iters; it++ {
+				// Copy out the card's results for sending.
+				dev.TransferOut(p, hostSend.Data, micBuf.Data)
+				// Host MPI exchange.
+				sq, err := r.Isend(p, other, si, core.Whole(hostSend))
+				if err != nil {
+					return err
+				}
+				rq, err := r.Irecv(p, other, si, core.Whole(hostRecv))
+				if err != nil {
+					return err
+				}
+				if err := r.WaitAll(p, sq, rq); err != nil {
+					return err
+				}
+				// Copy the received data back in for the next compute.
+				dev.TransferIn(p, micBuf.Data, hostRecv.Data)
+			}
+			if r.ID() == 0 {
+				out[si] = (p.Now() - start) / sim.Duration(iters)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

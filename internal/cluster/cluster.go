@@ -1,0 +1,101 @@
+// Package cluster assembles simulated 8-node Xeon/Xeon-Phi/InfiniBand
+// clusters (Table I) and wires MPI worlds for the execution modes the
+// paper compares:
+//
+//   - DCFA-MPI (ranks on the co-processors, direct HCA access, with or
+//     without the offloading send-buffer design);
+//   - the host MPI reference (ranks on the Xeons — the YAMPII
+//     configuration DCFA-MPI derives from).
+//
+// The 'Intel MPI' baseline modes live in internal/baseline.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dcfa"
+	"repro/internal/ib"
+	"repro/internal/machine"
+	"repro/internal/pcie"
+	"repro/internal/perfmodel"
+	"repro/internal/sim"
+)
+
+// Cluster is the physical testbed: nodes, fabric, PCIe complexes.
+type Cluster struct {
+	Eng    *sim.Engine
+	Plat   *perfmodel.Platform
+	Nodes  []*machine.Node
+	Fabric *ib.Fabric
+	HCAs   []*ib.HCA
+	Buses  []*pcie.Bus
+}
+
+// New builds an n-node cluster on a fresh engine.
+func New(plat *perfmodel.Platform, n int) *Cluster {
+	if n <= 0 {
+		panic("cluster: need at least one node")
+	}
+	eng := sim.NewEngine()
+	c := &Cluster{Eng: eng, Plat: plat, Fabric: ib.NewFabric(eng, plat)}
+	for i := 0; i < n; i++ {
+		node := machine.NewNode(i)
+		c.Nodes = append(c.Nodes, node)
+		c.HCAs = append(c.HCAs, c.Fabric.AttachHCA(node))
+		c.Buses = append(c.Buses, pcie.Attach(eng, plat, node))
+	}
+	return c
+}
+
+// NodeFor maps rank i onto a node round-robin (the paper runs one rank
+// per node).
+func (c *Cluster) NodeFor(rank int) int { return rank % len(c.Nodes) }
+
+// DCFAEnvs builds per-rank DCFA environments: each rank gets its own
+// delegation client and host daemon (mcexec is per process).
+func (c *Cluster) DCFAEnvs(ranks int) []core.Env {
+	envs := make([]core.Env, ranks)
+	for i := 0; i < ranks; i++ {
+		ni := c.NodeFor(i)
+		mic, _ := dcfa.New(c.Eng, c.Plat, c.Nodes[ni], c.HCAs[ni], c.Buses[ni])
+		envs[i] = core.Env{V: core.DCFAVerbs{V: mic}, Node: c.Nodes[ni]}
+	}
+	return envs
+}
+
+// HostEnvs builds per-rank host-verbs environments (ranks on the Xeons).
+func (c *Cluster) HostEnvs(ranks int) []core.Env {
+	envs := make([]core.Env, ranks)
+	for i := 0; i < ranks; i++ {
+		ni := c.NodeFor(i)
+		envs[i] = core.Env{
+			V:    core.HostVerbs{Ctx: c.HCAs[ni].Open(machine.HostMem), Node: c.Nodes[ni]},
+			Node: c.Nodes[ni],
+		}
+	}
+	return envs
+}
+
+// DCFAWorld builds a DCFA-MPI world. offload selects the §IV-B4
+// offloading send-buffer design.
+func (c *Cluster) DCFAWorld(ranks int, offload bool) *core.World {
+	cfg := core.ConfigFromPlatform(c.Plat)
+	cfg.Offload = offload
+	return core.NewWorld(c.Eng, c.Plat, cfg, c.DCFAEnvs(ranks))
+}
+
+// HostWorld builds the host MPI reference world.
+func (c *Cluster) HostWorld(ranks int) *core.World {
+	cfg := core.ConfigFromPlatform(c.Plat)
+	cfg.Offload = false
+	return core.NewWorld(c.Eng, c.Plat, cfg, c.HostEnvs(ranks))
+}
+
+// Check validates a rank count against the cluster.
+func (c *Cluster) Check(ranks int) error {
+	if ranks < 1 {
+		return fmt.Errorf("cluster: invalid rank count %d", ranks)
+	}
+	return nil
+}

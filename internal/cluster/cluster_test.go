@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+)
+
+func TestNewBuildsNodesHCAsBuses(t *testing.T) {
+	c := New(perfmodel.Default(), 8)
+	if len(c.Nodes) != 8 || len(c.HCAs) != 8 || len(c.Buses) != 8 {
+		t.Fatalf("sizes nodes=%d hcas=%d buses=%d", len(c.Nodes), len(c.HCAs), len(c.Buses))
+	}
+	for i, h := range c.HCAs {
+		if h.Node != c.Nodes[i] {
+			t.Fatalf("HCA %d attached to wrong node", i)
+		}
+		if h.LID != uint16(i+1) {
+			t.Fatalf("HCA %d has LID %d", i, h.LID)
+		}
+	}
+}
+
+func TestNodeForRoundRobin(t *testing.T) {
+	c := New(perfmodel.Default(), 3)
+	want := []int{0, 1, 2, 0, 1, 2}
+	for rank, w := range want {
+		if got := c.NodeFor(rank); got != w {
+			t.Fatalf("rank %d -> node %d, want %d", rank, got, w)
+		}
+	}
+}
+
+func TestEnvPlacement(t *testing.T) {
+	c := New(perfmodel.Default(), 2)
+	denvs := c.DCFAEnvs(2)
+	for i, e := range denvs {
+		if e.V.Loc() != machine.MicMem {
+			t.Fatalf("DCFA env %d not on the co-processor", i)
+		}
+		if e.V.Domain() != c.Nodes[i].Mic {
+			t.Fatalf("DCFA env %d wrong domain", i)
+		}
+	}
+	henvs := c.HostEnvs(2)
+	for i, e := range henvs {
+		if e.V.Loc() != machine.HostMem {
+			t.Fatalf("host env %d not on the host", i)
+		}
+	}
+}
+
+func TestCheck(t *testing.T) {
+	c := New(perfmodel.Default(), 1)
+	if err := c.Check(0); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+	if err := c.Check(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroNodesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-node cluster did not panic")
+		}
+	}()
+	New(perfmodel.Default(), 0)
+}

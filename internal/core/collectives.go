@@ -1,0 +1,351 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Internal tag space for collectives; user tags must be non-negative.
+const (
+	tagBarrier   = -100
+	tagBcast     = -101
+	tagReduce    = -102
+	tagGather    = -103
+	tagScatter   = -104
+	tagAllgather = -105
+	tagAlltoall  = -106
+	tagScan      = -107
+	tagRedScat   = -108
+)
+
+// Barrier blocks until every rank has entered it (dissemination
+// algorithm: ⌈log2 P⌉ rounds of pairwise exchanges).
+func (r *Rank) Barrier(p *sim.Proc) error {
+	n := r.w.Size()
+	if n == 1 {
+		return nil
+	}
+	zero := Slice{}
+	for dist := 1; dist < n; dist *= 2 {
+		to := (r.id + dist) % n
+		from := (r.id - dist + n) % n
+		sreq, err := r.Isend(p, to, tagBarrier, zero)
+		if err != nil {
+			return err
+		}
+		rreq, err := r.Irecv(p, from, tagBarrier, zero)
+		if err != nil {
+			return err
+		}
+		if err := r.WaitAll(p, sreq, rreq); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// vrank maps absolute ranks into the root-relative ring used by the
+// binomial trees.
+func vrank(id, root, n int) int { return (id - root + n) % n }
+func arank(v, root, n int) int  { return (v + root) % n }
+
+// Bcast broadcasts root's s to everyone (binomial tree). All ranks must
+// pass a slice of the same length.
+func (r *Rank) Bcast(p *sim.Proc, root int, s Slice) error {
+	n := r.w.Size()
+	if n == 1 {
+		return nil
+	}
+	v := vrank(r.id, root, n)
+	// Climb until our lowest set bit: receive from the parent there.
+	mask := 1
+	for mask < n {
+		if v&mask != 0 {
+			parent := arank(v^mask, root, n)
+			if _, err := r.Recv(p, parent, tagBcast, s); err != nil {
+				return err
+			}
+			break
+		}
+		mask *= 2
+	}
+	// Fan out to children below that bit, highest first.
+	for mask /= 2; mask >= 1; mask /= 2 {
+		child := v | mask
+		if child < n {
+			if err := r.Send(p, arank(child, root, n), tagBcast, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Reduce combines every rank's contribution in s with op and leaves the
+// result in s on root (binomial tree; s is clobbered on non-roots).
+func (r *Rank) Reduce(p *sim.Proc, root int, s Slice, op Op) error {
+	n := r.w.Size()
+	if n == 1 {
+		return nil
+	}
+	v := vrank(r.id, root, n)
+	tmp := r.Mem(s.N)
+	defer r.v.Domain().Free(tmp)
+	for mask := 1; mask < n; mask *= 2 {
+		if v&mask != 0 {
+			parent := arank(v^mask, root, n)
+			return r.Send(p, parent, tagReduce, s)
+		}
+		child := v | mask
+		if child < n {
+			if _, err := r.Recv(p, arank(child, root, n), tagReduce, Whole(tmp)); err != nil {
+				return err
+			}
+			op.applyChecked(s.Bytes(), tmp.Data)
+		}
+	}
+	return nil
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast; every rank ends with
+// the combined result in s.
+func (r *Rank) Allreduce(p *sim.Proc, s Slice, op Op) error {
+	if err := r.Reduce(p, 0, s, op); err != nil {
+		return err
+	}
+	return r.Bcast(p, 0, s)
+}
+
+// Gather concatenates every rank's s (all the same length) into dst on
+// root, ordered by rank. dst must be Size()*s.N bytes on root; ignored
+// elsewhere.
+func (r *Rank) Gather(p *sim.Proc, root int, s Slice, dst Slice) error {
+	n := r.w.Size()
+	if r.id == root {
+		if dst.N < n*s.N {
+			return fmt.Errorf("core: gather destination too small: %d < %d", dst.N, n*s.N)
+		}
+		copy(dst.Sub(root*s.N, s.N).Bytes(), s.Bytes())
+		reqs := make([]*Request, 0, n-1)
+		for i := 0; i < n; i++ {
+			if i == root {
+				continue
+			}
+			q, err := r.Irecv(p, i, tagGather, dst.Sub(i*s.N, s.N))
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, q)
+		}
+		return r.WaitAll(p, reqs...)
+	}
+	return r.Send(p, root, tagGather, s)
+}
+
+// Scatter distributes root's src (Size()*recv.N bytes) so rank i gets
+// block i in recv.
+func (r *Rank) Scatter(p *sim.Proc, root int, src Slice, recv Slice) error {
+	n := r.w.Size()
+	if r.id == root {
+		if src.N < n*recv.N {
+			return fmt.Errorf("core: scatter source too small: %d < %d", src.N, n*recv.N)
+		}
+		copy(recv.Bytes(), src.Sub(root*recv.N, recv.N).Bytes())
+		reqs := make([]*Request, 0, n-1)
+		for i := 0; i < n; i++ {
+			if i == root {
+				continue
+			}
+			q, err := r.Isend(p, i, tagScatter, src.Sub(i*recv.N, recv.N))
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, q)
+		}
+		return r.WaitAll(p, reqs...)
+	}
+	_, err := r.Recv(p, root, tagScatter, recv)
+	return err
+}
+
+// Allgather concatenates every rank's s into dst (Size()*s.N bytes) on
+// every rank, using the ring algorithm.
+func (r *Rank) Allgather(p *sim.Proc, s Slice, dst Slice) error {
+	n := r.w.Size()
+	if dst.N < n*s.N {
+		return fmt.Errorf("core: allgather destination too small: %d < %d", dst.N, n*s.N)
+	}
+	copy(dst.Sub(r.id*s.N, s.N).Bytes(), s.Bytes())
+	if n == 1 {
+		return nil
+	}
+	right := (r.id + 1) % n
+	left := (r.id - 1 + n) % n
+	for step := 0; step < n-1; step++ {
+		sendBlock := (r.id - step + n) % n
+		recvBlock := (r.id - step - 1 + n) % n
+		if _, err := r.Sendrecv(p,
+			right, tagAllgather, dst.Sub(sendBlock*s.N, s.N),
+			left, tagAllgather, dst.Sub(recvBlock*s.N, s.N)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Gatherv concatenates variable-length contributions on root: rank i
+// contributes s (whose length must equal counts[i]); root receives them
+// back to back in dst, ordered by rank.
+func (r *Rank) Gatherv(p *sim.Proc, root int, s Slice, dst Slice, counts []int) error {
+	n := r.w.Size()
+	if len(counts) != n {
+		return fmt.Errorf("core: gatherv needs %d counts, got %d", n, len(counts))
+	}
+	if s.N != counts[r.id] {
+		return fmt.Errorf("core: gatherv rank %d contributes %d bytes, counts say %d", r.id, s.N, counts[r.id])
+	}
+	offs := make([]int, n)
+	total := 0
+	for i, c := range counts {
+		if c < 0 {
+			return fmt.Errorf("core: gatherv negative count")
+		}
+		offs[i] = total
+		total += c
+	}
+	if r.id == root {
+		if dst.N < total {
+			return fmt.Errorf("core: gatherv destination too small: %d < %d", dst.N, total)
+		}
+		copy(dst.Sub(offs[root], counts[root]).Bytes(), s.Bytes())
+		reqs := make([]*Request, 0, n-1)
+		for i := 0; i < n; i++ {
+			if i == root || counts[i] == 0 {
+				continue
+			}
+			q, err := r.Irecv(p, i, tagGather, dst.Sub(offs[i], counts[i]))
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, q)
+		}
+		return r.WaitAll(p, reqs...)
+	}
+	if s.N == 0 {
+		return nil
+	}
+	return r.Send(p, root, tagGather, s)
+}
+
+// Scatterv distributes variable-length blocks from root: rank i
+// receives counts[i] bytes into recv (recv.N must equal counts[i]).
+func (r *Rank) Scatterv(p *sim.Proc, root int, src Slice, recv Slice, counts []int) error {
+	n := r.w.Size()
+	if len(counts) != n {
+		return fmt.Errorf("core: scatterv needs %d counts, got %d", n, len(counts))
+	}
+	if recv.N != counts[r.id] {
+		return fmt.Errorf("core: scatterv rank %d receives %d bytes, counts say %d", r.id, recv.N, counts[r.id])
+	}
+	offs := make([]int, n)
+	total := 0
+	for i, c := range counts {
+		if c < 0 {
+			return fmt.Errorf("core: scatterv negative count")
+		}
+		offs[i] = total
+		total += c
+	}
+	if r.id == root {
+		if src.N < total {
+			return fmt.Errorf("core: scatterv source too small: %d < %d", src.N, total)
+		}
+		copy(recv.Bytes(), src.Sub(offs[root], counts[root]).Bytes())
+		reqs := make([]*Request, 0, n-1)
+		for i := 0; i < n; i++ {
+			if i == root || counts[i] == 0 {
+				continue
+			}
+			q, err := r.Isend(p, i, tagScatter, src.Sub(offs[i], counts[i]))
+			if err != nil {
+				return err
+			}
+			reqs = append(reqs, q)
+		}
+		return r.WaitAll(p, reqs...)
+	}
+	if recv.N == 0 {
+		return nil
+	}
+	_, err := r.Recv(p, root, tagScatter, recv)
+	return err
+}
+
+// Scan leaves op(s₀ … s_rank) — the inclusive prefix reduction — in s
+// on every rank (linear chain).
+func (r *Rank) Scan(p *sim.Proc, s Slice, op Op) error {
+	n := r.w.Size()
+	if n == 1 {
+		return nil
+	}
+	if r.id > 0 {
+		tmp := r.Mem(s.N)
+		defer r.v.Domain().Free(tmp)
+		if _, err := r.Recv(p, r.id-1, tagScan, Whole(tmp)); err != nil {
+			return err
+		}
+		// Prefix so far combined into our contribution: op(prev, mine).
+		op.applyChecked(s.Bytes(), tmp.Data)
+	}
+	if r.id < n-1 {
+		return r.Send(p, r.id+1, tagScan, s)
+	}
+	return nil
+}
+
+// ReduceScatter combines src element-wise across all ranks and leaves
+// block i of the result on rank i in dst. src holds Size() blocks of
+// dst.N bytes (reduce-to-root then scatter; simple and correct for the
+// modest rank counts here).
+func (r *Rank) ReduceScatter(p *sim.Proc, src Slice, dst Slice, op Op) error {
+	n := r.w.Size()
+	if src.N < n*dst.N {
+		return fmt.Errorf("core: reduce_scatter source too small: %d < %d", src.N, n*dst.N)
+	}
+	if err := r.Reduce(p, 0, Slice{Buf: src.Buf, Off: src.Off, N: n * dst.N}, op); err != nil {
+		return err
+	}
+	return r.Scatter(p, 0, Slice{Buf: src.Buf, Off: src.Off, N: n * dst.N}, dst)
+}
+
+// Alltoall sends block i of src to rank i and receives rank i's block
+// into block i of dst; src and dst hold Size() blocks of blockN bytes.
+func (r *Rank) Alltoall(p *sim.Proc, src, dst Slice, blockN int) error {
+	n := r.w.Size()
+	if src.N < n*blockN || dst.N < n*blockN {
+		return fmt.Errorf("core: alltoall buffers too small")
+	}
+	copy(dst.Sub(r.id*blockN, blockN).Bytes(), src.Sub(r.id*blockN, blockN).Bytes())
+	// Pairwise exchange: at step k talk to id^k (power-of-two worlds) or
+	// a rotated partner otherwise.
+	for step := 1; step < n; step++ {
+		var partner int
+		if n&(n-1) == 0 {
+			partner = r.id ^ step
+		} else {
+			partner = (r.id + step) % n
+		}
+		sendTo := partner
+		recvFrom := partner
+		if n&(n-1) != 0 {
+			recvFrom = (r.id - step + n) % n
+		}
+		if _, err := r.Sendrecv(p,
+			sendTo, tagAlltoall, src.Sub(sendTo*blockN, blockN),
+			recvFrom, tagAlltoall, dst.Sub(recvFrom*blockN, blockN)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,174 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestScanPrefixSums(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 8} {
+		w := worldN(n)
+		err := w.Run(func(r *core.Rank) error {
+			p := r.Proc()
+			buf := r.Mem(16)
+			// Integer-valued float64s keep sums exact under any
+			// association.
+			core.PutF64s(buf.Data, []float64{float64(r.ID() + 1), float64(2 * (r.ID() + 1))})
+			if err := r.Scan(p, core.Whole(buf), core.OpSumF64); err != nil {
+				return err
+			}
+			got := core.GetF64s(buf.Data, 2)
+			want0, want1 := 0.0, 0.0
+			for k := 0; k <= r.ID(); k++ {
+				want0 += float64(k + 1)
+				want1 += float64(2 * (k + 1))
+			}
+			if got[0] != want0 || got[1] != want1 {
+				return fmt.Errorf("rank %d: scan %v, want [%v %v]", r.ID(), got, want0, want1)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestReduceScatterBlocks(t *testing.T) {
+	const n = 4
+	const blockElems = 8
+	w := worldN(n)
+	err := w.Run(func(r *core.Rank) error {
+		p := r.Proc()
+		src := r.Mem(n * blockElems * 8)
+		vals := make([]float64, n*blockElems)
+		for i := range vals {
+			vals[i] = float64(r.ID()*1000 + i)
+		}
+		core.PutF64s(src.Data, vals)
+		dst := r.Mem(blockElems * 8)
+		if err := r.ReduceScatter(p, core.Whole(src), core.Whole(dst), core.OpSumF64); err != nil {
+			return err
+		}
+		got := core.GetF64s(dst.Data, blockElems)
+		for j := 0; j < blockElems; j++ {
+			idx := r.ID()*blockElems + j
+			want := 0.0
+			for k := 0; k < n; k++ {
+				want += float64(k*1000 + idx)
+			}
+			if got[j] != want {
+				return fmt.Errorf("rank %d elem %d: %v, want %v", r.ID(), j, got[j], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGathervVariableBlocks(t *testing.T) {
+	const n = 4
+	counts := []int{16, 0, 48, 32}
+	w := worldN(n)
+	err := w.Run(func(r *core.Rank) error {
+		p := r.Proc()
+		mine := r.Mem(counts[r.ID()])
+		fill(mine.Data, byte(r.ID()+60))
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		dst := r.Mem(total)
+		if err := r.Gatherv(p, 2, core.Whole(mine), core.Whole(dst), counts); err != nil {
+			return err
+		}
+		if r.ID() == 2 {
+			off := 0
+			for i, c := range counts {
+				want := make([]byte, c)
+				fill(want, byte(i+60))
+				if !bytes.Equal(dst.Data[off:off+c], want) {
+					return fmt.Errorf("block %d corrupted", i)
+				}
+				off += c
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScattervVariableBlocks(t *testing.T) {
+	const n = 3
+	counts := []int{24, 8, 0}
+	w := worldN(n)
+	err := w.Run(func(r *core.Rank) error {
+		p := r.Proc()
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		src := r.Mem(total)
+		if r.ID() == 0 {
+			off := 0
+			for i, c := range counts {
+				fill(src.Data[off:off+c], byte(i+90))
+				off += c
+			}
+		}
+		recv := r.Mem(counts[r.ID()])
+		if err := r.Scatterv(p, 0, core.Whole(src), core.Whole(recv), counts); err != nil {
+			return err
+		}
+		want := make([]byte, counts[r.ID()])
+		fill(want, byte(r.ID()+90))
+		if !bytes.Equal(recv.Data, want) {
+			return fmt.Errorf("rank %d block corrupted", r.ID())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGathervValidation(t *testing.T) {
+	w := worldN(2)
+	err := w.Run(func(r *core.Rank) error {
+		p := r.Proc()
+		buf := r.Mem(8)
+		if err := r.Gatherv(p, 0, core.Whole(buf), core.Whole(buf), []int{8}); err == nil {
+			return fmt.Errorf("wrong counts length accepted")
+		}
+		if err := r.Gatherv(p, 0, core.Whole(buf), core.Whole(buf), []int{4, 4}); err == nil {
+			return fmt.Errorf("mismatched contribution accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceScatterTooSmallErrors(t *testing.T) {
+	w := worldN(2)
+	err := w.Run(func(r *core.Rank) error {
+		p := r.Proc()
+		src := r.Mem(8)
+		dst := r.Mem(16)
+		if err := r.ReduceScatter(p, core.Whole(src), core.Whole(dst), core.OpSumF64); err == nil {
+			return fmt.Errorf("undersized reduce_scatter succeeded")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,292 @@
+package core_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/perfmodel"
+	"repro/internal/sim"
+)
+
+// worldN builds an n-rank DCFA world on n nodes.
+func worldN(n int) *core.World {
+	c := cluster.New(perfmodel.Default(), n)
+	return c.DCFAWorld(n, true)
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		t.Run(fmt.Sprintf("ranks=%d", n), func(t *testing.T) {
+			w := worldN(n)
+			enter := make([]sim.Time, n)
+			leave := make([]sim.Time, n)
+			err := w.Run(func(r *core.Rank) error {
+				p := r.Proc()
+				// Stagger arrivals.
+				p.Sleep(sim.Duration(r.ID()) * 100 * sim.Microsecond)
+				enter[r.ID()] = p.Now()
+				if err := r.Barrier(p); err != nil {
+					return err
+				}
+				leave[r.ID()] = p.Now()
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var lastEnter sim.Time
+			for _, e := range enter {
+				if e > lastEnter {
+					lastEnter = e
+				}
+			}
+			for i, l := range leave {
+				if l < lastEnter {
+					t.Fatalf("rank %d left barrier at %v before last enter %v", i, l, lastEnter)
+				}
+			}
+		})
+	}
+}
+
+func TestBcastAllRootsAllSizes(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		w := worldN(n)
+		err := w.Run(func(r *core.Rank) error {
+			p := r.Proc()
+			for root := 0; root < n; root++ {
+				for _, sz := range []int{8, 4096, 64 << 10} {
+					buf := r.Mem(sz)
+					if r.ID() == root {
+						fill(buf.Data, byte(root+sz))
+					}
+					if err := r.Bcast(p, root, core.Whole(buf)); err != nil {
+						return err
+					}
+					want := make([]byte, sz)
+					fill(want, byte(root+sz))
+					if !bytes.Equal(buf.Data, want) {
+						return fmt.Errorf("rank %d root %d size %d: bcast corrupted", r.ID(), root, sz)
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	const n = 8
+	const elems = 100
+	w := worldN(n)
+	err := w.Run(func(r *core.Rank) error {
+		p := r.Proc()
+		buf := r.Mem(elems * 8)
+		vals := make([]float64, elems)
+		for i := range vals {
+			vals[i] = float64(r.ID()*1000 + i)
+		}
+		core.PutF64s(buf.Data, vals)
+		if err := r.Reduce(p, 0, core.Whole(buf), core.OpSumF64); err != nil {
+			return err
+		}
+		if r.ID() == 0 {
+			got := core.GetF64s(buf.Data, elems)
+			for i := range got {
+				want := 0.0
+				for k := 0; k < n; k++ {
+					want += float64(k*1000 + i)
+				}
+				if got[i] != want {
+					return fmt.Errorf("elem %d: got %v want %v", i, got[i], want)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceMaxEveryRank(t *testing.T) {
+	for _, n := range []int{2, 4, 7} {
+		w := worldN(n)
+		err := w.Run(func(r *core.Rank) error {
+			p := r.Proc()
+			buf := r.Mem(16)
+			core.PutF64s(buf.Data, []float64{float64(r.ID()), float64(-r.ID())})
+			if err := r.Allreduce(p, core.Whole(buf), core.OpMaxF64); err != nil {
+				return err
+			}
+			got := core.GetF64s(buf.Data, 2)
+			if got[0] != float64(n-1) || got[1] != 0 {
+				return fmt.Errorf("rank %d: allreduce max %v", r.ID(), got)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	const n = 4
+	const block = 256
+	w := worldN(n)
+	err := w.Run(func(r *core.Rank) error {
+		p := r.Proc()
+		// Scatter blocks from root 2, then gather them back to root 1.
+		srcBuf := r.Mem(n * block)
+		if r.ID() == 2 {
+			for i := 0; i < n; i++ {
+				fill(srcBuf.Data[i*block:(i+1)*block], byte(50+i))
+			}
+		}
+		mine := r.Mem(block)
+		if err := r.Scatter(p, 2, core.Whole(srcBuf), core.Whole(mine)); err != nil {
+			return err
+		}
+		want := make([]byte, block)
+		fill(want, byte(50+r.ID()))
+		if !bytes.Equal(mine.Data, want) {
+			return fmt.Errorf("rank %d scatter block corrupted", r.ID())
+		}
+		gathered := r.Mem(n * block)
+		if err := r.Gather(p, 1, core.Whole(mine), core.Whole(gathered)); err != nil {
+			return err
+		}
+		if r.ID() == 1 {
+			for i := 0; i < n; i++ {
+				fill(want, byte(50+i))
+				if !bytes.Equal(gathered.Data[i*block:(i+1)*block], want) {
+					return fmt.Errorf("gathered block %d corrupted", i)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherRing(t *testing.T) {
+	for _, n := range []int{2, 3, 8} {
+		const block = 128
+		w := worldN(n)
+		err := w.Run(func(r *core.Rank) error {
+			p := r.Proc()
+			mine := r.Mem(block)
+			fill(mine.Data, byte(7*r.ID()+1))
+			all := r.Mem(n * block)
+			if err := r.Allgather(p, core.Whole(mine), core.Whole(all)); err != nil {
+				return err
+			}
+			want := make([]byte, block)
+			for i := 0; i < n; i++ {
+				fill(want, byte(7*i+1))
+				if !bytes.Equal(all.Data[i*block:(i+1)*block], want) {
+					return fmt.Errorf("rank %d: allgather block %d corrupted", r.ID(), i)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestAlltoallPairwise(t *testing.T) {
+	for _, n := range []int{2, 4, 6} { // power-of-two and not
+		const block = 64
+		w := worldN(n)
+		err := w.Run(func(r *core.Rank) error {
+			p := r.Proc()
+			src := r.Mem(n * block)
+			for i := 0; i < n; i++ {
+				fill(src.Data[i*block:(i+1)*block], byte(r.ID()*16+i))
+			}
+			dst := r.Mem(n * block)
+			if err := r.Alltoall(p, core.Whole(src), core.Whole(dst), block); err != nil {
+				return err
+			}
+			want := make([]byte, block)
+			for i := 0; i < n; i++ {
+				fill(want, byte(i*16+r.ID()))
+				if !bytes.Equal(dst.Data[i*block:(i+1)*block], want) {
+					return fmt.Errorf("rank %d: block from %d corrupted", r.ID(), i)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestCollectivesSingleRank(t *testing.T) {
+	w := worldN(1)
+	err := w.Run(func(r *core.Rank) error {
+		p := r.Proc()
+		if err := r.Barrier(p); err != nil {
+			return err
+		}
+		b := r.Mem(16)
+		core.PutF64s(b.Data, []float64{3, 4})
+		if err := r.Bcast(p, 0, core.Whole(b)); err != nil {
+			return err
+		}
+		if err := r.Allreduce(p, core.Whole(b), core.OpSumF64); err != nil {
+			return err
+		}
+		got := core.GetF64s(b.Data, 2)
+		if got[0] != 3 || got[1] != 4 {
+			return fmt.Errorf("single-rank allreduce changed data: %v", got)
+		}
+		all := r.Mem(16)
+		return r.Allgather(p, core.Whole(b), core.Whole(all))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceWithLargePayloadUsesRendezvous(t *testing.T) {
+	// A reduction over 64 KiB payloads exercises rendezvous inside
+	// collectives.
+	const n = 4
+	const elems = 8192 // 64 KiB
+	w := worldN(n)
+	err := w.Run(func(r *core.Rank) error {
+		p := r.Proc()
+		buf := r.Mem(elems * 8)
+		vals := make([]float64, elems)
+		for i := range vals {
+			vals[i] = 1
+		}
+		core.PutF64s(buf.Data, vals)
+		if err := r.Allreduce(p, core.Whole(buf), core.OpSumF64); err != nil {
+			return err
+		}
+		got := core.GetF64s(buf.Data, elems)
+		for i := range got {
+			if got[i] != n {
+				return fmt.Errorf("elem %d = %v, want %d", i, got[i], n)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

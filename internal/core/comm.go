@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// maxUserTag bounds user tags so communicator ids can be encoded above
+// them.
+const maxUserTag = 1 << 16
+
+// Comm is a sub-communicator: an ordered group of world ranks with a
+// private tag space.
+//
+// Matching still runs on per-world-pair sequence ids (§IV-B3), so two
+// communicators that share a rank *pair* must not have messages in
+// flight between that pair at the same time. Groups produced by Split
+// have disjoint pair sets across colors, and row/column grids share no
+// pairs, so the common patterns are safe.
+type Comm struct {
+	r       *Rank
+	id      int
+	members []int // world ranks, indexed by comm rank
+	myRank  int
+}
+
+// CommWorld returns the world as a communicator.
+func (r *Rank) CommWorld() *Comm {
+	members := make([]int, r.w.Size())
+	for i := range members {
+		members[i] = i
+	}
+	return &Comm{r: r, id: 0, members: members, myRank: r.id}
+}
+
+// Rank returns this process's rank within the communicator.
+func (c *Comm) Rank() int { return c.myRank }
+
+// Size returns the group size.
+func (c *Comm) Size() int { return len(c.members) }
+
+// WorldRank translates a comm rank to a world rank.
+func (c *Comm) WorldRank(i int) int { return c.members[i] }
+
+// tag maps a user tag into this communicator's tag space.
+func (c *Comm) tag(t int) int {
+	if t < 0 || t >= maxUserTag {
+		panic(fmt.Sprintf("core: communicator tags must be in [0,%d): %d", maxUserTag, t))
+	}
+	return (c.id+1)*maxUserTag + t
+}
+
+// Split partitions the communicator by color, ordering each new group
+// by (key, old rank) — MPI_Comm_split. It is collective: every member
+// must call it. Ranks passing color < 0 receive nil (MPI_UNDEFINED).
+func (c *Comm) Split(p *sim.Proc, color, key int) (*Comm, error) {
+	r := c.r
+	// Allgather (color, key) over the current communicator.
+	mine := r.Mem(16)
+	PutF64s(mine.Data, []float64{float64(color), float64(key)})
+	all := r.Mem(16 * c.Size())
+	if err := c.Allgather(p, Whole(mine), Whole(all)); err != nil {
+		return nil, err
+	}
+	vals := GetF64s(all.Data, 2*c.Size())
+	type entry struct{ color, key, world int }
+	var group []entry
+	for i := 0; i < c.Size(); i++ {
+		col := int(vals[2*i])
+		if col == color && color >= 0 {
+			group = append(group, entry{col, int(vals[2*i+1]), c.members[i]})
+		}
+	}
+	r.splitSeq++
+	if color < 0 {
+		return nil, nil
+	}
+	sort.Slice(group, func(a, b int) bool {
+		if group[a].key != group[b].key {
+			return group[a].key < group[b].key
+		}
+		return group[a].world < group[b].world
+	})
+	nc := &Comm{r: r, id: r.splitSeq, members: make([]int, len(group)), myRank: -1}
+	for i, e := range group {
+		nc.members[i] = e.world
+		if e.world == r.id {
+			nc.myRank = i
+		}
+	}
+	return nc, nil
+}
+
+// ---- Point-to-point on the communicator ----
+
+// Send is a blocking send to comm rank dst.
+func (c *Comm) Send(p *sim.Proc, dst, tag int, s Slice) error {
+	return c.r.Send(p, c.members[dst], c.tag(tag), s)
+}
+
+// Recv is a blocking receive from comm rank src (AnySource allowed).
+func (c *Comm) Recv(p *sim.Proc, src, tag int, s Slice) (Status, error) {
+	ws := src
+	if src != AnySource {
+		ws = c.members[src]
+	}
+	t := AnyTag
+	if tag != AnyTag {
+		t = c.tag(tag)
+	}
+	st, err := c.r.Recv(p, ws, t, s)
+	if err != nil {
+		return st, err
+	}
+	return c.localStatus(st), nil
+}
+
+// Isend / Irecv are the nonblocking forms.
+func (c *Comm) Isend(p *sim.Proc, dst, tag int, s Slice) (*Request, error) {
+	return c.r.Isend(p, c.members[dst], c.tag(tag), s)
+}
+
+func (c *Comm) Irecv(p *sim.Proc, src, tag int, s Slice) (*Request, error) {
+	ws := src
+	if src != AnySource {
+		ws = c.members[src]
+	}
+	t := AnyTag
+	if tag != AnyTag {
+		t = c.tag(tag)
+	}
+	return c.r.Irecv(p, ws, t, s)
+}
+
+// localStatus translates a world status into comm coordinates.
+func (c *Comm) localStatus(st Status) Status {
+	for i, w := range c.members {
+		if w == st.Source {
+			st.Source = i
+			break
+		}
+	}
+	if st.Tag >= maxUserTag {
+		st.Tag = st.Tag % maxUserTag
+	}
+	return st
+}
+
+// Sendrecv exchanges with two comm ranks.
+func (c *Comm) Sendrecv(p *sim.Proc, dst, stag int, sbuf Slice, src, rtag int, rbuf Slice) (Status, error) {
+	sq, err := c.Isend(p, dst, stag, sbuf)
+	if err != nil {
+		return Status{}, err
+	}
+	rq, err := c.Irecv(p, src, rtag, rbuf)
+	if err != nil {
+		return Status{}, err
+	}
+	if _, err := c.r.Wait(p, sq); err != nil {
+		return Status{}, err
+	}
+	st, err := c.r.Wait(p, rq)
+	return c.localStatus(st), err
+}
+
+// ---- Collectives on the communicator (comm-rank algorithms mirror
+// the world versions) ----
+
+const (
+	ctagBarrier   = maxUserTag - 1
+	ctagBcast     = maxUserTag - 2
+	ctagReduce    = maxUserTag - 3
+	ctagAllgather = maxUserTag - 4
+)
+
+// Barrier blocks until every member has entered (dissemination).
+func (c *Comm) Barrier(p *sim.Proc) error {
+	n := c.Size()
+	if n == 1 {
+		return nil
+	}
+	zero := Slice{}
+	for dist := 1; dist < n; dist *= 2 {
+		to := (c.myRank + dist) % n
+		from := (c.myRank - dist + n) % n
+		sq, err := c.Isend(p, to, ctagBarrier, zero)
+		if err != nil {
+			return err
+		}
+		rq, err := c.Irecv(p, from, ctagBarrier, zero)
+		if err != nil {
+			return err
+		}
+		if err := c.r.WaitAll(p, sq, rq); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bcast broadcasts root's s over the group (binomial tree).
+func (c *Comm) Bcast(p *sim.Proc, root int, s Slice) error {
+	n := c.Size()
+	if n == 1 {
+		return nil
+	}
+	v := vrank(c.myRank, root, n)
+	mask := 1
+	for mask < n {
+		if v&mask != 0 {
+			if _, err := c.Recv(p, arank(v^mask, root, n), ctagBcast, s); err != nil {
+				return err
+			}
+			break
+		}
+		mask *= 2
+	}
+	for mask /= 2; mask >= 1; mask /= 2 {
+		if child := v | mask; child < n {
+			if err := c.Send(p, arank(child, root, n), ctagBcast, s); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Reduce combines contributions to root (binomial tree; s is clobbered
+// on non-roots).
+func (c *Comm) Reduce(p *sim.Proc, root int, s Slice, op Op) error {
+	n := c.Size()
+	if n == 1 {
+		return nil
+	}
+	v := vrank(c.myRank, root, n)
+	tmp := c.r.Mem(s.N)
+	defer c.r.v.Domain().Free(tmp)
+	for mask := 1; mask < n; mask *= 2 {
+		if v&mask != 0 {
+			return c.Send(p, arank(v^mask, root, n), ctagReduce, s)
+		}
+		if child := v | mask; child < n {
+			if _, err := c.Recv(p, arank(child, root, n), ctagReduce, Whole(tmp)); err != nil {
+				return err
+			}
+			op.applyChecked(s.Bytes(), tmp.Data)
+		}
+	}
+	return nil
+}
+
+// Allreduce leaves the combined result on every member.
+func (c *Comm) Allreduce(p *sim.Proc, s Slice, op Op) error {
+	if err := c.Reduce(p, 0, s, op); err != nil {
+		return err
+	}
+	return c.Bcast(p, 0, s)
+}
+
+// Allgather concatenates each member's s into dst (Size()*s.N bytes)
+// using the ring algorithm.
+func (c *Comm) Allgather(p *sim.Proc, s Slice, dst Slice) error {
+	n := c.Size()
+	if dst.N < n*s.N {
+		return fmt.Errorf("core: comm allgather destination too small")
+	}
+	copy(dst.Sub(c.myRank*s.N, s.N).Bytes(), s.Bytes())
+	if n == 1 {
+		return nil
+	}
+	right := (c.myRank + 1) % n
+	left := (c.myRank - 1 + n) % n
+	for step := 0; step < n-1; step++ {
+		sendBlock := (c.myRank - step + n) % n
+		recvBlock := (c.myRank - step - 1 + n) % n
+		if _, err := c.Sendrecv(p,
+			right, ctagAllgather, dst.Sub(sendBlock*s.N, s.N),
+			left, ctagAllgather, dst.Sub(recvBlock*s.N, s.N)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/perfmodel"
+)
+
+func TestCommWorldMirror(t *testing.T) {
+	c := cluster.New(perfmodel.Default(), 4)
+	w := c.DCFAWorld(4, true)
+	err := w.Run(func(r *core.Rank) error {
+		cw := r.CommWorld()
+		if cw.Rank() != r.ID() || cw.Size() != 4 {
+			return fmt.Errorf("comm world rank=%d size=%d", cw.Rank(), cw.Size())
+		}
+		if cw.WorldRank(2) != 2 {
+			return fmt.Errorf("translation broken")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitEvenOdd(t *testing.T) {
+	c := cluster.New(perfmodel.Default(), 6)
+	w := c.DCFAWorld(6, true)
+	err := w.Run(func(r *core.Rank) error {
+		p := r.Proc()
+		cw := r.CommWorld()
+		sub, err := cw.Split(p, r.ID()%2, r.ID())
+		if err != nil {
+			return err
+		}
+		if sub.Size() != 3 {
+			return fmt.Errorf("split size %d, want 3", sub.Size())
+		}
+		if sub.WorldRank(sub.Rank()) != r.ID() {
+			return fmt.Errorf("self translation broken")
+		}
+		// Members must be sorted by key (= world rank here).
+		for i := 1; i < sub.Size(); i++ {
+			if sub.WorldRank(i) <= sub.WorldRank(i-1) {
+				return fmt.Errorf("members unsorted: %d then %d", sub.WorldRank(i-1), sub.WorldRank(i))
+			}
+		}
+		// Allreduce within the group: sum of even or odd world ranks.
+		buf := r.Mem(8)
+		core.PutF64s(buf.Data, []float64{float64(r.ID())})
+		if err := sub.Allreduce(p, core.Whole(buf), core.OpSumF64); err != nil {
+			return err
+		}
+		want := 0.0
+		for i := r.ID() % 2; i < 6; i += 2 {
+			want += float64(i)
+		}
+		if got := core.GetF64s(buf.Data, 1)[0]; got != want {
+			return fmt.Errorf("group sum %v, want %v", got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitUndefinedColor(t *testing.T) {
+	c := cluster.New(perfmodel.Default(), 4)
+	w := c.DCFAWorld(4, true)
+	err := w.Run(func(r *core.Rank) error {
+		p := r.Proc()
+		cw := r.CommWorld()
+		color := 0
+		if r.ID() == 3 {
+			color = -1 // MPI_UNDEFINED
+		}
+		sub, err := cw.Split(p, color, 0)
+		if err != nil {
+			return err
+		}
+		if r.ID() == 3 {
+			if sub != nil {
+				return fmt.Errorf("undefined color produced a comm")
+			}
+			return nil
+		}
+		if sub.Size() != 3 {
+			return fmt.Errorf("size %d, want 3", sub.Size())
+		}
+		return sub.Barrier(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitKeyReordersRanks(t *testing.T) {
+	c := cluster.New(perfmodel.Default(), 4)
+	w := c.DCFAWorld(4, true)
+	err := w.Run(func(r *core.Rank) error {
+		p := r.Proc()
+		// Reverse order: key = -world rank.
+		sub, err := r.CommWorld().Split(p, 0, -r.ID())
+		if err != nil {
+			return err
+		}
+		if got := sub.Rank(); got != 3-r.ID() {
+			return fmt.Errorf("world %d got comm rank %d, want %d", r.ID(), got, 3-r.ID())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridRowColComms(t *testing.T) {
+	// A 2x3 process grid with row and column communicators — the
+	// standard pattern for 2D decompositions.
+	const rows, cols = 2, 3
+	c := cluster.New(perfmodel.Default(), rows*cols)
+	w := c.DCFAWorld(rows*cols, true)
+	err := w.Run(func(r *core.Rank) error {
+		p := r.Proc()
+		myRow := r.ID() / cols
+		myCol := r.ID() % cols
+		cw := r.CommWorld()
+		rowComm, err := cw.Split(p, myRow, myCol)
+		if err != nil {
+			return err
+		}
+		colComm, err := cw.Split(p, myCol, myRow)
+		if err != nil {
+			return err
+		}
+		if rowComm.Size() != cols || colComm.Size() != rows {
+			return fmt.Errorf("sizes row=%d col=%d", rowComm.Size(), colComm.Size())
+		}
+		// Row-wise sum then column-wise max.
+		buf := r.Mem(8)
+		core.PutF64s(buf.Data, []float64{float64(r.ID())})
+		if err := rowComm.Allreduce(p, core.Whole(buf), core.OpSumF64); err != nil {
+			return err
+		}
+		rowSum := 0.0
+		for cc := 0; cc < cols; cc++ {
+			rowSum += float64(myRow*cols + cc)
+		}
+		if got := core.GetF64s(buf.Data, 1)[0]; got != rowSum {
+			return fmt.Errorf("row sum %v, want %v", got, rowSum)
+		}
+		if err := colComm.Allreduce(p, core.Whole(buf), core.OpMaxF64); err != nil {
+			return err
+		}
+		// Max of row sums in my column = bottom row's sum.
+		maxSum := 0.0
+		for cc := 0; cc < cols; cc++ {
+			maxSum += float64((rows-1)*cols + cc)
+		}
+		if got := core.GetF64s(buf.Data, 1)[0]; got != maxSum {
+			return fmt.Errorf("col max %v, want %v", got, maxSum)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommPointToPointAndStatusTranslation(t *testing.T) {
+	c := cluster.New(perfmodel.Default(), 4)
+	w := c.DCFAWorld(4, true)
+	err := w.Run(func(r *core.Rank) error {
+		p := r.Proc()
+		// Group = {3, 2} via keys, so comm rank 0 = world 3.
+		color := -1
+		if r.ID() >= 2 {
+			color = 1
+		}
+		sub, err := r.CommWorld().Split(p, color, -r.ID())
+		if err != nil {
+			return err
+		}
+		if sub == nil {
+			return nil
+		}
+		if r.ID() == 3 { // comm rank 0
+			buf := r.Mem(8)
+			buf.Data[0] = 0x3A
+			return sub.Send(p, 1, 5, core.Whole(buf))
+		}
+		// world 2 = comm rank 1
+		buf := r.Mem(8)
+		st, err := sub.Recv(p, core.AnySource, core.AnyTag, core.Whole(buf))
+		if err != nil {
+			return err
+		}
+		if st.Source != 0 || st.Tag != 5 || buf.Data[0] != 0x3A {
+			return fmt.Errorf("status %+v data %#x", st, buf.Data[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommBcastAllRoots(t *testing.T) {
+	c := cluster.New(perfmodel.Default(), 5)
+	w := c.DCFAWorld(5, true)
+	err := w.Run(func(r *core.Rank) error {
+		p := r.Proc()
+		sub, err := r.CommWorld().Split(p, 0, r.ID())
+		if err != nil {
+			return err
+		}
+		for root := 0; root < sub.Size(); root++ {
+			buf := r.Mem(64)
+			if sub.Rank() == root {
+				fill(buf.Data, byte(root+40))
+			}
+			if err := sub.Bcast(p, root, core.Whole(buf)); err != nil {
+				return err
+			}
+			want := make([]byte, 64)
+			fill(want, byte(root+40))
+			for i := range want {
+				if buf.Data[i] != want[i] {
+					return fmt.Errorf("root %d: bcast corrupted", root)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

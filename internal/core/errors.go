@@ -1,0 +1,25 @@
+package core
+
+import "errors"
+
+// Exported error conditions of the MPI layer.
+var (
+	// ErrTruncate reports a message longer than the posted receive
+	// buffer (including the §IV-B3 sender-rendezvous/receiver-eager
+	// mis-prediction, where "the receiver will issue an MPI error").
+	ErrTruncate = errors.New("core: message truncated: send larger than receive buffer")
+	// ErrTagMismatch reports a tag disagreement between the send and
+	// the receive holding the same per-pair sequence id.
+	ErrTagMismatch = errors.New("core: tag mismatch at matching sequence id")
+	// ErrNoOffload reports use of the offload send-buffer verbs on a
+	// provider without them (host MPI, proxied MPI).
+	ErrNoOffload = errors.New("core: offload send buffer not supported by this provider")
+	// ErrBadRank reports a source or destination outside the world.
+	ErrBadRank = errors.New("core: rank out of range")
+)
+
+// Special rank and tag wildcards, mirroring MPI_ANY_SOURCE/MPI_ANY_TAG.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// ---- Probe ----
+
+// Iprobe checks, without receiving, whether the next message from src
+// (its next sequence id) has arrived and matches tag. It drives
+// progress once.
+//
+// Because DCFA-MPI matches by per-pair sequence ids, a probe refers to
+// the message that the *next posted receive* from src would match.
+func (r *Rank) Iprobe(p *sim.Proc, src, tag int) (Status, bool, error) {
+	if src != AnySource && (src < 0 || src >= r.w.Size()) {
+		return Status{}, false, ErrBadRank
+	}
+	r.progress(p)
+	check := func(s int) (Status, bool) {
+		next := r.recvSeq[s]
+		a, ok := r.unexpected[s][next]
+		if !ok {
+			return Status{}, false
+		}
+		if tag != AnyTag && !a.h.anyTag && int32(tag) != a.h.tag {
+			return Status{}, false
+		}
+		n := a.h.payload
+		if a.h.kind == pktRTS {
+			n = a.h.rsize
+		}
+		return Status{Source: s, Tag: int(a.h.tag), Len: n}, true
+	}
+	if src == AnySource {
+		for s := 0; s < r.w.Size(); s++ {
+			if s == r.id {
+				continue
+			}
+			if st, ok := check(s); ok {
+				return st, true, nil
+			}
+		}
+		return Status{}, false, nil
+	}
+	st, ok := check(src)
+	return st, ok, nil
+}
+
+// Probe blocks until Iprobe succeeds.
+func (r *Rank) Probe(p *sim.Proc, src, tag int) (Status, error) {
+	for {
+		st, ok, err := r.Iprobe(p, src, tag)
+		if err != nil || ok {
+			return st, err
+		}
+		if !r.progress(p) {
+			r.v.HCA().Doorbell.Wait(p)
+		}
+	}
+}
+
+// ---- Wait variants ----
+
+// Waitany blocks until at least one of the requests completes and
+// returns its index.
+func (r *Rank) Waitany(p *sim.Proc, reqs ...*Request) (int, Status, error) {
+	if len(reqs) == 0 {
+		return -1, Status{}, fmt.Errorf("core: Waitany with no requests")
+	}
+	for {
+		for i, q := range reqs {
+			if q.completed {
+				return i, q.status, q.err
+			}
+		}
+		if !r.progress(p) {
+			r.v.HCA().Doorbell.Wait(p)
+		}
+	}
+}
+
+// Testall drives progress once and reports whether every request has
+// completed.
+func (r *Rank) Testall(p *sim.Proc, reqs ...*Request) bool {
+	r.progress(p)
+	for _, q := range reqs {
+		if !q.completed {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- Typed convenience ----
+
+// SendF64s sends a float64 slice (blocking), staging it into rank
+// memory.
+func (r *Rank) SendF64s(p *sim.Proc, dst, tag int, vals []float64) error {
+	buf := r.Mem(len(vals) * 8)
+	defer r.v.Domain().Free(buf)
+	PutF64s(buf.Data, vals)
+	return r.Send(p, dst, tag, Whole(buf))
+}
+
+// RecvF64s receives n float64 values (blocking).
+func (r *Rank) RecvF64s(p *sim.Proc, src, tag, n int) ([]float64, Status, error) {
+	buf := r.Mem(n * 8)
+	defer r.v.Domain().Free(buf)
+	st, err := r.Recv(p, src, tag, Whole(buf))
+	if err != nil {
+		return nil, st, err
+	}
+	return GetF64s(buf.Data, st.Len/8), st, nil
+}
+
+// ---- Persistent requests (MPI_Send_init / MPI_Recv_init) ----
+
+// Persistent is a reusable communication request: Start posts a fresh
+// operation with the captured arguments each time.
+type Persistent struct {
+	r      *Rank
+	isSend bool
+	peer   int
+	tag    int
+	slice  Slice
+	active *Request
+	Starts int64
+}
+
+// SendInit captures a send for repeated Start.
+func (r *Rank) SendInit(dst, tag int, s Slice) *Persistent {
+	return &Persistent{r: r, isSend: true, peer: dst, tag: tag, slice: s}
+}
+
+// RecvInit captures a receive for repeated Start.
+func (r *Rank) RecvInit(src, tag int, s Slice) *Persistent {
+	return &Persistent{r: r, peer: src, tag: tag, slice: s}
+}
+
+// Start posts the operation. The previous incarnation must have
+// completed.
+func (q *Persistent) Start(p *sim.Proc) error {
+	if q.active != nil && !q.active.completed {
+		return fmt.Errorf("core: persistent request started while still active")
+	}
+	var err error
+	if q.isSend {
+		q.active, err = q.r.Isend(p, q.peer, q.tag, q.slice)
+	} else {
+		q.active, err = q.r.Irecv(p, q.peer, q.tag, q.slice)
+	}
+	if err == nil {
+		q.Starts++
+	}
+	return err
+}
+
+// Wait blocks until the current incarnation completes.
+func (q *Persistent) Wait(p *sim.Proc) (Status, error) {
+	if q.active == nil {
+		return Status{}, fmt.Errorf("core: persistent request never started")
+	}
+	return q.r.Wait(p, q.active)
+}
+
+// ---- Typed (datatype) point-to-point ----
+
+// SendTyped packs the strided region described by dt starting at s and
+// sends it as one contiguous message. Packing runs on the rank's own
+// core unless the world enables host-offloaded packing (the paper's
+// proposed DCFA-MPI CMD offload for user-defined datatypes) and the
+// provider supports it.
+func (r *Rank) SendTyped(p *sim.Proc, dst, tag int, s Slice, dt Datatype) error {
+	if s.N < dt.Extent() {
+		return fmt.Errorf("core: typed send: slice %d bytes < extent %d", s.N, dt.Extent())
+	}
+	packed := r.Mem(dt.PackedSize())
+	defer r.v.Domain().Free(packed)
+	r.packInto(p, packed.Data, s.Bytes(), dt)
+	return r.Send(p, dst, tag, Whole(packed))
+}
+
+// RecvTyped receives a contiguous message and unpacks it into the
+// strided region described by dt at s.
+func (r *Rank) RecvTyped(p *sim.Proc, src, tag int, s Slice, dt Datatype) (Status, error) {
+	if s.N < dt.Extent() {
+		return Status{}, fmt.Errorf("core: typed recv: slice %d bytes < extent %d", s.N, dt.Extent())
+	}
+	packed := r.Mem(dt.PackedSize())
+	defer r.v.Domain().Free(packed)
+	st, err := r.Recv(p, src, tag, Whole(packed))
+	if err != nil {
+		return st, err
+	}
+	dt.Unpack(s.Bytes(), packed.Data)
+	p.Sleep(r.packCost(dt))
+	return st, nil
+}
+
+// Pack gathers the typed region at src into dst, charging the pack
+// cost (and using the host-offloaded path when configured). dst must
+// have dt.PackedSize() bytes.
+func (r *Rank) Pack(p *sim.Proc, dst, src []byte, dt Datatype) {
+	r.packInto(p, dst, src, dt)
+}
+
+// Unpack scatters contiguous src into the typed region at dst,
+// charging the local scatter cost.
+func (r *Rank) Unpack(p *sim.Proc, dst, src []byte, dt Datatype) {
+	dt.Unpack(dst, src)
+	p.Sleep(r.packCost(dt))
+}
+
+// packInto performs the pack, choosing the local or the host-offloaded
+// path and charging the corresponding cost.
+func (r *Rank) packInto(p *sim.Proc, dst, src []byte, dt Datatype) {
+	if r.w.Cfg.OffloadDatatypePack && r.v.SupportsOffload() &&
+		dt.PackedSize() >= r.w.Cfg.OffloadPackMinSize {
+		// Delegate the gather loop to the host CPU (the DCFA-MPI CMD
+		// offload path): one command round trip plus the host's pack
+		// rate over the mapped co-processor pages.
+		dt.Pack(dst, src)
+		plat := r.w.Plat
+		cost := 2*plat.SCIFMsgLatency +
+			sim.Duration(float64(dt.PackedSize())/plat.HostPackRate*float64(sim.Second))
+		p.Sleep(cost)
+		r.Stats.OffloadedPacks++
+		return
+	}
+	dt.Pack(dst, src)
+	p.Sleep(r.packCost(dt))
+}
+
+// packCost is the local (slow in-order core) gather/scatter cost.
+func (r *Rank) packCost(dt Datatype) sim.Duration {
+	rate := r.w.Plat.HostPackRate
+	if r.v.Loc() == machine.MicMem {
+		rate = r.w.Plat.PhiPackRate
+	}
+	return sim.Duration(float64(dt.PackedSize()) / rate * float64(sim.Second))
+}

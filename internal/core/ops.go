@@ -1,0 +1,145 @@
+package core
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Op is a reduction operator combining src into dst element-wise over
+// raw little-endian buffers.
+type Op struct {
+	Name     string
+	ElemSize int
+	Apply    func(dst, src []byte)
+}
+
+// applyChecked validates lengths then combines.
+func (o Op) applyChecked(dst, src []byte) {
+	if len(dst) != len(src) || len(dst)%o.ElemSize != 0 {
+		panic("core: reduction length mismatch")
+	}
+	o.Apply(dst, src)
+}
+
+func f64(b []byte, i int) float64 {
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+}
+
+func putF64(b []byte, i int, v float64) {
+	binary.LittleEndian.PutUint64(b[i*8:], math.Float64bits(v))
+}
+
+func i64(b []byte, i int) int64 {
+	return int64(binary.LittleEndian.Uint64(b[i*8:]))
+}
+
+func putI64(b []byte, i int, v int64) {
+	binary.LittleEndian.PutUint64(b[i*8:], uint64(v))
+}
+
+// Built-in reduction operators.
+var (
+	OpSumF64 = Op{Name: "sum<f64>", ElemSize: 8, Apply: func(dst, src []byte) {
+		for i := 0; i < len(dst)/8; i++ {
+			putF64(dst, i, f64(dst, i)+f64(src, i))
+		}
+	}}
+	OpMaxF64 = Op{Name: "max<f64>", ElemSize: 8, Apply: func(dst, src []byte) {
+		for i := 0; i < len(dst)/8; i++ {
+			if v := f64(src, i); v > f64(dst, i) {
+				putF64(dst, i, v)
+			}
+		}
+	}}
+	OpMinF64 = Op{Name: "min<f64>", ElemSize: 8, Apply: func(dst, src []byte) {
+		for i := 0; i < len(dst)/8; i++ {
+			if v := f64(src, i); v < f64(dst, i) {
+				putF64(dst, i, v)
+			}
+		}
+	}}
+	OpSumI64 = Op{Name: "sum<i64>", ElemSize: 8, Apply: func(dst, src []byte) {
+		for i := 0; i < len(dst)/8; i++ {
+			putI64(dst, i, i64(dst, i)+i64(src, i))
+		}
+	}}
+	OpMaxI64 = Op{Name: "max<i64>", ElemSize: 8, Apply: func(dst, src []byte) {
+		for i := 0; i < len(dst)/8; i++ {
+			if v := i64(src, i); v > i64(dst, i) {
+				putI64(dst, i, v)
+			}
+		}
+	}}
+	OpBandU8 = Op{Name: "band<u8>", ElemSize: 1, Apply: func(dst, src []byte) {
+		for i := range dst {
+			dst[i] &= src[i]
+		}
+	}}
+)
+
+// PutF64s encodes vs into b (little endian).
+func PutF64s(b []byte, vs []float64) {
+	for i, v := range vs {
+		putF64(b, i, v)
+	}
+}
+
+// GetF64s decodes n float64s from b.
+func GetF64s(b []byte, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = f64(b, i)
+	}
+	return out
+}
+
+// Datatype describes a (possibly strided) MPI-like layout: Count blocks
+// of BlockLen elements of ElemSize bytes, successive blocks Stride
+// elements apart — the classic MPI_Type_vector. A contiguous datatype
+// has Count 1.
+type Datatype struct {
+	ElemSize int
+	Count    int
+	BlockLen int
+	Stride   int // in elements
+}
+
+// Contiguous returns a datatype of n elements of size elemSize.
+func Contiguous(n, elemSize int) Datatype {
+	return Datatype{ElemSize: elemSize, Count: 1, BlockLen: n, Stride: n}
+}
+
+// Vector returns the strided vector datatype.
+func Vector(count, blockLen, stride, elemSize int) Datatype {
+	return Datatype{ElemSize: elemSize, Count: count, BlockLen: blockLen, Stride: stride}
+}
+
+// Extent is the span in bytes the datatype covers in its source buffer.
+func (d Datatype) Extent() int {
+	if d.Count == 0 {
+		return 0
+	}
+	return ((d.Count-1)*d.Stride + d.BlockLen) * d.ElemSize
+}
+
+// PackedSize is the contiguous payload size in bytes.
+func (d Datatype) PackedSize() int { return d.Count * d.BlockLen * d.ElemSize }
+
+// Pack gathers the typed region starting at src into dst (contiguous).
+// dst must have PackedSize bytes; src must cover Extent bytes.
+func (d Datatype) Pack(dst, src []byte) {
+	bl := d.BlockLen * d.ElemSize
+	st := d.Stride * d.ElemSize
+	for c := 0; c < d.Count; c++ {
+		copy(dst[c*bl:(c+1)*bl], src[c*st:c*st+bl])
+	}
+}
+
+// Unpack scatters contiguous src into the typed region at dst.
+func (d Datatype) Unpack(dst, src []byte) {
+	bl := d.BlockLen * d.ElemSize
+	st := d.Stride * d.ElemSize
+	for c := 0; c < d.Count; c++ {
+		copy(dst[c*st:c*st+bl], src[c*bl:(c+1)*bl])
+	}
+}

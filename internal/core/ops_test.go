@@ -1,0 +1,163 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpSumF64(t *testing.T) {
+	a := make([]byte, 32)
+	b := make([]byte, 32)
+	PutF64s(a, []float64{1, 2, 3, 4})
+	PutF64s(b, []float64{10, 20, 30, 40})
+	OpSumF64.applyChecked(a, b)
+	got := GetF64s(a, 4)
+	want := []float64{11, 22, 33, 44}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sum %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOpMaxMinF64(t *testing.T) {
+	a := make([]byte, 16)
+	b := make([]byte, 16)
+	PutF64s(a, []float64{1, 9})
+	PutF64s(b, []float64{5, 2})
+	OpMaxF64.applyChecked(a, b)
+	if got := GetF64s(a, 2); got[0] != 5 || got[1] != 9 {
+		t.Fatalf("max %v", got)
+	}
+	PutF64s(a, []float64{1, 9})
+	OpMinF64.applyChecked(a, b)
+	if got := GetF64s(a, 2); got[0] != 1 || got[1] != 2 {
+		t.Fatalf("min %v", got)
+	}
+}
+
+func TestOpSumMaxI64(t *testing.T) {
+	a := make([]byte, 16)
+	b := make([]byte, 16)
+	putI64(a, 0, -5)
+	putI64(a, 1, 100)
+	putI64(b, 0, 7)
+	putI64(b, 1, -100)
+	OpSumI64.applyChecked(a, b)
+	if i64(a, 0) != 2 || i64(a, 1) != 0 {
+		t.Fatalf("sum %d %d", i64(a, 0), i64(a, 1))
+	}
+	putI64(a, 0, -5)
+	putI64(a, 1, 100)
+	OpMaxI64.applyChecked(a, b)
+	if i64(a, 0) != 7 || i64(a, 1) != 100 {
+		t.Fatalf("max %d %d", i64(a, 0), i64(a, 1))
+	}
+}
+
+func TestOpBandU8(t *testing.T) {
+	a := []byte{0xFF, 0x0F}
+	b := []byte{0xF0, 0xFF}
+	OpBandU8.applyChecked(a, b)
+	if a[0] != 0xF0 || a[1] != 0x0F {
+		t.Fatalf("band %v", a)
+	}
+}
+
+func TestOpLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	OpSumF64.applyChecked(make([]byte, 8), make([]byte, 16))
+}
+
+func TestF64EncodingSpecials(t *testing.T) {
+	b := make([]byte, 24)
+	vals := []float64{math.Inf(1), math.Copysign(0, -1), 1e-300}
+	PutF64s(b, vals)
+	got := GetF64s(b, 3)
+	if !math.IsInf(got[0], 1) || math.Signbit(got[1]) != true || got[2] != 1e-300 {
+		t.Fatalf("specials %v", got)
+	}
+}
+
+func TestDatatypeContiguous(t *testing.T) {
+	d := Contiguous(10, 8)
+	if d.Extent() != 80 || d.PackedSize() != 80 {
+		t.Fatalf("extent %d packed %d", d.Extent(), d.PackedSize())
+	}
+	src := make([]byte, 80)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	dst := make([]byte, 80)
+	d.Pack(dst, src)
+	if !bytes.Equal(dst, src) {
+		t.Fatal("contiguous pack not identity")
+	}
+}
+
+func TestDatatypeVector(t *testing.T) {
+	// A "column" of a 4x4 byte matrix: 4 blocks of 1, stride 4.
+	d := Vector(4, 1, 4, 1)
+	if d.PackedSize() != 4 || d.Extent() != 13 {
+		t.Fatalf("packed %d extent %d", d.PackedSize(), d.Extent())
+	}
+	src := []byte{
+		0, 1, 2, 3,
+		10, 11, 12, 13,
+		20, 21, 22, 23,
+		30, 31, 32, 33,
+	}
+	packed := make([]byte, 4)
+	d.Pack(packed, src[1:]) // column 1
+	want := []byte{1, 11, 21, 31}
+	if !bytes.Equal(packed, want) {
+		t.Fatalf("packed %v, want %v", packed, want)
+	}
+	out := make([]byte, 16)
+	d.Unpack(out[1:], packed)
+	for i, v := range want {
+		if out[1+4*i] != v {
+			t.Fatalf("unpack row %d got %d want %d", i, out[1+4*i], v)
+		}
+	}
+}
+
+// Property: Unpack(Pack(x)) restores the strided elements for random
+// vector shapes.
+func TestQuickVectorPackUnpack(t *testing.T) {
+	f := func(count, blockLen, pad uint8, seed int64) bool {
+		c := int(count%8) + 1
+		bl := int(blockLen%8) + 1
+		stride := bl + int(pad%8)
+		d := Vector(c, bl, stride, 8)
+		src := make([]byte, d.Extent())
+		x := seed
+		for i := range src {
+			x = x*6364136223846793005 + 1442695040888963407
+			src[i] = byte(x >> 56)
+		}
+		packed := make([]byte, d.PackedSize())
+		d.Pack(packed, src)
+		out := make([]byte, d.Extent())
+		d.Unpack(out, packed)
+		// Every in-block byte must round trip.
+		for cIdx := 0; cIdx < c; cIdx++ {
+			for j := 0; j < bl*8; j++ {
+				off := cIdx*stride*8 + j
+				if out[off] != src[off] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

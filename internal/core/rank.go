@@ -1,0 +1,930 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/ib"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// peerState is everything a rank holds per remote peer.
+type peerState struct {
+	qp *ib.QP
+	// in is the local eager ring this peer writes into.
+	in *ring
+	// out describes the peer's ring we write into.
+	out ringDesc
+	// credits is how many free remote slots we may still write.
+	credits int
+	// nextSlot is the next remote slot index to write.
+	nextSlot int
+	// toReturn counts locally consumed slots not yet credited back.
+	toReturn int
+	// staging is the registered packet-assembly buffer (header +
+	// payload + tail) for sends to this peer.
+	staging   *machine.Buffer
+	stagingMR *ib.MR
+	// pendingSends are eager packets waiting for ring credit.
+	pendingSends []*Request
+	// pendingCtrl are control packets (RTS/RTR/DONE) waiting for ring
+	// credit; drained before pendingSends.
+	pendingCtrl []header
+}
+
+// Stats aggregates per-rank communication counters.
+type Stats struct {
+	MsgsSent       int64
+	BytesSent      int64
+	EagerSends     int64
+	RndvSends      int64
+	OffloadedSends int64
+	CreditPackets  int64
+	Unexpected     int64
+	SelfMsgs       int64
+	OffloadedPacks int64
+}
+
+// Rank is one MPI process.
+type Rank struct {
+	w    *World
+	id   int
+	proc *sim.Proc
+	v    Verbs
+
+	pd      *ib.PD
+	cq      *ib.CQ
+	peers   []*peerState
+	mrCache *MRCache
+	arena   *offArena
+
+	sendSeq []uint64
+	recvSeq []uint64
+
+	// expRecv[i][seq] is the posted receive expecting that packet.
+	expRecv []map[uint64]*Request
+	// unexpected[i][seq] holds inbound data packets (eager payloads and
+	// RTS announcements) with no matching receive yet, keyed by the
+	// i→me sequence space.
+	unexpected []map[uint64]*arrival
+	// earlyRTR[i][seq] holds RTRs that arrived before their Isend,
+	// keyed by the me→i sequence space (receiver-first case). RTS and
+	// RTR sequence ids live in opposite directed-pair spaces and must
+	// never share a map.
+	earlyRTR []map[uint64]header
+	// sendsBySeq[i][seq] routes RTR/DONE packets to in-flight sends.
+	sendsBySeq []map[uint64]*Request
+
+	// ANY_SOURCE locking per §IV-B3.
+	anyActive *Request
+	deferred  []*Request
+
+	// selfQueue holds loopback messages sent to self before the recv.
+	selfUnexpected map[uint64]*arrival
+	selfSendSeq    uint64
+	selfRecvSeq    uint64
+
+	wrSeq uint64
+	wrMap map[uint64]wrAction
+
+	// splitSeq numbers Comm.Split calls for consistent communicator
+	// ids (Split is collective, so every member sees the same count).
+	splitSeq int
+
+	Stats Stats
+}
+
+// ID returns this rank's number.
+func (r *Rank) ID() int { return r.id }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return r.w.Size() }
+
+// Proc returns the simulated process running this rank.
+func (r *Rank) Proc() *sim.Proc { return r.proc }
+
+// Now returns the current virtual time.
+func (r *Rank) Now() sim.Time { return r.proc.Now() }
+
+// World returns the owning world.
+func (r *Rank) World() *World { return r.w }
+
+// Mem allocates n bytes in this rank's memory domain (host memory for
+// host ranks, co-processor memory for DCFA/Phi ranks).
+func (r *Rank) Mem(n int) *machine.Buffer { return r.v.Domain().Alloc(n) }
+
+// Domain returns the memory domain this rank's buffers live in.
+func (r *Rank) Domain() *machine.Domain { return r.v.Domain() }
+
+// Loc returns where the rank's MPI software executes.
+func (r *Rank) Loc() machine.DomainKind { return r.v.Loc() }
+
+// trace records a protocol event when tracing is enabled.
+func (r *Rank) trace(kind, format string, args ...any) {
+	if tr := r.w.Cfg.Trace; tr != nil {
+		tr.Log(r.proc.Now(), fmt.Sprintf("rank%d", r.id), kind, format, args...)
+	}
+}
+
+// MRCacheStats reports buffer-cache-pool hits and misses.
+func (r *Rank) MRCacheStats() (hits, misses int64) {
+	return r.mrCache.Hits, r.mrCache.Misses
+}
+
+// setup builds this rank's verbs resources (phase 1 of bootstrap).
+func (r *Rank) setup(p *sim.Proc) error {
+	cfg := r.w.Cfg
+	r.pd = r.v.AllocPD(p)
+	r.cq = r.v.CreateCQ(p, 1<<16)
+	r.mrCache = NewMRCache(r.v, r.pd, cfg.MRCacheCap)
+	n := r.w.Size()
+	r.peers = make([]*peerState, n)
+	r.sendSeq = make([]uint64, n)
+	r.recvSeq = make([]uint64, n)
+	r.expRecv = make([]map[uint64]*Request, n)
+	r.unexpected = make([]map[uint64]*arrival, n)
+	r.earlyRTR = make([]map[uint64]header, n)
+	r.sendsBySeq = make([]map[uint64]*Request, n)
+	r.selfUnexpected = make(map[uint64]*arrival)
+	r.wrMap = make(map[uint64]wrAction)
+	dom := r.v.Domain()
+	for i := 0; i < n; i++ {
+		r.expRecv[i] = make(map[uint64]*Request)
+		r.unexpected[i] = make(map[uint64]*arrival)
+		r.earlyRTR[i] = make(map[uint64]header)
+		r.sendsBySeq[i] = make(map[uint64]*Request)
+		if i == r.id {
+			continue
+		}
+		ps := &peerState{}
+		ps.qp = r.v.CreateQP(p, r.pd, r.cq, r.cq)
+		var err error
+		ps.in, err = newRing(p, r.v, r.pd, dom, cfg.EagerSlots, cfg.EagerMax)
+		if err != nil {
+			return err
+		}
+		ps.staging = dom.Alloc(slotBytes(cfg.EagerMax))
+		ps.stagingMR, err = r.v.RegMR(p, r.pd, dom, ps.staging.Addr, len(ps.staging.Data))
+		if err != nil {
+			return err
+		}
+		r.peers[i] = ps
+	}
+	if cfg.Offload && r.v.SupportsOffload() {
+		var err error
+		r.arena, err = newOffArena(p, r.v, cfg.OffloadArena)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// connect wires QPs and ring descriptors against every peer (phase 2;
+// the out-of-band bootstrap a process manager would provide).
+func (r *Rank) connect(p *sim.Proc) error {
+	for i, ps := range r.peers {
+		if ps == nil {
+			continue
+		}
+		other := r.w.ranks[i].peers[r.id]
+		if err := ps.qp.Connect(r.w.ranks[i].v.HCA().LID, other.qp.QPN); err != nil {
+			return err
+		}
+		ps.out = other.in.desc()
+		ps.credits = ps.out.slots
+	}
+	return nil
+}
+
+// finalize drains queued outbound control packets and credit-starved
+// sends before the rank exits (MPI_Finalize semantics): a DONE stuck
+// behind ring flow control must still reach its peer or the peer hangs.
+func (r *Rank) finalize(p *sim.Proc) {
+	for {
+		pending := false
+		for _, ps := range r.peers {
+			if ps != nil && (len(ps.pendingCtrl) > 0 || len(ps.pendingSends) > 0) {
+				pending = true
+				break
+			}
+		}
+		if !pending {
+			return
+		}
+		if !r.progress(p) {
+			r.v.HCA().Doorbell.Wait(p)
+		}
+	}
+}
+
+// nextWR allocates a work-request id and registers its routing.
+func (r *Rank) nextWR(a wrAction) uint64 {
+	r.wrSeq++
+	r.wrMap[r.wrSeq] = a
+	return r.wrSeq
+}
+
+// sendPacket assembles and RDMA-writes one packet into the peer's ring.
+// The caller must hold a credit (credits > 0). Consumed local slots are
+// piggybacked back as credits on every outgoing header.
+func (r *Rank) sendPacket(p *sim.Proc, dst int, h header, payload []byte, act wrAction) error {
+	ps := r.peers[dst]
+	if ps.credits <= 0 {
+		panic("core: sendPacket without credit")
+	}
+	ps.credits--
+	h.src = uint16(r.id)
+	h.payload = len(payload)
+	h.credits = uint32(ps.toReturn)
+	ps.toReturn = 0
+	s := ps.staging.Data
+	h.encode(s[:hdrSize])
+	if len(payload) > 0 {
+		// The eager copy into the preregistered global buffer.
+		copy(s[hdrSize:hdrSize+len(payload)], payload)
+		p.Sleep(r.w.Plat.CopyCost(r.v.Loc(), len(payload)))
+	}
+	binary.LittleEndian.PutUint64(s[hdrSize+len(payload):], tailMarker(h.seq))
+	slot := ps.nextSlot
+	ps.nextSlot = (ps.nextSlot + 1) % ps.out.slots
+	// Header SGE + data SGE + tail SGE, as the paper lays the packet out.
+	sgl := []ib.SGE{
+		{Addr: ps.staging.Addr, Len: hdrSize, LKey: ps.stagingMR.LKey},
+	}
+	if len(payload) > 0 {
+		sgl = append(sgl, ib.SGE{Addr: ps.staging.Addr + hdrSize, Len: len(payload), LKey: ps.stagingMR.LKey})
+	}
+	sgl = append(sgl, ib.SGE{Addr: ps.staging.Addr + uint64(hdrSize+len(payload)), Len: tailSize, LKey: ps.stagingMR.LKey})
+	wr := &ib.SendWR{
+		WRID:     r.nextWR(act),
+		Opcode:   ib.OpRDMAWrite,
+		SGL:      sgl,
+		Remote:   ib.RemoteAddr{Addr: ps.out.slotAddr(slot), RKey: ps.out.rkey},
+		Signaled: true,
+	}
+	return r.v.PostSend(p, ps.qp, wr)
+}
+
+// ---- Point-to-point API ----
+
+// Isend starts a nonblocking send of s to dst with tag.
+func (r *Rank) Isend(p *sim.Proc, dst, tag int, s Slice) (*Request, error) {
+	if dst < 0 || dst >= r.w.Size() {
+		return nil, ErrBadRank
+	}
+	p.Sleep(r.w.Plat.MPIPerMsg(r.v.Loc()))
+	r.Stats.MsgsSent++
+	r.Stats.BytesSent += int64(s.N)
+	req := &Request{r: r, isSend: true, peer: dst, tag: tag, slice: s}
+	if dst == r.id {
+		r.selfSend(p, req)
+		return req, nil
+	}
+	req.seq = r.sendSeq[dst]
+	r.sendSeq[dst]++
+	req.hasSeq = true
+	// Drain arrived packets first: an RTR for this very sequence id may
+	// already be waiting (receiver-first), which changes the protocol.
+	r.progress(p)
+	if s.N <= r.w.Cfg.EagerMax {
+		r.Stats.EagerSends++
+		r.trySendEager(p, req)
+		return req, nil
+	}
+	return req, r.startRendezvousSend(p, req)
+}
+
+// trySendEager posts the eager packet now or queues it for credit.
+func (r *Rank) trySendEager(p *sim.Proc, req *Request) {
+	// Sender-eager / receiver-rendezvous mis-prediction where the RTR
+	// arrived before this send was even posted: drop it — the sequence
+	// id guarantees it belonged to this send only.
+	if _, ok := r.earlyRTR[req.peer][req.seq]; ok {
+		delete(r.earlyRTR[req.peer], req.seq)
+		r.trace("mispredict-rtr-drop", "from=%d seq=%d (pre-posted)", req.peer, req.seq)
+	}
+	ps := r.peers[req.peer]
+	if ps.credits <= 1 {
+		req.state = stEagerQueued
+		ps.pendingSends = append(ps.pendingSends, req)
+		return
+	}
+	h := header{kind: pktEager, tag: int32(req.tag), seq: req.seq}
+	if err := r.sendPacket(p, req.peer, h, req.slice.Bytes(), wrAction{kind: wrEager, req: req}); err != nil {
+		req.complete(p, err)
+		return
+	}
+	req.state = stEagerSent
+	r.trace("eager-send", "to=%d seq=%d n=%d", req.peer, req.seq, req.slice.N)
+}
+
+// startRendezvousSend stages (or registers) the send buffer, then either
+// answers an already-arrived RTR (receiver-first) or sends an RTS
+// (sender-first).
+func (r *Rank) startRendezvousSend(p *sim.Proc, req *Request) error {
+	r.Stats.RndvSends++
+	s := req.slice
+	useOffload := r.arena != nil && s.N >= r.w.Cfg.OffloadMinSize
+	if useOffload {
+		if reg := r.arena.alloc(s.N); reg != nil {
+			// sync_offload_mr: stage the latest data into the host
+			// bounce buffer through the DMA engine before any send.
+			if err := r.arena.sync(p, reg, s.Bytes()); err != nil {
+				return err
+			}
+			req.offReg = reg
+			req.advAddr = reg.addr()
+			req.advKey = reg.rkey()
+			r.Stats.OffloadedSends++
+			r.trace("offload-sync", "to=%d seq=%d n=%d staged", req.peer, req.seq, s.N)
+		} else {
+			useOffload = false
+		}
+	}
+	if !useOffload {
+		mr, err := r.mrCache.Get(p, s.Buf.Dom, s.Addr(), s.N)
+		if err != nil {
+			return err
+		}
+		req.advAddr = s.Addr()
+		req.advKey = mr.RKey
+		req.srcMR = mr
+		req.heldMRs = append(req.heldMRs, mr)
+	}
+	r.sendsBySeq[req.peer][req.seq] = req
+
+	// Receiver-first: an RTR for this sequence may already be here.
+	if rtr, ok := r.earlyRTR[req.peer][req.seq]; ok {
+		delete(r.earlyRTR[req.peer], req.seq)
+		r.trace("recv-first", "to=%d seq=%d RTR was waiting", req.peer, req.seq)
+		return r.rndvWrite(p, req, rtr)
+	}
+	h := header{kind: pktRTS, tag: int32(req.tag), seq: req.seq, raddr: req.advAddr, rkey: req.advKey, rsize: s.N}
+	if err := r.ctrlSend(p, req.peer, h); err != nil {
+		return err
+	}
+	req.state = stRTSSent
+	r.trace("rts-send", "to=%d seq=%d n=%d", req.peer, req.seq, s.N)
+	return nil
+}
+
+// rndvWrite performs the receiver-first protocol's RDMA write into the
+// buffer advertised by the RTR, followed by a DONE packet on completion.
+func (r *Rank) rndvWrite(p *sim.Proc, req *Request, rtr header) error {
+	if req.slice.N > rtr.rsize {
+		// Receiver-first truncation: abort both sides.
+		delete(r.sendsBySeq[req.peer], req.seq)
+		req.complete(p, ErrTruncate)
+		return r.ctrlSend(p, req.peer, header{kind: pktNack, seq: req.seq})
+	}
+	var sgl []ib.SGE
+	if req.offReg != nil {
+		sgl = []ib.SGE{{Addr: req.advAddr, Len: req.slice.N, LKey: req.offReg.lkey()}}
+	} else {
+		// Reuse the registration advertised with the RTS; it is pinned
+		// until this request completes.
+		sgl = []ib.SGE{{Addr: req.slice.Addr(), Len: req.slice.N, LKey: req.srcMR.LKey}}
+	}
+	wr := &ib.SendWR{
+		WRID:     r.nextWR(wrAction{kind: wrRndvWrite, req: req}),
+		Opcode:   ib.OpRDMAWrite,
+		SGL:      sgl,
+		Remote:   ib.RemoteAddr{Addr: rtr.raddr, RKey: rtr.rkey},
+		Signaled: true,
+	}
+	req.state = stWriting
+	r.trace("rdma-write", "to=%d seq=%d n=%d", req.peer, req.seq, req.slice.N)
+	return r.v.PostSend(p, r.peers[req.peer].qp, wr)
+}
+
+// ctrlSend transmits a zero-payload control packet (control packets
+// share the eager rings); with no credit available it is queued and
+// drained by progress. Sequence-id matching makes the resulting
+// reordering harmless.
+func (r *Rank) ctrlSend(p *sim.Proc, dst int, h header) error {
+	ps := r.peers[dst]
+	if ps.credits <= 1 || len(ps.pendingCtrl) > 0 {
+		ps.pendingCtrl = append(ps.pendingCtrl, h)
+		return nil
+	}
+	return r.sendPacket(p, dst, h, nil, wrAction{kind: wrCtrl, peer: dst})
+}
+
+// Irecv starts a nonblocking receive into s from src (or AnySource)
+// with tag (or AnyTag).
+func (r *Rank) Irecv(p *sim.Proc, src, tag int, s Slice) (*Request, error) {
+	if src != AnySource && (src < 0 || src >= r.w.Size()) {
+		return nil, ErrBadRank
+	}
+	req := &Request{r: r, peer: src, tag: tag, anyTag: tag == AnyTag, slice: s}
+	if src == r.id {
+		r.selfRecv(p, req)
+		return req, nil
+	}
+	// Drain arrived packets first: an RTS already in the ring turns a
+	// would-be receiver-first handshake into a direct sender-first read.
+	r.progress(p)
+	if src == AnySource {
+		// §IV-B3: an ANY_SOURCE receive locks sequence assignment for
+		// all later receives until it finds its match.
+		if r.anyActive == nil {
+			r.anyActive = req
+			r.matchAnyAgainstUnexpected(p)
+		} else {
+			r.deferred = append(r.deferred, req)
+		}
+		return req, nil
+	}
+	if r.anyActive != nil {
+		// Locked: later receives cannot get a sequence id yet.
+		r.deferred = append(r.deferred, req)
+		return req, nil
+	}
+	r.bindRecv(p, req, src)
+	return req, nil
+}
+
+// bindRecv assigns the next per-pair sequence id to a receive and
+// matches it against unexpected arrivals, possibly sending an RTR.
+func (r *Rank) bindRecv(p *sim.Proc, req *Request, src int) {
+	req.peer = src
+	req.seq = r.recvSeq[src]
+	r.recvSeq[src]++
+	req.hasSeq = true
+	if a, ok := r.unexpected[src][req.seq]; ok {
+		delete(r.unexpected[src], req.seq)
+		r.matchArrival(p, req, a)
+		return
+	}
+	r.expRecv[src][req.seq] = req
+	req.state = stPosted
+	if req.slice.N > r.w.Cfg.EagerMax {
+		// Receiver-first rendezvous: advertise the receive buffer.
+		mr, err := r.mrCache.Get(p, req.slice.Buf.Dom, req.slice.Addr(), req.slice.N)
+		if err != nil {
+			req.complete(p, err)
+			delete(r.expRecv[src], req.seq)
+			return
+		}
+		req.heldMRs = append(req.heldMRs, mr)
+		h := header{kind: pktRTR, tag: int32(req.tag), seq: req.seq, raddr: req.slice.Addr(), rkey: mr.RKey, rsize: req.slice.N}
+		if err := r.ctrlSend(p, src, h); err != nil {
+			req.complete(p, err)
+			delete(r.expRecv[src], req.seq)
+			return
+		}
+		req.state = stRTRWait
+		r.trace("rtr-send", "to=%d seq=%d n=%d", src, req.seq, req.slice.N)
+	}
+}
+
+// tagsMatch applies MPI tag-matching rules between a receive request and
+// a packet header.
+func tagsMatch(req *Request, h header) bool {
+	if req.anyTag || h.anyTag {
+		return true
+	}
+	return int32(req.tag) == h.tag
+}
+
+// matchArrival pairs a posted receive with an unexpected arrival
+// (eager payload or RTS).
+func (r *Rank) matchArrival(p *sim.Proc, req *Request, a *arrival) {
+	if !tagsMatch(req, a.h) {
+		req.complete(p, ErrTagMismatch)
+		return
+	}
+	switch a.h.kind {
+	case pktEager:
+		if a.h.payload > req.slice.N {
+			req.complete(p, ErrTruncate)
+			return
+		}
+		copy(req.slice.Bytes(), a.data)
+		p.Sleep(r.w.Plat.CopyCost(r.v.Loc(), a.h.payload))
+		req.status = Status{Source: int(a.h.src), Tag: int(a.h.tag), Len: a.h.payload}
+		req.complete(p, nil)
+	case pktRTS:
+		r.startRead(p, req, a.h)
+	default:
+		panic(fmt.Sprintf("core: arrival of kind %d cannot match a receive", a.h.kind))
+	}
+}
+
+// startRead runs the sender-first protocol's receiver half: RDMA read
+// from the advertised buffer, then DONE.
+func (r *Rank) startRead(p *sim.Proc, req *Request, rts header) {
+	if rts.rsize > req.slice.N {
+		// Sender-rendezvous / receiver-eager mis-prediction: the send is
+		// larger than the receive; the receiver issues an MPI error. A
+		// NACK is still sent so the sender does not hang.
+		req.complete(p, ErrTruncate)
+		if err := r.ctrlSend(p, int(rts.src), header{kind: pktNack, seq: rts.seq}); err != nil {
+			panic(err)
+		}
+		return
+	}
+	mr, err := r.mrCache.Get(p, req.slice.Buf.Dom, req.slice.Addr(), rts.rsize)
+	if err != nil {
+		req.complete(p, err)
+		return
+	}
+	req.heldMRs = append(req.heldMRs, mr)
+	req.peer = int(rts.src)
+	req.status = Status{Source: int(rts.src), Tag: int(rts.tag), Len: rts.rsize}
+	wr := &ib.SendWR{
+		WRID:     r.nextWR(wrAction{kind: wrRndvRead, req: req, peer: int(rts.src)}),
+		Opcode:   ib.OpRDMARead,
+		SGL:      []ib.SGE{{Addr: req.slice.Addr(), Len: rts.rsize, LKey: mr.LKey}},
+		Remote:   ib.RemoteAddr{Addr: rts.raddr, RKey: rts.rkey},
+		Signaled: true,
+	}
+	req.state = stReading
+	req.seq = rts.seq
+	r.trace("rdma-read", "from=%d seq=%d n=%d", rts.src, rts.seq, rts.rsize)
+	if err := r.v.PostSend(p, r.peers[int(rts.src)].qp, wr); err != nil {
+		req.complete(p, err)
+	}
+}
+
+// matchAnyAgainstUnexpected tries to satisfy the active ANY_SOURCE
+// receive from already-arrived packets: the first packet whose sequence
+// id is the next expected for its pair and whose tag matches.
+func (r *Rank) matchAnyAgainstUnexpected(p *sim.Proc) {
+	req := r.anyActive
+	if req == nil {
+		return
+	}
+	for src := 0; src < r.w.Size(); src++ {
+		if src == r.id {
+			continue
+		}
+		next := r.recvSeq[src]
+		a, ok := r.unexpected[src][next]
+		if !ok || !tagsMatch(req, a.h) {
+			continue
+		}
+		delete(r.unexpected[src], next)
+		r.recvSeq[src]++
+		req.hasSeq = true
+		req.seq = next
+		r.anyActive = nil
+		r.matchArrival(p, req, a)
+		r.drainDeferred(p)
+		return
+	}
+}
+
+// drainDeferred assigns sequence ids to receives that were blocked by
+// the ANY_SOURCE lock, in posting order, stopping if another ANY_SOURCE
+// receive re-locks.
+func (r *Rank) drainDeferred(p *sim.Proc) {
+	for len(r.deferred) > 0 && r.anyActive == nil {
+		req := r.deferred[0]
+		r.deferred = r.deferred[1:]
+		if req.peer == AnySource {
+			r.anyActive = req
+			r.matchAnyAgainstUnexpected(p)
+			return
+		}
+		r.bindRecv(p, req, req.peer)
+	}
+}
+
+// ---- Self (loopback) messaging ----
+
+func (r *Rank) selfSend(p *sim.Proc, req *Request) {
+	r.Stats.SelfMsgs++
+	seq := r.selfSendSeq
+	r.selfSendSeq++
+	if rr, ok := r.expRecv[r.id][seq]; ok {
+		delete(r.expRecv[r.id], seq)
+		r.deliverSelf(p, req, rr)
+		return
+	}
+	data := make([]byte, req.slice.N)
+	copy(data, req.slice.Bytes())
+	r.selfUnexpected[seq] = &arrival{h: header{kind: pktEager, src: uint16(r.id), tag: int32(req.tag), seq: seq, payload: req.slice.N}, data: data}
+	req.complete(p, nil)
+}
+
+func (r *Rank) selfRecv(p *sim.Proc, req *Request) {
+	seq := r.selfRecvSeq
+	r.selfRecvSeq++
+	req.seq = seq
+	if a, ok := r.selfUnexpected[seq]; ok {
+		delete(r.selfUnexpected, seq)
+		if !tagsMatch(req, a.h) {
+			req.complete(p, ErrTagMismatch)
+			return
+		}
+		if a.h.payload > req.slice.N {
+			req.complete(p, ErrTruncate)
+			return
+		}
+		copy(req.slice.Bytes(), a.data)
+		p.Sleep(r.w.Plat.CopyCost(r.v.Loc(), a.h.payload))
+		req.status = Status{Source: r.id, Tag: int(a.h.tag), Len: a.h.payload}
+		req.complete(p, nil)
+		return
+	}
+	r.expRecv[r.id][seq] = req
+	req.state = stPosted
+}
+
+func (r *Rank) deliverSelf(p *sim.Proc, send, recv *Request) {
+	if !tagsMatch(recv, header{tag: int32(send.tag)}) {
+		send.complete(p, nil)
+		recv.complete(p, ErrTagMismatch)
+		return
+	}
+	if send.slice.N > recv.slice.N {
+		send.complete(p, nil)
+		recv.complete(p, ErrTruncate)
+		return
+	}
+	copy(recv.slice.Bytes(), send.slice.Bytes())
+	p.Sleep(r.w.Plat.CopyCost(r.v.Loc(), send.slice.N))
+	recv.status = Status{Source: r.id, Tag: send.tag, Len: send.slice.N}
+	send.complete(p, nil)
+	recv.complete(p, nil)
+}
+
+// ---- Progress engine ----
+
+// progress drives all protocol state: consumes ring packets, drains the
+// CQ, returns credits and retries credit-starved sends. It reports
+// whether any work was done.
+func (r *Rank) progress(p *sim.Proc) bool {
+	did := false
+	// Ring packets, per peer, in order.
+	for i, ps := range r.peers {
+		if ps == nil {
+			continue
+		}
+		for {
+			h, payload, ok := ps.in.peek()
+			if !ok {
+				break
+			}
+			p.Sleep(r.w.Plat.PollCost(r.v.Loc()) + r.v.RecvOverhead(h.payload))
+			r.handlePacket(p, i, h, payload)
+			ps.in.consume()
+			ps.toReturn++
+			did = true
+		}
+	}
+	// Completions.
+	for {
+		cqes := r.cq.Poll(p, 16)
+		if len(cqes) == 0 {
+			break
+		}
+		for _, e := range cqes {
+			r.handleCQE(p, e)
+		}
+		did = true
+	}
+	// Retry credit-starved control packets, then eager sends.
+	for i, ps := range r.peers {
+		if ps == nil {
+			continue
+		}
+		for ps.credits > 1 && len(ps.pendingCtrl) > 0 {
+			h := ps.pendingCtrl[0]
+			ps.pendingCtrl = ps.pendingCtrl[1:]
+			if err := r.sendPacket(p, i, h, nil, wrAction{kind: wrCtrl, peer: i}); err != nil {
+				panic(err)
+			}
+			did = true
+		}
+		for ps.credits > 1 && len(ps.pendingSends) > 0 {
+			req := ps.pendingSends[0]
+			ps.pendingSends = ps.pendingSends[1:]
+			h := header{kind: pktEager, tag: int32(req.tag), seq: req.seq}
+			if err := r.sendPacket(p, i, h, req.slice.Bytes(), wrAction{kind: wrEager, req: req}); err != nil {
+				req.complete(p, err)
+				continue
+			}
+			req.state = stEagerSent
+			did = true
+		}
+		// Explicit credit return only when the peer is about to starve:
+		// normal bidirectional traffic returns credits by piggyback. One
+		// ring slot per direction is reserved for these (data-class
+		// packets stop at credits==1), so a starved pair always
+		// unwedges: reaching credits==0 implies a credit packet is in
+		// flight toward the peer.
+		if ps.toReturn >= ps.out.slots-1 && ps.credits > 0 {
+			h := header{kind: pktCredit, seq: 0}
+			if err := r.sendPacket(p, i, h, nil, wrAction{kind: wrCtrl, peer: i}); err == nil {
+				r.Stats.CreditPackets++
+				r.trace("credit", "to=%d returned", i)
+				did = true
+			}
+		}
+	}
+	return did
+}
+
+// handlePacket dispatches one ring packet.
+func (r *Rank) handlePacket(p *sim.Proc, src int, h header, payload []byte) {
+	ps := r.peers[src]
+	ps.credits += int(h.credits)
+	switch h.kind {
+	case pktCredit:
+		// Credits already applied.
+	case pktEager, pktRTS:
+		// Try the posted receive for this (pair, seq) first.
+		if req, ok := r.expRecv[src][h.seq]; ok {
+			delete(r.expRecv[src], h.seq)
+			if h.kind == pktEager && req.state == stRTRWait {
+				// Sender-eager / receiver-rendezvous mis-prediction: the
+				// receiver recognizes it on the eager packet, copies the
+				// data and completes; its earlier RTR will be dropped by
+				// the sender thanks to the sequence id.
+				r.matchArrival(p, req, &arrival{h: h, data: payload})
+				return
+			}
+			r.matchArrival(p, req, &arrival{h: h, data: payload})
+			return
+		}
+		// Then the ANY_SOURCE receive: it takes its sequence id from the
+		// first matching packet.
+		if r.anyActive != nil && h.seq == r.recvSeq[src] && tagsMatch(r.anyActive, h) {
+			r.trace("any-source-match", "from=%d seq=%d", src, h.seq)
+			req := r.anyActive
+			r.anyActive = nil
+			r.recvSeq[src]++
+			req.seq = h.seq
+			req.hasSeq = true
+			r.matchArrival(p, req, &arrival{h: h, data: payload})
+			r.drainDeferred(p)
+			return
+		}
+		// Unexpected: copy eager payloads out of the ring so the slot
+		// can be recycled.
+		a := &arrival{h: h}
+		if h.kind == pktEager && h.payload > 0 {
+			a.data = make([]byte, h.payload)
+			copy(a.data, payload)
+			p.Sleep(r.w.Plat.CopyCost(r.v.Loc(), h.payload))
+		}
+		r.unexpected[src][h.seq] = a
+		r.Stats.Unexpected++
+	case pktRTR:
+		if req, ok := r.sendsBySeq[src][h.seq]; ok {
+			switch req.state {
+			case stRTSSent:
+				// Simultaneous send/receive rendezvous: the sender
+				// disregards the RTR and waits for the receiver's read.
+				r.trace("simultaneous-rtr-drop", "from=%d seq=%d", src, h.seq)
+			case stEagerSent, stEagerQueued, stDone:
+				// Sender-eager mis-prediction: drop the RTR; the
+				// sequence id guarantees it belonged to this send only.
+				r.trace("mispredict-rtr-drop", "from=%d seq=%d", src, h.seq)
+			default:
+				if err := r.rndvWrite(p, req, h); err != nil {
+					req.complete(p, err)
+				}
+			}
+			return
+		}
+		// RTR before the local Isend (receiver-first): stash it in the
+		// outbound sequence space.
+		r.earlyRTR[src][h.seq] = h
+	case pktDone:
+		if req, ok := r.sendsBySeq[src][h.seq]; ok {
+			delete(r.sendsBySeq[src], h.seq)
+			req.complete(p, nil)
+			return
+		}
+		if req, ok := r.expRecv[src][h.seq]; ok {
+			delete(r.expRecv[src], h.seq)
+			req.status = Status{Source: src, Tag: req.tag, Len: h.rsize}
+			req.complete(p, nil)
+			return
+		}
+		panic(fmt.Sprintf("core: rank %d: DONE from %d seq %d matches nothing", r.id, src, h.seq))
+	case pktNack:
+		if req, ok := r.sendsBySeq[src][h.seq]; ok {
+			delete(r.sendsBySeq[src], h.seq)
+			req.complete(p, ErrTruncate)
+			return
+		}
+		if req, ok := r.expRecv[src][h.seq]; ok {
+			delete(r.expRecv[src], h.seq)
+			req.complete(p, ErrTruncate)
+			return
+		}
+		panic(fmt.Sprintf("core: rank %d: NACK from %d seq %d matches nothing", r.id, src, h.seq))
+	default:
+		panic(fmt.Sprintf("core: rank %d: unknown packet kind %d", r.id, h.kind))
+	}
+}
+
+// handleCQE routes one completion.
+func (r *Rank) handleCQE(p *sim.Proc, e ib.CQE) {
+	act, ok := r.wrMap[e.WRID]
+	if !ok {
+		panic(fmt.Sprintf("core: rank %d: completion for unknown WR %d", r.id, e.WRID))
+	}
+	delete(r.wrMap, e.WRID)
+	if e.Status != ib.StatusSuccess {
+		if act.req != nil {
+			act.req.complete(p, fmt.Errorf("core: work request failed: %v", e.Status))
+		}
+		return
+	}
+	switch act.kind {
+	case wrEager:
+		act.req.complete(p, nil)
+	case wrCtrl:
+		// Control packet delivered; nothing to do.
+	case wrRndvWrite:
+		// Receiver-first write done: tell the receiver.
+		req := act.req
+		delete(r.sendsBySeq[req.peer], req.seq)
+		done := header{kind: pktDone, seq: req.seq, rsize: req.slice.N}
+		if err := r.ctrlSend(p, req.peer, done); err != nil {
+			req.complete(p, err)
+			return
+		}
+		req.complete(p, nil)
+	case wrRndvRead:
+		// Sender-first read done: tell the sender.
+		req := act.req
+		done := header{kind: pktDone, seq: req.seq, rsize: req.status.Len}
+		if err := r.ctrlSend(p, act.peer, done); err != nil {
+			req.complete(p, err)
+			return
+		}
+		req.complete(p, nil)
+	}
+}
+
+// Wait blocks until the request completes, driving progress.
+func (r *Rank) Wait(p *sim.Proc, req *Request) (Status, error) {
+	for !req.completed {
+		if !r.progress(p) {
+			r.v.HCA().Doorbell.Wait(p)
+		}
+	}
+	return req.status, req.err
+}
+
+// WaitAll waits for every request; the first error wins.
+func (r *Rank) WaitAll(p *sim.Proc, reqs ...*Request) error {
+	var first error
+	for _, q := range reqs {
+		if _, err := r.Wait(p, q); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Test drives progress once and reports whether the request completed.
+func (r *Rank) Test(p *sim.Proc, req *Request) bool {
+	if !req.completed {
+		r.progress(p)
+	}
+	return req.completed
+}
+
+// Send is the blocking send.
+func (r *Rank) Send(p *sim.Proc, dst, tag int, s Slice) error {
+	req, err := r.Isend(p, dst, tag, s)
+	if err != nil {
+		return err
+	}
+	_, err = r.Wait(p, req)
+	return err
+}
+
+// Recv is the blocking receive.
+func (r *Rank) Recv(p *sim.Proc, src, tag int, s Slice) (Status, error) {
+	req, err := r.Irecv(p, src, tag, s)
+	if err != nil {
+		return Status{}, err
+	}
+	return r.Wait(p, req)
+}
+
+// Sendrecv runs a simultaneous blocking exchange.
+func (r *Rank) Sendrecv(p *sim.Proc, dst, stag int, sbuf Slice, src, rtag int, rbuf Slice) (Status, error) {
+	sreq, err := r.Isend(p, dst, stag, sbuf)
+	if err != nil {
+		return Status{}, err
+	}
+	rreq, err := r.Irecv(p, src, rtag, rbuf)
+	if err != nil {
+		return Status{}, err
+	}
+	if _, err := r.Wait(p, sreq); err != nil {
+		return Status{}, err
+	}
+	return r.Wait(p, rreq)
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"repro/internal/ib"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Slice is a contiguous range of a rank-local buffer, the unit all MPI
+// operations act on. Buffers must live in the rank's memory domain so
+// that zero-copy rendezvous can register them.
+type Slice struct {
+	Buf *machine.Buffer
+	Off int
+	N   int
+}
+
+// Whole wraps an entire buffer.
+func Whole(b *machine.Buffer) Slice { return Slice{Buf: b, N: len(b.Data)} }
+
+// Bytes returns the addressed range.
+func (s Slice) Bytes() []byte {
+	if s.Buf == nil {
+		return nil
+	}
+	return s.Buf.Data[s.Off : s.Off+s.N]
+}
+
+// Addr returns the device address of the range start.
+func (s Slice) Addr() uint64 { return s.Buf.Addr + uint64(s.Off) }
+
+// Sub returns the sub-range [off, off+n) relative to s.
+func (s Slice) Sub(off, n int) Slice { return Slice{Buf: s.Buf, Off: s.Off + off, N: n} }
+
+// Status describes a completed receive.
+type Status struct {
+	Source int
+	Tag    int
+	Len    int
+}
+
+// reqState tracks a request through its protocol.
+type reqState int
+
+const (
+	stNew         reqState = iota
+	stEagerQueued          // eager send waiting for ring credit
+	stEagerSent            // eager packet posted, awaiting local CQE
+	stRTSSent              // sender-first rendezvous: RTS out, waiting DONE
+	stWriting              // receiver-first rendezvous: RDMA write in flight
+	stPosted               // recv posted, nothing matched yet
+	stReading              // recv: RDMA read in flight
+	stRTRWait              // recv sent RTR, waiting for sender's write + DONE
+	stDone
+)
+
+// Request is a nonblocking operation handle.
+type Request struct {
+	r      *Rank
+	isSend bool
+	peer   int // destination, or matched source for receives
+	tag    int
+	anyTag bool
+	seq    uint64
+	hasSeq bool
+	slice  Slice
+
+	state     reqState
+	completed bool
+	err       error
+	status    Status
+
+	// Send-side rendezvous resources.
+	offReg  *offRegion
+	advAddr uint64
+	advKey  uint32
+	// srcMR is the cached registration advertised by a non-offloaded
+	// rendezvous send (reused by the receiver-first write).
+	srcMR *ib.MR
+	// heldMRs are cache pins released at completion.
+	heldMRs []*ib.MR
+}
+
+// Done reports completion (poll without progress; use Rank.Test to also
+// drive the protocol).
+func (q *Request) Done() bool { return q.completed }
+
+// Err returns the request error after completion.
+func (q *Request) Err() error { return q.err }
+
+// Status returns receive metadata after completion.
+func (q *Request) Status() Status { return q.status }
+
+// complete finalizes a request, releasing its staging and cache pins.
+func (q *Request) complete(p *sim.Proc, err error) {
+	if q.completed {
+		return
+	}
+	q.completed = true
+	q.err = err
+	q.state = stDone
+	if q.offReg != nil {
+		q.offReg.arena.release(q.offReg)
+		q.offReg = nil
+	}
+	for _, mr := range q.heldMRs {
+		q.r.mrCache.Release(p, mr)
+	}
+	q.heldMRs = nil
+}
+
+// arrival is a packet that reached the rank before its matching receive
+// was posted (the unexpected queue), or an RTR that reached the sender
+// before its Isend (receiver-first case).
+type arrival struct {
+	h    header
+	data []byte // eager payload, copied out of the ring
+}
+
+// wrAction routes a CQ entry back to protocol state.
+type wrKind int
+
+const (
+	wrEager wrKind = iota
+	wrCtrl
+	wrRndvWrite
+	wrRndvRead
+)
+
+type wrAction struct {
+	kind wrKind
+	req  *Request
+	peer int
+}

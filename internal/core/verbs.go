@@ -1,0 +1,133 @@
+// Package core implements DCFA-MPI: the paper's MPI point-to-point and
+// collective layer over the DCFA InfiniBand interface, including the
+// four communication protocols of §IV-B3 (Eager, Sender-First
+// Rendezvous, Receiver-First Rendezvous, Simultaneous Send/Receive
+// Rendezvous), per-pair sequence ids with the MPI_ANY_SOURCE locking
+// scheme, the memory-region cache pool, and the §IV-B4 offloading
+// send-buffer design.
+//
+// As in the paper, request matching is ordered by per-pair sequence
+// ids: the k-th send from a rank pairs with the k-th receive posted for
+// that rank, tags are verified (MPI_ANY_TAG matches anything), and
+// Eager/Rendezvous mis-predictions are resolved exactly as §IV-B3
+// prescribes.
+package core
+
+import (
+	"repro/internal/dcfa"
+	"repro/internal/ib"
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Verbs abstracts the InfiniBand provider under one MPI rank, so the
+// same protocol engine runs over DCFA on the co-processor, plain host
+// verbs (the YAMPII-like host MPI reference), or a proxied path (the
+// 'Intel MPI on Xeon Phi' baseline).
+type Verbs interface {
+	// Loc is where the MPI software executes (host or co-processor).
+	Loc() machine.DomainKind
+	// Domain is the memory the rank's buffers live in.
+	Domain() *machine.Domain
+	// HCA is the adapter used by this rank.
+	HCA() *ib.HCA
+
+	AllocPD(p *sim.Proc) *ib.PD
+	CreateCQ(p *sim.Proc, depth int) *ib.CQ
+	CreateQP(p *sim.Proc, pd *ib.PD, sendCQ, recvCQ *ib.CQ) *ib.QP
+	RegMR(p *sim.Proc, pd *ib.PD, dom *machine.Domain, addr uint64, n int) (*ib.MR, error)
+	DeregMR(p *sim.Proc, mr *ib.MR) error
+
+	PostSend(p *sim.Proc, qp *ib.QP, wr *ib.SendWR) error
+	PostRecv(p *sim.Proc, qp *ib.QP, wr *ib.RecvWR) error
+
+	// RecvOverhead is the provider's extra cost to deliver one inbound
+	// packet of n payload bytes to the MPI layer (zero for direct
+	// providers; the proxied Intel path pays the daemon's relay copy).
+	RecvOverhead(n int) sim.Duration
+
+	// Offload send-buffer extension; SupportsOffload reports whether
+	// the three reg/sync/dereg verbs are available.
+	SupportsOffload() bool
+	RegOffloadMR(p *sim.Proc, size int) (*dcfa.OffloadMR, error)
+	SyncOffloadMR(p *sim.Proc, omr *dcfa.OffloadMR, off int, src []byte) error
+	DeregOffloadMR(p *sim.Proc, omr *dcfa.OffloadMR) error
+}
+
+// DCFAVerbs adapts dcfa.MicVerbs to the Verbs interface: the DCFA-MPI
+// configuration, running on the co-processor with direct HCA access.
+type DCFAVerbs struct {
+	V *dcfa.MicVerbs
+}
+
+// Loc implements Verbs.
+func (d DCFAVerbs) Loc() machine.DomainKind    { return machine.MicMem }
+func (d DCFAVerbs) Domain() *machine.Domain    { return d.V.Node.Mic }
+func (d DCFAVerbs) HCA() *ib.HCA               { return d.V.HCA }
+func (d DCFAVerbs) AllocPD(p *sim.Proc) *ib.PD { return d.V.AllocPD(p) }
+func (d DCFAVerbs) CreateCQ(p *sim.Proc, depth int) *ib.CQ {
+	return d.V.CreateCQ(p, depth)
+}
+func (d DCFAVerbs) CreateQP(p *sim.Proc, pd *ib.PD, scq, rcq *ib.CQ) *ib.QP {
+	return d.V.CreateQP(p, pd, scq, rcq)
+}
+func (d DCFAVerbs) RegMR(p *sim.Proc, pd *ib.PD, dom *machine.Domain, addr uint64, n int) (*ib.MR, error) {
+	return d.V.RegMR(p, pd, dom, addr, n)
+}
+func (d DCFAVerbs) DeregMR(p *sim.Proc, mr *ib.MR) error { return d.V.DeregMR(p, mr) }
+func (d DCFAVerbs) PostSend(p *sim.Proc, qp *ib.QP, wr *ib.SendWR) error {
+	return qp.PostSend(p, wr)
+}
+func (d DCFAVerbs) PostRecv(p *sim.Proc, qp *ib.QP, wr *ib.RecvWR) error {
+	return qp.PostRecv(p, wr)
+}
+func (d DCFAVerbs) RecvOverhead(n int) sim.Duration { return 0 }
+func (d DCFAVerbs) SupportsOffload() bool           { return true }
+func (d DCFAVerbs) RegOffloadMR(p *sim.Proc, size int) (*dcfa.OffloadMR, error) {
+	return d.V.RegOffloadMR(p, size)
+}
+func (d DCFAVerbs) SyncOffloadMR(p *sim.Proc, omr *dcfa.OffloadMR, off int, src []byte) error {
+	return d.V.SyncOffloadMR(p, omr, off, src)
+}
+func (d DCFAVerbs) DeregOffloadMR(p *sim.Proc, omr *dcfa.OffloadMR) error {
+	return d.V.DeregOffloadMR(p, omr)
+}
+
+// HostVerbs adapts a plain host ib.Context: the host MPI reference the
+// paper compares against (YAMPII on the Xeon).
+type HostVerbs struct {
+	Ctx  *ib.Context
+	Node *machine.Node
+}
+
+func (h HostVerbs) Loc() machine.DomainKind    { return machine.HostMem }
+func (h HostVerbs) Domain() *machine.Domain    { return h.Node.Host }
+func (h HostVerbs) HCA() *ib.HCA               { return h.Ctx.HCA }
+func (h HostVerbs) AllocPD(p *sim.Proc) *ib.PD { return h.Ctx.AllocPD() }
+func (h HostVerbs) CreateCQ(p *sim.Proc, depth int) *ib.CQ {
+	return h.Ctx.CreateCQ(depth)
+}
+func (h HostVerbs) CreateQP(p *sim.Proc, pd *ib.PD, scq, rcq *ib.CQ) *ib.QP {
+	return h.Ctx.CreateQP(pd, scq, rcq)
+}
+func (h HostVerbs) RegMR(p *sim.Proc, pd *ib.PD, dom *machine.Domain, addr uint64, n int) (*ib.MR, error) {
+	return h.Ctx.RegMR(p, pd, dom, addr, n)
+}
+func (h HostVerbs) DeregMR(p *sim.Proc, mr *ib.MR) error { return h.Ctx.DeregMR(p, mr) }
+func (h HostVerbs) PostSend(p *sim.Proc, qp *ib.QP, wr *ib.SendWR) error {
+	return qp.PostSend(p, wr)
+}
+func (h HostVerbs) PostRecv(p *sim.Proc, qp *ib.QP, wr *ib.RecvWR) error {
+	return qp.PostRecv(p, wr)
+}
+func (h HostVerbs) RecvOverhead(n int) sim.Duration { return 0 }
+func (h HostVerbs) SupportsOffload() bool           { return false }
+func (h HostVerbs) RegOffloadMR(p *sim.Proc, size int) (*dcfa.OffloadMR, error) {
+	return nil, ErrNoOffload
+}
+func (h HostVerbs) SyncOffloadMR(p *sim.Proc, omr *dcfa.OffloadMR, off int, src []byte) error {
+	return ErrNoOffload
+}
+func (h HostVerbs) DeregOffloadMR(p *sim.Proc, omr *dcfa.OffloadMR) error {
+	return ErrNoOffload
+}

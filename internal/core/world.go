@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Config tunes the MPI library.
+type Config struct {
+	// EagerMax is the eager/rendezvous protocol switch in bytes.
+	EagerMax int
+	// EagerSlots is the per-peer eager ring depth.
+	EagerSlots int
+	// MRCacheCap is the buffer cache pool capacity.
+	MRCacheCap int
+	// Offload enables the offloading send-buffer design (only effective
+	// on providers that support it).
+	Offload bool
+	// OffloadMinSize is the message size at which offloading starts
+	// ("an offloading send buffer starting from 8Kbytes shows the best
+	// performance").
+	OffloadMinSize int
+	// OffloadArena is the persistent offload MR size per rank.
+	OffloadArena int
+	// OffloadDatatypePack delegates noncontiguous datatype packing to
+	// the host CPU through the DCFA-MPI CMD channel — the offload the
+	// paper's future-work section proposes for "communication using
+	// user defined data types".
+	OffloadDatatypePack bool
+	// OffloadPackMinSize is the packed-size threshold above which the
+	// delegation pays off (below it the command round trip dominates).
+	OffloadPackMinSize int
+	// Trace, when non-nil, records protocol events on the virtual
+	// timeline (protocol selection, handshakes, credits).
+	Trace *trace.Recorder
+}
+
+// ConfigFromPlatform derives the paper-tuned configuration.
+func ConfigFromPlatform(plat *perfmodel.Platform) Config {
+	return Config{
+		EagerMax:       plat.EagerMax,
+		EagerSlots:     plat.EagerSlots,
+		MRCacheCap:     plat.MRCacheEntries,
+		Offload:        true,
+		OffloadMinSize: plat.OffloadMinSize,
+		OffloadArena:   16 << 20,
+	}
+}
+
+// Env is the per-rank environment: a verbs provider plus the node it
+// runs on.
+type Env struct {
+	V    Verbs
+	Node *machine.Node
+}
+
+// World is one MPI job.
+type World struct {
+	Eng   *sim.Engine
+	Plat  *perfmodel.Platform
+	Cfg   Config
+	envs  []Env
+	ranks []*Rank
+
+	syncN  int
+	syncEv *sim.Event
+	errs   []error
+}
+
+// NewWorld builds a world of len(envs) ranks.
+func NewWorld(eng *sim.Engine, plat *perfmodel.Platform, cfg Config, envs []Env) *World {
+	if cfg.EagerMax <= 0 {
+		cfg.EagerMax = plat.EagerMax
+	}
+	if cfg.EagerSlots <= 0 {
+		cfg.EagerSlots = plat.EagerSlots
+	}
+	if cfg.EagerSlots < 2 {
+		// One slot per direction is reserved for credit returns, so
+		// rings need at least two slots to make progress.
+		cfg.EagerSlots = 2
+	}
+	if cfg.MRCacheCap <= 0 {
+		cfg.MRCacheCap = plat.MRCacheEntries
+	}
+	if cfg.OffloadMinSize <= 0 {
+		cfg.OffloadMinSize = plat.OffloadMinSize
+	}
+	if cfg.OffloadArena <= 0 {
+		cfg.OffloadArena = 16 << 20
+	}
+	if cfg.OffloadPackMinSize <= 0 {
+		cfg.OffloadPackMinSize = plat.OffloadPackMinSize
+	}
+	w := &World{Eng: eng, Plat: plat, Cfg: cfg, envs: envs}
+	w.syncEv = sim.NewEvent(eng)
+	for i, e := range envs {
+		w.ranks = append(w.ranks, &Rank{w: w, id: i, v: e.V})
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return len(w.ranks) }
+
+// Rank returns rank i (available after Run started it; mainly for
+// inspection in tests and reports).
+func (w *World) Rank(i int) *Rank { return w.ranks[i] }
+
+// hostSync is the out-of-band bootstrap barrier (the process manager's
+// job, not MPI traffic). Every rank must call it the same number of
+// times.
+func (w *World) hostSync(p *sim.Proc) {
+	w.syncN++
+	if w.syncN == len(w.ranks) {
+		w.syncN = 0
+		ev := w.syncEv
+		w.syncEv = sim.NewEvent(w.Eng)
+		ev.Fire()
+		return
+	}
+	w.syncEv.Wait(p)
+}
+
+// Launch spawns all rank processes running body. The caller drives the
+// engine (allowing multiple worlds or extra processes on one engine).
+func (w *World) Launch(body func(r *Rank) error) {
+	w.errs = make([]error, len(w.ranks))
+	for i := range w.ranks {
+		rank := w.ranks[i]
+		w.Eng.Spawn(fmt.Sprintf("mpi-rank%d", rank.id), func(p *sim.Proc) {
+			rank.proc = p
+			if err := rank.setup(p); err != nil {
+				w.errs[rank.id] = fmt.Errorf("rank %d setup: %w", rank.id, err)
+				w.hostSync(p) // keep the barrier balanced
+				w.hostSync(p)
+				return
+			}
+			w.hostSync(p)
+			if err := rank.connect(p); err != nil {
+				w.errs[rank.id] = fmt.Errorf("rank %d connect: %w", rank.id, err)
+				w.hostSync(p)
+				return
+			}
+			w.hostSync(p)
+			if err := body(rank); err != nil {
+				w.errs[rank.id] = fmt.Errorf("rank %d: %w", rank.id, err)
+				return
+			}
+			rank.finalize(p)
+		})
+	}
+}
+
+// Run launches the ranks, runs the engine to completion and returns the
+// first error (engine errors included).
+func (w *World) Run(body func(r *Rank) error) error {
+	w.Launch(body)
+	if err := w.Eng.Run(); err != nil {
+		return err
+	}
+	for _, err := range w.errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Errs exposes the per-rank errors after Run.
+func (w *World) Errs() []error { return w.errs }

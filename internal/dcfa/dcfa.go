@@ -1,0 +1,315 @@
+// Package dcfa implements the paper's Direct Communication Facility for
+// Accelerators as a user-space library on the co-processor:
+//
+//   - DCFA IB IF (MicVerbs): the same verbs the host has. Resource
+//     functions (PD, CQ, QP creation, memory registration) delegate
+//     their host-assisted work to the DCFA CMD server over the SCIF
+//     channel; the data path (post send/recv, poll) writes the simulated
+//     HCA directly with co-processor-side costs.
+//   - DCFA CMD client/server: the delegation protocol. The server keeps
+//     every object created for the co-processor in a hash table and
+//     publishes a handle ("hash key") for later reuse, as §IV-B1
+//     describes.
+//   - The offloading send-buffer extension (§IV-B4): RegOffloadMR
+//     allocates and registers a host-side bounce buffer, SyncOffloadMR
+//     stages the latest co-processor data into it through the Phi's DMA
+//     engine, and DeregOffloadMR releases both sides.
+package dcfa
+
+import (
+	"fmt"
+
+	"repro/internal/ib"
+	"repro/internal/machine"
+	"repro/internal/pcie"
+	"repro/internal/perfmodel"
+	"repro/internal/scif"
+	"repro/internal/sim"
+)
+
+// Command kinds on the DCFA CMD channel.
+const (
+	CmdOpenDev = iota + 1
+	CmdAllocPD
+	CmdCreateCQ
+	CmdCreateQP
+	CmdRegMR
+	CmdDeregMR
+	CmdRegOffloadMR
+	CmdDeregOffloadMR
+)
+
+type regMRReq struct {
+	dom  *machine.Domain
+	addr uint64
+	n    int
+	pd   *ib.PD
+}
+
+type regMRResp struct {
+	mr     *ib.MR
+	handle uint64
+	err    error
+}
+
+type regOffloadReq struct{ size int }
+
+type regOffloadResp struct {
+	omr *OffloadMR
+	err error
+}
+
+// OffloadMR is an offloading memory region: a host bounce buffer plus
+// its InfiniBand registration, fronting a co-processor send buffer.
+type OffloadMR struct {
+	Handle  uint64
+	Size    int
+	HostBuf *machine.Buffer
+	HostMR  *ib.MR
+	// Syncs and SyncedBytes count staging operations for reports.
+	Syncs       int64
+	SyncedBytes int64
+	released    bool
+}
+
+// HostDaemon is the DCFA CMD server: the host delegation process
+// extension that executes host InfiniBand functions on behalf of the
+// co-processor.
+type HostDaemon struct {
+	Eng  *sim.Engine
+	Plat *perfmodel.Platform
+	Node *machine.Node
+	HCA  *ib.HCA
+	Bus  *pcie.Bus
+
+	ep      *scif.Endpoint
+	hostCtx *ib.Context
+	hostPD  *ib.PD
+
+	// objects is the hash table of everything created for the
+	// co-processor, keyed by published handle.
+	objects    map[uint64]any
+	nextHandle uint64
+
+	// Requests counts delegated commands served.
+	Requests int64
+}
+
+// serve is the daemon main loop.
+func (d *HostDaemon) serve(p *sim.Proc) {
+	p.MarkDaemon()
+	for {
+		msg := d.ep.Recv(p)
+		d.Requests++
+		switch msg.Kind {
+		case CmdOpenDev, CmdAllocPD, CmdCreateCQ, CmdCreateQP:
+			// Host-side resource creation work; the objects themselves
+			// live in co-processor context so the data path keeps
+			// co-processor costs.
+			p.Sleep(d.Plat.HostVerbsCallCost)
+			d.nextHandle++
+			d.ep.Send(msg.Kind, d.nextHandle)
+
+		case CmdRegMR:
+			req := msg.Payload.(regMRReq)
+			// The modified host IB core maps and pins co-processor
+			// pages: host registration cost plus the mapping extra.
+			mr, err := d.hostCtx.RegMR(p, req.pd, req.dom, req.addr, req.n)
+			if err != nil {
+				d.ep.Send(CmdRegMR, regMRResp{err: err})
+				continue
+			}
+			p.Sleep(d.Plat.DelegationExtra)
+			d.nextHandle++
+			d.objects[d.nextHandle] = mr
+			d.ep.Send(CmdRegMR, regMRResp{mr: mr, handle: d.nextHandle})
+
+		case CmdDeregMR:
+			handle := msg.Payload.(uint64)
+			mr, ok := d.objects[handle].(*ib.MR)
+			if !ok {
+				d.ep.Send(CmdDeregMR, fmt.Errorf("dcfa: unknown MR handle %d", handle))
+				continue
+			}
+			err := d.hostCtx.DeregMR(p, mr)
+			delete(d.objects, handle)
+			d.ep.Send(CmdDeregMR, err)
+
+		case CmdRegOffloadMR:
+			req := msg.Payload.(regOffloadReq)
+			buf := d.Node.Host.Alloc(req.size)
+			mr, err := d.hostCtx.RegMR(p, d.hostPD, d.Node.Host, buf.Addr, req.size)
+			if err != nil {
+				d.Node.Host.Free(buf)
+				d.ep.Send(CmdRegOffloadMR, regOffloadResp{err: err})
+				continue
+			}
+			d.nextHandle++
+			omr := &OffloadMR{Handle: d.nextHandle, Size: req.size, HostBuf: buf, HostMR: mr}
+			d.objects[d.nextHandle] = omr
+			d.ep.Send(CmdRegOffloadMR, regOffloadResp{omr: omr})
+
+		case CmdDeregOffloadMR:
+			handle := msg.Payload.(uint64)
+			omr, ok := d.objects[handle].(*OffloadMR)
+			if !ok {
+				d.ep.Send(CmdDeregOffloadMR, fmt.Errorf("dcfa: unknown offload MR handle %d", handle))
+				continue
+			}
+			err := d.hostCtx.DeregMR(p, omr.HostMR)
+			d.Node.Host.Free(omr.HostBuf)
+			omr.released = true
+			delete(d.objects, handle)
+			d.ep.Send(CmdDeregOffloadMR, err)
+
+		default:
+			d.ep.Send(msg.Kind, fmt.Errorf("dcfa: unknown command %d", msg.Kind))
+		}
+	}
+}
+
+// LiveObjects reports how many delegated objects the hash table holds.
+func (d *HostDaemon) LiveObjects() int { return len(d.objects) }
+
+// MicVerbs is the DCFA IB IF: the InfiniBand verbs interface available
+// to co-processor user space, uniform with the host's.
+type MicVerbs struct {
+	Eng  *sim.Engine
+	Plat *perfmodel.Platform
+	Node *machine.Node
+	HCA  *ib.HCA
+	Bus  *pcie.Bus
+
+	ep  *scif.Endpoint
+	ctx *ib.Context
+
+	daemon *HostDaemon
+
+	// DelegatedCalls counts operations that crossed to the host.
+	DelegatedCalls int64
+}
+
+// New wires up DCFA on one node: it spawns the host delegation daemon
+// and returns the co-processor-side verbs interface.
+func New(eng *sim.Engine, plat *perfmodel.Platform, node *machine.Node, hca *ib.HCA, bus *pcie.Bus) (*MicVerbs, *HostDaemon) {
+	pair := scif.NewPair(eng, plat)
+	d := &HostDaemon{
+		Eng: eng, Plat: plat, Node: node, HCA: hca, Bus: bus,
+		ep: pair.Host, hostCtx: hca.Open(machine.HostMem),
+		objects: make(map[uint64]any),
+	}
+	d.hostPD = d.hostCtx.AllocPD()
+	eng.Spawn(fmt.Sprintf("dcfa-daemon/node%d", node.ID), d.serve)
+	v := &MicVerbs{
+		Eng: eng, Plat: plat, Node: node, HCA: hca, Bus: bus,
+		ep: pair.Mic, ctx: hca.Open(machine.MicMem), daemon: d,
+	}
+	return v, d
+}
+
+// Context exposes the co-processor verbs context (post/poll costs are
+// co-processor-side).
+func (v *MicVerbs) Context() *ib.Context { return v.ctx }
+
+// call performs one delegated command round trip.
+func (v *MicVerbs) call(p *sim.Proc, kind int, payload any) scif.Msg {
+	v.DelegatedCalls++
+	return v.ep.Call(p, kind, payload)
+}
+
+// OpenDevice performs the delegated device/context setup.
+func (v *MicVerbs) OpenDevice(p *sim.Proc) {
+	v.call(p, CmdOpenDev, nil)
+}
+
+// AllocPD allocates a protection domain (host-assisted).
+func (v *MicVerbs) AllocPD(p *sim.Proc) *ib.PD {
+	v.call(p, CmdAllocPD, nil)
+	return v.ctx.AllocPD()
+}
+
+// CreateCQ creates a completion queue (host-assisted structures, polled
+// directly from the co-processor).
+func (v *MicVerbs) CreateCQ(p *sim.Proc, depth int) *ib.CQ {
+	v.call(p, CmdCreateCQ, nil)
+	return v.ctx.CreateCQ(depth)
+}
+
+// CreateQP creates an RC queue pair (host-assisted structures, doorbell
+// rung directly from the co-processor).
+func (v *MicVerbs) CreateQP(p *sim.Proc, pd *ib.PD, sendCQ, recvCQ *ib.CQ) *ib.QP {
+	v.call(p, CmdCreateQP, nil)
+	return v.ctx.CreateQP(pd, sendCQ, recvCQ)
+}
+
+// RegMR registers co-processor memory: the CMD client translates the
+// buffer address and ships the request to the host, which maps and pins
+// the pages. This is the expensive path the paper's MR cache exists for.
+func (v *MicVerbs) RegMR(p *sim.Proc, pd *ib.PD, dom *machine.Domain, addr uint64, n int) (*ib.MR, error) {
+	resp := v.call(p, CmdRegMR, regMRReq{dom: dom, addr: addr, n: n, pd: pd})
+	r := resp.Payload.(regMRResp)
+	return r.mr, r.err
+}
+
+// RegMRBuffer registers a whole buffer.
+func (v *MicVerbs) RegMRBuffer(p *sim.Proc, pd *ib.PD, b *machine.Buffer) (*ib.MR, error) {
+	return v.RegMR(p, pd, b.Dom, b.Addr, len(b.Data))
+}
+
+// DeregMR releases a delegated registration. The MR handle lookup is by
+// the object itself; the daemon's hash table is scanned client-side via
+// the MR's key, so we ship the published handle.
+func (v *MicVerbs) DeregMR(p *sim.Proc, mr *ib.MR) error {
+	// Find the daemon handle for this MR.
+	var handle uint64
+	for h, o := range v.daemon.objects {
+		if o == mr {
+			handle = h
+			break
+		}
+	}
+	if handle == 0 {
+		return fmt.Errorf("dcfa: MR not delegated")
+	}
+	resp := v.call(p, CmdDeregMR, handle)
+	if err, ok := resp.Payload.(error); ok && err != nil {
+		return err
+	}
+	return nil
+}
+
+// RegOffloadMR allocates a host bounce buffer of the given size,
+// registers it on the host, and returns the region usable for later
+// sends (the paper's reg_offload_mr).
+func (v *MicVerbs) RegOffloadMR(p *sim.Proc, size int) (*OffloadMR, error) {
+	resp := v.call(p, CmdRegOffloadMR, regOffloadReq{size: size})
+	r := resp.Payload.(regOffloadResp)
+	return r.omr, r.err
+}
+
+// SyncOffloadMR stages src (co-processor data) into the host bounce
+// buffer at offset off through the Phi DMA engine (sync_offload_mr).
+// After it returns, a send from the host buffer carries the latest data.
+func (v *MicVerbs) SyncOffloadMR(p *sim.Proc, omr *OffloadMR, off int, src []byte) error {
+	if omr.released {
+		return fmt.Errorf("dcfa: sync on released offload MR %d", omr.Handle)
+	}
+	if off < 0 || off+len(src) > omr.Size {
+		return fmt.Errorf("dcfa: sync range [%d,+%d) outside offload MR of %d bytes", off, len(src), omr.Size)
+	}
+	v.Bus.DMACopy(p, omr.HostBuf.Data[off:off+len(src)], src)
+	omr.Syncs++
+	omr.SyncedBytes += int64(len(src))
+	return nil
+}
+
+// DeregOffloadMR destroys the offloading region on the co-processor
+// side, deregisters the host memory region and frees the host buffer
+// (dereg_offload_mr).
+func (v *MicVerbs) DeregOffloadMR(p *sim.Proc, omr *OffloadMR) error {
+	resp := v.call(p, CmdDeregOffloadMR, omr.Handle)
+	if err, ok := resp.Payload.(error); ok && err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+package ib
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// atomicRig returns a connected pair plus a registered 8-byte counter
+// on side b and a result buffer on side a.
+func atomicRig(t *testing.T) (*rig, *endpoint, *endpoint, *machine.Buffer, *MR, *machine.Buffer, *MR) {
+	t.Helper()
+	r := newRig()
+	a := newEndpoint(r.h0, machine.HostMem)
+	b := newEndpoint(r.h1, machine.HostMem)
+	connect(t, a, b)
+	counter := r.n1.Host.Alloc(8)
+	result := r.n0.Host.Alloc(8)
+	var cmr, rmr *MR
+	r.eng.Spawn("setup", func(p *sim.Proc) {
+		cmr, _ = b.ctx.RegMRBuffer(p, b.pd, counter)
+		rmr, _ = a.ctx.RegMRBuffer(p, a.pd, result)
+	})
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return r, a, b, counter, cmr, result, rmr
+}
+
+func TestAtomicFetchAdd(t *testing.T) {
+	r, a, _, counter, cmr, result, rmr := atomicRig(t)
+	binary.LittleEndian.PutUint64(counter.Data, 100)
+	r.eng.Spawn("adder", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			err := a.qp.PostSend(p, &SendWR{
+				WRID: uint64(i), Opcode: OpAtomicFetchAdd, Signaled: true,
+				SGL:        []SGE{{Addr: result.Addr, Len: 8, LKey: rmr.LKey}},
+				Remote:     RemoteAddr{Addr: cmr.Addr, RKey: cmr.RKey},
+				CompareAdd: 7,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			cqes := a.cq.WaitPoll(p, 1)
+			if cqes[0].Status != StatusSuccess {
+				t.Errorf("completion %+v", cqes[0])
+				return
+			}
+			if old := binary.LittleEndian.Uint64(result.Data); old != uint64(100+7*i) {
+				t.Errorf("iteration %d: old value %d, want %d", i, old, 100+7*i)
+			}
+		}
+	})
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(counter.Data); got != 135 {
+		t.Fatalf("counter %d, want 135", got)
+	}
+}
+
+func TestAtomicCmpSwap(t *testing.T) {
+	r, a, _, counter, cmr, result, rmr := atomicRig(t)
+	binary.LittleEndian.PutUint64(counter.Data, 42)
+	r.eng.Spawn("swapper", func(p *sim.Proc) {
+		post := func(wrid, compare, swap uint64) uint64 {
+			err := a.qp.PostSend(p, &SendWR{
+				WRID: wrid, Opcode: OpAtomicCmpSwap, Signaled: true,
+				SGL:        []SGE{{Addr: result.Addr, Len: 8, LKey: rmr.LKey}},
+				Remote:     RemoteAddr{Addr: cmr.Addr, RKey: cmr.RKey},
+				CompareAdd: compare, Swap: swap,
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			a.cq.WaitPoll(p, 1)
+			return binary.LittleEndian.Uint64(result.Data)
+		}
+		if old := post(1, 42, 99); old != 42 {
+			t.Errorf("successful CAS returned old %d", old)
+		}
+		if old := post(2, 42, 7); old != 99 {
+			t.Errorf("failed CAS returned old %d, want 99", old)
+		}
+	})
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(counter.Data); got != 99 {
+		t.Fatalf("counter %d after failed CAS, want 99", got)
+	}
+}
+
+func TestAtomicValidation(t *testing.T) {
+	r, a, _, _, cmr, result, rmr := atomicRig(t)
+	r.eng.Spawn("bad", func(p *sim.Proc) {
+		// Wrong SGE length.
+		err := a.qp.PostSend(p, &SendWR{
+			Opcode: OpAtomicFetchAdd,
+			SGL:    []SGE{{Addr: result.Addr, Len: 4, LKey: rmr.LKey}},
+			Remote: RemoteAddr{Addr: cmr.Addr, RKey: cmr.RKey},
+		})
+		if err == nil {
+			t.Error("4-byte atomic SGE accepted")
+		}
+		// Misaligned target.
+		err = a.qp.PostSend(p, &SendWR{
+			Opcode: OpAtomicFetchAdd,
+			SGL:    []SGE{{Addr: result.Addr, Len: 8, LKey: rmr.LKey}},
+			Remote: RemoteAddr{Addr: cmr.Addr + 1, RKey: cmr.RKey},
+		})
+		if err == nil {
+			t.Error("misaligned atomic target accepted")
+		}
+	})
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtomicBadRKeyErrors(t *testing.T) {
+	r, a, _, _, _, result, rmr := atomicRig(t)
+	r.eng.Spawn("bad", func(p *sim.Proc) {
+		err := a.qp.PostSend(p, &SendWR{
+			WRID: 1, Opcode: OpAtomicFetchAdd, Signaled: true,
+			SGL:        []SGE{{Addr: result.Addr, Len: 8, LKey: rmr.LKey}},
+			Remote:     RemoteAddr{Addr: 0x1000, RKey: 0xBAD},
+			CompareAdd: 1,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cqes := a.cq.WaitPoll(p, 1)
+		if cqes[0].Status != StatusRemAccessErr {
+			t.Errorf("status %v, want REM_ACCESS_ERR", cqes[0].Status)
+		}
+	})
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtomicsSerializeCorrectly(t *testing.T) {
+	// Two QPs hammer the same counter; the final value must be exact.
+	r := newRig()
+	a1 := newEndpoint(r.h0, machine.HostMem)
+	a2 := newEndpoint(r.h0, machine.HostMem)
+	b1 := newEndpoint(r.h1, machine.HostMem)
+	b2 := newEndpoint(r.h1, machine.HostMem)
+	connect(t, a1, b1)
+	connect(t, a2, b2)
+	counter := r.n1.Host.Alloc(8)
+	var cmr *MR
+	results := [2]*machine.Buffer{r.n0.Host.Alloc(8), r.n0.Host.Alloc(8)}
+	var rmrs [2]*MR
+	r.eng.Spawn("setup", func(p *sim.Proc) {
+		cmr, _ = b1.ctx.RegMRBuffer(p, b1.pd, counter)
+		rmrs[0], _ = a1.ctx.RegMRBuffer(p, a1.pd, results[0])
+		rmrs[1], _ = a2.ctx.RegMRBuffer(p, a2.pd, results[1])
+		for i, ep := range []*endpoint{a1, a2} {
+			ep := ep
+			i := i
+			r.eng.Spawn("hammer", func(p *sim.Proc) {
+				for k := 0; k < 50; k++ {
+					ep.qp.PostSend(p, &SendWR{
+						WRID: uint64(k), Opcode: OpAtomicFetchAdd, Signaled: true,
+						SGL:        []SGE{{Addr: results[i].Addr, Len: 8, LKey: rmrs[i].LKey}},
+						Remote:     RemoteAddr{Addr: cmr.Addr, RKey: cmr.RKey},
+						CompareAdd: 1,
+					})
+					ep.cq.WaitPoll(p, 1)
+				}
+			})
+		}
+	})
+	if err := r.eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := binary.LittleEndian.Uint64(counter.Data); got != 100 {
+		t.Fatalf("counter %d, want 100 (lost updates)", got)
+	}
+}

@@ -1,0 +1,392 @@
+package ib
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// QPState is the reliable-connection state machine, reduced to the
+// states the paper's software distinguishes.
+type QPState int
+
+const (
+	QPReset QPState = iota
+	QPConnected
+	QPError
+)
+
+// QP is a reliable-connected queue pair.
+type QP struct {
+	ctx    *Context
+	QPN    uint32
+	PD     *PD
+	SendCQ *CQ
+	RecvCQ *CQ
+	State  QPState
+
+	remote *QP
+
+	// RateCap, when positive, bounds this QP's effective transfer rate
+	// (bytes/s) below whatever the fabric would allow. The proxied
+	// 'Intel MPI on Xeon Phi' path uses it to model host-staged relay
+	// throughput.
+	RateCap float64
+
+	recvQueue []*RecvWR
+	// pending holds SEND payloads that arrived before a receive was
+	// posted (the simulator's RNR condition).
+	pending []*inbound
+
+	// Stats.
+	PostedSends int64
+	PostedRecvs int64
+}
+
+type inbound struct {
+	data   []byte
+	imm    uint32
+	hasImm bool
+	srcQPN uint32
+}
+
+// CreateQP allocates an RC queue pair bound to the given CQs.
+func (c *Context) CreateQP(pd *PD, sendCQ, recvCQ *CQ) *QP {
+	h := c.HCA
+	h.nextQPN++
+	qp := &QP{ctx: c, QPN: h.nextQPN, PD: pd, SendCQ: sendCQ, RecvCQ: recvCQ, State: QPReset}
+	h.qps[qp.QPN] = qp
+	return qp
+}
+
+// SetError forces the QP into the error state and flushes every posted
+// receive with WR_FLUSH_ERR, as the RC state machine does. Pending
+// inbound messages are dropped.
+func (qp *QP) SetError() {
+	if qp.State == QPError {
+		return
+	}
+	qp.State = QPError
+	for _, wr := range qp.recvQueue {
+		qp.RecvCQ.push(CQE{WRID: wr.WRID, Status: StatusWRFlushErr, Opcode: OpRecv, QPN: qp.QPN})
+	}
+	qp.recvQueue = nil
+	qp.pending = nil
+}
+
+// Connect transitions the QP to RTS against the remote (lid, qpn). Both
+// ends must Connect for traffic to flow; ConnectPair does both.
+func (qp *QP) Connect(lid uint16, qpn uint32) error {
+	h, err := qp.ctx.HCA.fab.HCAByLID(lid)
+	if err != nil {
+		return err
+	}
+	r, ok := h.qps[qpn]
+	if !ok {
+		return fmt.Errorf("ib: QPN %#x not found on LID %d", qpn, lid)
+	}
+	qp.remote = r
+	qp.State = QPConnected
+	return nil
+}
+
+// ConnectPair wires a and b to each other.
+func ConnectPair(a, b *QP) error {
+	if err := a.Connect(b.ctx.HCA.LID, b.QPN); err != nil {
+		return err
+	}
+	return b.Connect(a.ctx.HCA.LID, a.QPN)
+}
+
+// PostRecv posts a receive work request.
+func (qp *QP) PostRecv(p *sim.Proc, wr *RecvWR) error {
+	if qp.State == QPError {
+		return fmt.Errorf("ib: QP %#x in error state", qp.QPN)
+	}
+	// Validate SGEs now, as a real post does.
+	for _, sge := range wr.SGL {
+		if _, _, err := qp.ctx.HCA.lookupMR(sge.LKey, sge.Addr, sge.Len); err != nil {
+			return fmt.Errorf("ib: post recv: %w", err)
+		}
+	}
+	p.Sleep(qp.ctx.HCA.fab.Plat.PostCost(qp.ctx.Loc))
+	qp.PostedRecvs++
+	if len(qp.pending) > 0 {
+		in := qp.pending[0]
+		qp.pending = qp.pending[1:]
+		qp.deliver(in, wr)
+		return nil
+	}
+	qp.recvQueue = append(qp.recvQueue, wr)
+	return nil
+}
+
+// deliver scatters an inbound SEND payload into a posted receive and
+// completes it on the receive CQ at the current virtual time.
+func (qp *QP) deliver(in *inbound, wr *RecvWR) {
+	h := qp.ctx.HCA
+	total := 0
+	for _, sge := range wr.SGL {
+		total += sge.Len
+	}
+	if len(in.data) > total {
+		qp.RecvCQ.push(CQE{WRID: wr.WRID, Status: StatusLocLenErr, Opcode: OpRecv, QPN: qp.QPN, SrcQPN: in.srcQPN})
+		return
+	}
+	rem := in.data
+	for _, sge := range wr.SGL {
+		if len(rem) == 0 {
+			break
+		}
+		n := sge.Len
+		if n > len(rem) {
+			n = len(rem)
+		}
+		dst, _, err := h.lookupMR(sge.LKey, sge.Addr, n)
+		if err != nil {
+			qp.RecvCQ.push(CQE{WRID: wr.WRID, Status: StatusLocProtErr, Opcode: OpRecv, QPN: qp.QPN, SrcQPN: in.srcQPN})
+			return
+		}
+		copy(dst, rem[:n])
+		rem = rem[n:]
+	}
+	qp.RecvCQ.push(CQE{
+		WRID: wr.WRID, Status: StatusSuccess, Opcode: OpRecv,
+		ByteLen: len(in.data), Imm: in.imm, HasImm: in.hasImm,
+		QPN: qp.QPN, SrcQPN: in.srcQPN,
+	})
+}
+
+// gather snapshots the local SGL into one contiguous payload, returning
+// also the slowest source-domain DMA read rate across elements.
+func (qp *QP) gather(sgl []SGE) ([]byte, float64, error) {
+	h := qp.ctx.HCA
+	plat := h.fab.Plat
+	rate := plat.HCAReadHost
+	total := 0
+	for _, sge := range sgl {
+		total += sge.Len
+	}
+	buf := make([]byte, 0, total)
+	for _, sge := range sgl {
+		src, mr, err := h.lookupMR(sge.LKey, sge.Addr, sge.Len)
+		if err != nil {
+			return nil, 0, err
+		}
+		if r := plat.HCARead(mr.Dom.Kind); r < rate {
+			rate = r
+		}
+		buf = append(buf, src...)
+	}
+	return buf, rate, nil
+}
+
+func minRate(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// capRate applies the QP's RateCap, if set.
+func (qp *QP) capRate(r float64) float64 {
+	if qp.RateCap > 0 {
+		return minRate(r, qp.RateCap)
+	}
+	return r
+}
+
+// PostSend posts a send-queue work request: SEND, SEND_IMM, RDMA_WRITE,
+// RDMA_WRITE_IMM or RDMA_READ. Validation errors (bad lkey, bad state)
+// are returned synchronously like ibv_post_send; remote faults surface
+// as error completions.
+func (qp *QP) PostSend(p *sim.Proc, wr *SendWR) error {
+	h := qp.ctx.HCA
+	plat := h.fab.Plat
+	if qp.State != QPConnected {
+		return fmt.Errorf("ib: post send on QP %#x in state %d", qp.QPN, qp.State)
+	}
+	rem := qp.remote
+	p.Sleep(plat.PostCost(qp.ctx.Loc))
+	qp.PostedSends++
+	h.WRs++
+
+	switch wr.Opcode {
+	case OpSend, OpSendImm:
+		payload, readRate, err := qp.gather(wr.SGL)
+		if err != nil {
+			return fmt.Errorf("ib: post send: %w", err)
+		}
+		rate := qp.capRate(minRate(plat.IBBandwidth, minRate(readRate, plat.HCAWriteHost)))
+		arrive := h.egress.ReserveRate(len(payload), rate)
+		h.BytesOut += int64(len(payload))
+		eng := h.fab.Eng
+		eng.At(arrive, func() {
+			in := &inbound{data: payload, imm: wr.Imm, hasImm: wr.Opcode == OpSendImm, srcQPN: qp.QPN}
+			if len(rem.recvQueue) > 0 {
+				rwr := rem.recvQueue[0]
+				rem.recvQueue = rem.recvQueue[1:]
+				rem.deliver(in, rwr)
+			} else {
+				rem.ctx.HCA.RNRWaits++
+				rem.pending = append(rem.pending, in)
+			}
+		})
+		if wr.Signaled {
+			eng.At(arrive+plat.IBLatency, func() {
+				qp.SendCQ.push(CQE{WRID: wr.WRID, Status: StatusSuccess, Opcode: wr.Opcode, ByteLen: len(payload), QPN: qp.QPN})
+			})
+		}
+		return nil
+
+	case OpRDMAWrite, OpRDMAWriteImm:
+		payload, readRate, err := qp.gather(wr.SGL)
+		if err != nil {
+			return fmt.Errorf("ib: post send: %w", err)
+		}
+		eng := h.fab.Eng
+		// Peek the destination domain for the rate; re-validate keys at
+		// arrival so a concurrent dereg still faults.
+		writeRate := plat.HCAWriteHost
+		if _, mr, err := rem.ctx.HCA.lookupMR(wr.Remote.RKey, wr.Remote.Addr, len(payload)); err == nil {
+			writeRate = plat.HCAWrite(mr.Dom.Kind)
+		}
+		rate := qp.capRate(minRate(plat.IBBandwidth, minRate(readRate, writeRate)))
+		arrive := h.egress.ReserveRate(len(payload), rate)
+		h.BytesOut += int64(len(payload))
+		eng.At(arrive, func() {
+			dst, _, err := rem.ctx.HCA.lookupMR(wr.Remote.RKey, wr.Remote.Addr, len(payload))
+			if err != nil {
+				if wr.Signaled {
+					eng.At(eng.Now()+plat.IBLatency, func() {
+						qp.SendCQ.push(CQE{WRID: wr.WRID, Status: StatusRemAccessErr, Opcode: wr.Opcode, QPN: qp.QPN})
+					})
+				}
+				qp.SetError()
+				return
+			}
+			copy(dst, payload)
+			if wr.Opcode == OpRDMAWriteImm {
+				in := &inbound{data: nil, imm: wr.Imm, hasImm: true, srcQPN: qp.QPN}
+				if len(rem.recvQueue) > 0 {
+					rwr := rem.recvQueue[0]
+					rem.recvQueue = rem.recvQueue[1:]
+					rem.deliver(in, rwr)
+				} else {
+					rem.ctx.HCA.RNRWaits++
+					rem.pending = append(rem.pending, in)
+				}
+			}
+			rem.ctx.HCA.Doorbell.Broadcast()
+			if wr.Signaled {
+				eng.At(eng.Now()+plat.IBLatency, func() {
+					qp.SendCQ.push(CQE{WRID: wr.WRID, Status: StatusSuccess, Opcode: wr.Opcode, ByteLen: len(payload), QPN: qp.QPN})
+				})
+			}
+		})
+		return nil
+
+	case OpRDMARead:
+		total := 0
+		for _, sge := range wr.SGL {
+			total += sge.Len
+		}
+		// Validate local scatter list now.
+		writeRate := plat.HCAWriteHost
+		for _, sge := range wr.SGL {
+			_, mr, err := h.lookupMR(sge.LKey, sge.Addr, sge.Len)
+			if err != nil {
+				return fmt.Errorf("ib: post send (read): %w", err)
+			}
+			if r := plat.HCAWrite(mr.Dom.Kind); r < writeRate {
+				writeRate = r
+			}
+		}
+		eng := h.fab.Eng
+		reqArrive := eng.Now() + plat.IBLatency
+		eng.At(reqArrive, func() {
+			src, mr, err := rem.ctx.HCA.lookupMR(wr.Remote.RKey, wr.Remote.Addr, total)
+			if err != nil {
+				eng.At(eng.Now()+plat.IBLatency, func() {
+					qp.SendCQ.push(CQE{WRID: wr.WRID, Status: StatusRemAccessErr, Opcode: wr.Opcode, QPN: qp.QPN})
+					qp.SetError()
+				})
+				return
+			}
+			rate := qp.capRate(minRate(plat.IBBandwidth, minRate(plat.HCARead(mr.Dom.Kind), writeRate)))
+			// Responder streams the data back over its own egress.
+			payload := make([]byte, total)
+			copy(payload, src)
+			back := rem.ctx.HCA.egress.ReserveRate(total, rate)
+			rem.ctx.HCA.BytesOut += int64(total)
+			eng.At(back, func() {
+				remb := payload
+				for _, sge := range wr.SGL {
+					dst, _, err := h.lookupMR(sge.LKey, sge.Addr, sge.Len)
+					if err != nil {
+						qp.SendCQ.push(CQE{WRID: wr.WRID, Status: StatusLocProtErr, Opcode: wr.Opcode, QPN: qp.QPN})
+						qp.SetError()
+						return
+					}
+					n := copy(dst, remb)
+					remb = remb[n:]
+				}
+				h.Doorbell.Broadcast()
+				qp.SendCQ.push(CQE{WRID: wr.WRID, Status: StatusSuccess, Opcode: wr.Opcode, ByteLen: total, QPN: qp.QPN})
+			})
+		})
+		return nil
+
+	case OpAtomicFetchAdd, OpAtomicCmpSwap:
+		// Validate the single 8-byte local result SGE.
+		if len(wr.SGL) != 1 || wr.SGL[0].Len != 8 {
+			return fmt.Errorf("ib: atomic requires one 8-byte local SGE")
+		}
+		if _, _, err := h.lookupMR(wr.SGL[0].LKey, wr.SGL[0].Addr, 8); err != nil {
+			return fmt.Errorf("ib: post atomic: %w", err)
+		}
+		if wr.Remote.Addr%8 != 0 {
+			return fmt.Errorf("ib: atomic target %#x not 8-byte aligned", wr.Remote.Addr)
+		}
+		eng := h.fab.Eng
+		op := wr.Opcode
+		reqArrive := h.egress.ReserveRate(8, plat.IBBandwidth)
+		eng.At(reqArrive, func() {
+			target, _, err := rem.ctx.HCA.lookupMR(wr.Remote.RKey, wr.Remote.Addr, 8)
+			if err != nil {
+				eng.At(eng.Now()+plat.IBLatency, func() {
+					qp.SendCQ.push(CQE{WRID: wr.WRID, Status: StatusRemAccessErr, Opcode: op, QPN: qp.QPN})
+					qp.SetError()
+				})
+				return
+			}
+			// The responder HCA performs the read-modify-write; the
+			// engine's serialized callbacks make it atomic.
+			old := binary.LittleEndian.Uint64(target)
+			switch op {
+			case OpAtomicFetchAdd:
+				binary.LittleEndian.PutUint64(target, old+wr.CompareAdd)
+			case OpAtomicCmpSwap:
+				if old == wr.CompareAdd {
+					binary.LittleEndian.PutUint64(target, wr.Swap)
+				}
+			}
+			rem.ctx.HCA.Doorbell.Broadcast()
+			eng.At(eng.Now()+plat.IBLatency, func() {
+				dst, _, err := h.lookupMR(wr.SGL[0].LKey, wr.SGL[0].Addr, 8)
+				if err != nil {
+					qp.SendCQ.push(CQE{WRID: wr.WRID, Status: StatusLocProtErr, Opcode: op, QPN: qp.QPN})
+					return
+				}
+				binary.LittleEndian.PutUint64(dst, old)
+				h.Doorbell.Broadcast()
+				qp.SendCQ.push(CQE{WRID: wr.WRID, Status: StatusSuccess, Opcode: op, ByteLen: 8, QPN: qp.QPN})
+			})
+		})
+		return nil
+
+	default:
+		return fmt.Errorf("ib: unsupported opcode %v", wr.Opcode)
+	}
+}

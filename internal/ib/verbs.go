@@ -1,0 +1,241 @@
+package ib
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/sim"
+)
+
+// Context is an opened verbs device handle. Loc determines where the
+// calling software runs and therefore its post/poll costs.
+type Context struct {
+	HCA *HCA
+	Loc machine.DomainKind
+
+	pdSeq int
+}
+
+// PD is a protection domain.
+type PD struct {
+	ctx *Context
+	id  int
+}
+
+// AllocPD allocates a protection domain.
+func (c *Context) AllocPD() *PD {
+	c.pdSeq++
+	return &PD{ctx: c, id: c.pdSeq}
+}
+
+// MR is a registered memory region.
+type MR struct {
+	PD   *PD
+	Dom  *machine.Domain
+	Addr uint64
+	Len  int
+	LKey uint32
+	RKey uint32
+
+	data    []byte
+	hca     *HCA
+	invalid bool
+}
+
+// Bytes exposes the registered backing store (test helper).
+func (m *MR) Bytes() []byte { return m.data }
+
+// RegMR registers buffer memory [addr, addr+n) in dom and charges the
+// host-side registration (page pinning) cost to p. This is the host
+// verbs path; DCFA wraps it with delegation costs.
+func (c *Context) RegMR(p *sim.Proc, pd *PD, dom *machine.Domain, addr uint64, n int) (*MR, error) {
+	mr, err := c.HCA.regMR(pd, dom, addr, n)
+	if err != nil {
+		return nil, err
+	}
+	p.Sleep(c.HCA.fab.Plat.MRRegCost(n))
+	return mr, nil
+}
+
+// RegMRBuffer registers a whole machine.Buffer.
+func (c *Context) RegMRBuffer(p *sim.Proc, pd *PD, b *machine.Buffer) (*MR, error) {
+	return c.RegMR(p, pd, b.Dom, b.Addr, len(b.Data))
+}
+
+// DeregMR unregisters the region.
+func (c *Context) DeregMR(p *sim.Proc, mr *MR) error {
+	return c.HCA.deregMR(mr)
+}
+
+// CQ is a completion queue.
+type CQ struct {
+	ctx     *Context
+	Depth   int
+	entries []CQE
+	// Notify broadcasts when an entry is pushed.
+	Notify *sim.Signal
+	// Overflows counts entries dropped because the CQ was full — a
+	// programming error in the upper layer, surfaced loudly.
+	Overflows int
+}
+
+// CreateCQ allocates a completion queue with the given depth.
+func (c *Context) CreateCQ(depth int) *CQ {
+	if depth <= 0 {
+		depth = 256
+	}
+	return &CQ{ctx: c, Depth: depth, Notify: sim.NewSignal(c.HCA.fab.Eng)}
+}
+
+// push appends a completion and rings the node doorbell.
+func (q *CQ) push(e CQE) {
+	if len(q.entries) >= q.Depth {
+		q.Overflows++
+		panic(fmt.Sprintf("ib: CQ overflow (depth %d): upper layer is not polling", q.Depth))
+	}
+	q.entries = append(q.entries, e)
+	q.Notify.Broadcast()
+	q.ctx.HCA.Doorbell.Broadcast()
+}
+
+// Poll removes up to max completions, charging the location-dependent
+// poll cost when at least one entry is returned.
+func (q *CQ) Poll(p *sim.Proc, max int) []CQE {
+	if len(q.entries) == 0 || max <= 0 {
+		return nil
+	}
+	n := max
+	if n > len(q.entries) {
+		n = len(q.entries)
+	}
+	out := make([]CQE, n)
+	copy(out, q.entries[:n])
+	q.entries = q.entries[n:]
+	p.Sleep(q.ctx.HCA.fab.Plat.PollCost(q.ctx.Loc))
+	return out
+}
+
+// Len reports queued completions.
+func (q *CQ) Len() int { return len(q.entries) }
+
+// WaitPoll blocks p until at least one completion is available, then
+// returns up to max of them.
+func (q *CQ) WaitPoll(p *sim.Proc, max int) []CQE {
+	for {
+		if out := q.Poll(p, max); out != nil {
+			return out
+		}
+		q.Notify.Wait(p)
+	}
+}
+
+// Opcode identifies the work-request operation.
+type Opcode int
+
+const (
+	OpSend Opcode = iota
+	OpSendImm
+	OpRDMAWrite
+	OpRDMAWriteImm
+	OpRDMARead
+	OpAtomicFetchAdd
+	OpAtomicCmpSwap
+	OpRecv // appears only in completions
+)
+
+func (o Opcode) String() string {
+	switch o {
+	case OpSend:
+		return "SEND"
+	case OpSendImm:
+		return "SEND_IMM"
+	case OpRDMAWrite:
+		return "RDMA_WRITE"
+	case OpRDMAWriteImm:
+		return "RDMA_WRITE_IMM"
+	case OpRDMARead:
+		return "RDMA_READ"
+	case OpAtomicFetchAdd:
+		return "ATOMIC_FETCH_ADD"
+	case OpAtomicCmpSwap:
+		return "ATOMIC_CMP_SWAP"
+	case OpRecv:
+		return "RECV"
+	default:
+		return fmt.Sprintf("Opcode(%d)", int(o))
+	}
+}
+
+// Status is a completion status.
+type Status int
+
+const (
+	StatusSuccess Status = iota
+	StatusLocLenErr
+	StatusLocProtErr
+	StatusRemAccessErr
+	StatusWRFlushErr
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusSuccess:
+		return "SUCCESS"
+	case StatusLocLenErr:
+		return "LOC_LEN_ERR"
+	case StatusLocProtErr:
+		return "LOC_PROT_ERR"
+	case StatusRemAccessErr:
+		return "REM_ACCESS_ERR"
+	case StatusWRFlushErr:
+		return "WR_FLUSH_ERR"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// SGE is a scatter/gather element.
+type SGE struct {
+	Addr uint64
+	Len  int
+	LKey uint32
+}
+
+// RemoteAddr targets remote memory for RDMA operations.
+type RemoteAddr struct {
+	Addr uint64
+	RKey uint32
+}
+
+// SendWR is a send-queue work request.
+type SendWR struct {
+	WRID     uint64
+	Opcode   Opcode
+	SGL      []SGE
+	Remote   RemoteAddr // RDMA and atomic ops only
+	Imm      uint32     // *_IMM only
+	Signaled bool
+	// Atomic operands: FetchAdd adds CompareAdd; CmpSwap stores Swap
+	// if the remote 8-byte word equals CompareAdd. The old value lands
+	// in the single 8-byte local SGE.
+	CompareAdd uint64
+	Swap       uint64
+}
+
+// RecvWR is a receive-queue work request.
+type RecvWR struct {
+	WRID uint64
+	SGL  []SGE
+}
+
+// CQE is a completion entry.
+type CQE struct {
+	WRID    uint64
+	Status  Status
+	Opcode  Opcode
+	ByteLen int
+	Imm     uint32
+	HasImm  bool
+	QPN     uint32
+	SrcQPN  uint32
+}

@@ -1,0 +1,174 @@
+// Package machine models the compute-node hardware of the paper's
+// cluster: each node has a host (Xeon) memory domain and a co-processor
+// (Xeon Phi) memory domain joined by PCI Express. Buffers are real Go
+// byte slices tagged with fake device addresses so that the simulated
+// InfiniBand layer can resolve (addr, key) pairs exactly the way a real
+// HCA resolves DMA addresses.
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// DomainKind distinguishes the two physical memories on a node.
+type DomainKind int
+
+const (
+	// HostMem is Xeon host DRAM.
+	HostMem DomainKind = iota
+	// MicMem is Xeon Phi on-card GDDR5.
+	MicMem
+)
+
+func (k DomainKind) String() string {
+	switch k {
+	case HostMem:
+		return "host"
+	case MicMem:
+		return "mic"
+	default:
+		return fmt.Sprintf("DomainKind(%d)", int(k))
+	}
+}
+
+// pageSize is the allocation granularity; the paper's offload tuning
+// advice ("align the buffer on a 4Kbytes page boundary") makes 4 KiB the
+// natural unit.
+const pageSize = 4096
+
+// Domain is one physical memory: an address space plus its live
+// allocations.
+type Domain struct {
+	Name string
+	Kind DomainKind
+	Node *Node
+
+	nextAddr uint64
+	// allocs is kept sorted by Addr for range resolution.
+	allocs []*Buffer
+	// BytesLive tracks currently allocated bytes.
+	BytesLive int64
+}
+
+// Buffer is a device-addressable allocation inside a Domain.
+type Buffer struct {
+	Dom   *Domain
+	Addr  uint64
+	Data  []byte
+	freed bool
+}
+
+// Node is one cluster node: host domain + co-processor domain.
+// Interconnect models (PCIe DMA engine, HCA) attach themselves via the
+// pcie and ib packages.
+type Node struct {
+	ID   int
+	Host *Domain
+	Mic  *Domain
+}
+
+// NewNode creates node id with empty host and mic domains.
+func NewNode(id int) *Node {
+	n := &Node{ID: id}
+	n.Host = &Domain{Name: fmt.Sprintf("node%d/host", id), Kind: HostMem, Node: n, nextAddr: 0x10000}
+	n.Mic = &Domain{Name: fmt.Sprintf("node%d/mic", id), Kind: MicMem, Node: n, nextAddr: 0x10000}
+	return n
+}
+
+// Domain returns the node's domain of kind k.
+func (n *Node) Domain(k DomainKind) *Domain {
+	if k == HostMem {
+		return n.Host
+	}
+	return n.Mic
+}
+
+// Alloc allocates n bytes (rounded up to a 4 KiB page multiple for
+// addressing purposes; Data has exactly n bytes) and returns the buffer.
+func (d *Domain) Alloc(n int) *Buffer {
+	if n < 0 {
+		panic("machine: negative allocation")
+	}
+	span := uint64((n + pageSize - 1) / pageSize * pageSize)
+	if span == 0 {
+		span = pageSize
+	}
+	b := &Buffer{Dom: d, Addr: d.nextAddr, Data: make([]byte, n)}
+	d.nextAddr += span
+	d.allocs = append(d.allocs, b)
+	d.BytesLive += int64(n)
+	return b
+}
+
+// Free releases the buffer. Resolving addresses inside it afterwards
+// fails, as touching freed memory should.
+func (d *Domain) Free(b *Buffer) {
+	if b.Dom != d {
+		panic("machine: freeing buffer in wrong domain")
+	}
+	if b.freed {
+		panic("machine: double free")
+	}
+	b.freed = true
+	d.BytesLive -= int64(len(b.Data))
+	i := sort.Search(len(d.allocs), func(i int) bool { return d.allocs[i].Addr >= b.Addr })
+	if i < len(d.allocs) && d.allocs[i] == b {
+		d.allocs = append(d.allocs[:i], d.allocs[i+1:]...)
+	}
+}
+
+// Resolve maps [addr, addr+n) to the backing bytes. It fails if the
+// range is not fully inside one live allocation — the simulated
+// equivalent of a DMA protection fault.
+func (d *Domain) Resolve(addr uint64, n int) ([]byte, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("machine: %s: negative length %d", d.Name, n)
+	}
+	i := sort.Search(len(d.allocs), func(i int) bool { return d.allocs[i].Addr > addr })
+	if i == 0 {
+		return nil, fmt.Errorf("machine: %s: address %#x not mapped", d.Name, addr)
+	}
+	b := d.allocs[i-1]
+	off := addr - b.Addr
+	if off > uint64(len(b.Data)) || off+uint64(n) > uint64(len(b.Data)) {
+		return nil, fmt.Errorf("machine: %s: range [%#x,+%d) overruns allocation at %#x (len %d)",
+			d.Name, addr, n, b.Addr, len(b.Data))
+	}
+	return b.Data[off : off+uint64(n)], nil
+}
+
+// MustResolve is Resolve that panics on fault; for internal engine paths
+// whose callers have already validated keys and bounds.
+func (d *Domain) MustResolve(addr uint64, n int) []byte {
+	s, err := d.Resolve(addr, n)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Contains reports whether [addr, addr+n) lies within the buffer.
+func (b *Buffer) Contains(addr uint64, n int) bool {
+	return addr >= b.Addr && addr+uint64(n) <= b.Addr+uint64(len(b.Data))
+}
+
+// Slice returns the buffer's bytes at [off, off+n).
+func (b *Buffer) Slice(off, n int) []byte { return b.Data[off : off+n] }
+
+// Cluster is a fixed-size set of nodes.
+type Cluster struct {
+	Eng   *sim.Engine
+	Nodes []*Node
+}
+
+// NewCluster builds n nodes on the given engine.
+func NewCluster(eng *sim.Engine, n int) *Cluster {
+	c := &Cluster{Eng: eng}
+	for i := 0; i < n; i++ {
+		c.Nodes = append(c.Nodes, NewNode(i))
+	}
+	return c
+}

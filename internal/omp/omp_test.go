@@ -1,0 +1,108 @@
+package omp
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/sim"
+)
+
+func TestRegionCostSingleThread(t *testing.T) {
+	plat := perfmodel.Default()
+	team := NewTeam(plat, 1, machine.MicMem)
+	// 30e6 items at 30e6 items/s on one Phi thread = 1 s; no fork cost.
+	if got := team.RegionCost(int(plat.PhiCoreRate)); got != sim.Second {
+		t.Fatalf("cost %v, want 1s", got)
+	}
+}
+
+func TestRegionCostScalesWithThreads(t *testing.T) {
+	plat := perfmodel.Default()
+	t1 := NewTeam(plat, 1, machine.MicMem).RegionCost(1 << 20)
+	t56 := NewTeam(plat, 56, machine.MicMem).RegionCost(1 << 20)
+	ratio := float64(t1) / float64(t56)
+	s := plat.PhiScaling(56)
+	if ratio < s*0.9 || ratio > s*1.1 {
+		t.Fatalf("56-thread speedup %.1f, expected ≈S(56)=%.1f", ratio, s)
+	}
+}
+
+func TestHostTeamFasterPerThread(t *testing.T) {
+	plat := perfmodel.Default()
+	phi := NewTeam(plat, 1, machine.MicMem).RegionCost(1 << 20)
+	host := NewTeam(plat, 1, machine.HostMem).RegionCost(1 << 20)
+	if host >= phi {
+		t.Fatal("host core must outrun a Phi core")
+	}
+}
+
+func TestHostScalingClampedToCores(t *testing.T) {
+	plat := perfmodel.Default()
+	team := NewTeam(plat, 100, machine.HostMem)
+	if team.Scaling() != float64(plat.HostCores) {
+		t.Fatalf("host scaling %v, want clamp at %d cores", team.Scaling(), plat.HostCores)
+	}
+}
+
+func TestParallelForExecutesAllItems(t *testing.T) {
+	plat := perfmodel.Default()
+	eng := sim.NewEngine()
+	team := NewTeam(plat, 8, machine.MicMem)
+	var sum int64
+	eng.Spawn("compute", func(p *sim.Proc) {
+		team.ParallelFor(p, 1000, func(lo, hi int) {
+			var local int64
+			for i := lo; i < hi; i++ {
+				local += int64(i)
+			}
+			atomic.AddInt64(&sum, local)
+		})
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 999*1000/2 {
+		t.Fatalf("sum %d, want %d (items missed or duplicated)", sum, 999*1000/2)
+	}
+	if team.Regions != 1 || team.WorkItems != 1000 {
+		t.Fatalf("stats regions=%d items=%d", team.Regions, team.WorkItems)
+	}
+}
+
+func TestParallelForNilBodyChargesOnly(t *testing.T) {
+	plat := perfmodel.Default()
+	eng := sim.NewEngine()
+	team := NewTeam(plat, 4, machine.MicMem)
+	var elapsed sim.Duration
+	eng.Spawn("compute", func(p *sim.Proc) {
+		start := p.Now()
+		team.ParallelFor(p, 1<<20, nil)
+		elapsed = p.Now() - start
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed != team.RegionCost(1<<20) {
+		t.Fatalf("charged %v, want %v", elapsed, team.RegionCost(1<<20))
+	}
+}
+
+func TestZeroAndNegativeItems(t *testing.T) {
+	plat := perfmodel.Default()
+	team := NewTeam(plat, 4, machine.MicMem)
+	if team.RegionCost(0) != plat.OMPForkCost(4) {
+		t.Fatal("zero items should cost only fork/join")
+	}
+	if team.RegionCost(-5) != plat.OMPForkCost(4) {
+		t.Fatal("negative items should clamp to zero work")
+	}
+}
+
+func TestThreadsClampedToOne(t *testing.T) {
+	team := NewTeam(perfmodel.Default(), 0, machine.MicMem)
+	if team.Threads != 1 {
+		t.Fatalf("threads %d, want 1", team.Threads)
+	}
+}

@@ -1,0 +1,109 @@
+// Package pcie models the PCI Express connection between a node's host
+// and its Xeon Phi card. It provides two distinct data paths that the
+// paper distinguishes sharply:
+//
+//   - the Phi's raw DMA engine (used by DCFA's sync_offload_mr), which
+//     moves Phi↔host bulk data near PCIe wire speed; and
+//   - the COI / #pragma offload transfer path used by the 'Intel MPI on
+//     Xeon + offload' baseline, which adds a fixed per-transfer
+//     signal/wait overhead and a lower effective bandwidth, plus a
+//     per-invocation kernel-launch cost.
+//
+// Both move real bytes at virtual-time completion, so data written too
+// early or read too late shows up as corruption in tests.
+package pcie
+
+import (
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/sim"
+)
+
+// Bus is one node's PCIe complex.
+type Bus struct {
+	Eng  *sim.Engine
+	Plat *perfmodel.Platform
+	Node *machine.Node
+
+	// dma serializes Phi DMA-engine descriptors.
+	dma *sim.Link
+	// off serializes COI offload transfers.
+	off *sim.Link
+
+	// Stats.
+	DMACopies   int64
+	DMABytes    int64
+	OffloadOps  int64
+	OffloadByte int64
+}
+
+// Attach builds the PCIe complex for node n.
+func Attach(eng *sim.Engine, plat *perfmodel.Platform, n *machine.Node) *Bus {
+	return &Bus{
+		Eng:  eng,
+		Plat: plat,
+		Node: n,
+		dma:  sim.NewLink(eng, n.Host.Name+"/dma-engine", plat.DMAEngineLatency, plat.DMAEngineBandwidth),
+		off:  sim.NewLink(eng, n.Host.Name+"/coi", plat.OffloadTransferOverhead, plat.OffloadBandwidth),
+	}
+}
+
+// StartDMA begins an asynchronous DMA-engine copy of len(src) bytes into
+// dst (slices must be equal length; caller resolves addresses). The
+// returned event fires when the last byte has landed; the copy itself is
+// performed at completion time.
+func (b *Bus) StartDMA(dst, src []byte) *sim.Event {
+	if len(dst) != len(src) {
+		panic("pcie: DMA length mismatch")
+	}
+	done := sim.NewEvent(b.Eng)
+	arrive := b.dma.Reserve(len(src))
+	b.DMACopies++
+	b.DMABytes += int64(len(src))
+	b.Eng.At(arrive, func() {
+		copy(dst, src)
+		done.Fire()
+	})
+	return done
+}
+
+// DMACopy is the blocking form of StartDMA.
+func (b *Bus) DMACopy(p *sim.Proc, dst, src []byte) {
+	ev := b.StartDMA(dst, src)
+	ev.Wait(p)
+}
+
+// StartOffloadTransfer begins an asynchronous COI transfer (either
+// direction) of len(src) bytes. The fixed per-transfer overhead is the
+// link latency; bandwidth is the pragma-offload effective rate.
+func (b *Bus) StartOffloadTransfer(dst, src []byte) *sim.Event {
+	if len(dst) != len(src) {
+		panic("pcie: offload transfer length mismatch")
+	}
+	done := sim.NewEvent(b.Eng)
+	arrive := b.off.Reserve(len(src))
+	b.OffloadOps++
+	b.OffloadByte += int64(len(src))
+	b.Eng.At(arrive, func() {
+		copy(dst, src)
+		done.Fire()
+	})
+	return done
+}
+
+// OffloadTransfer is the blocking form of StartOffloadTransfer.
+func (b *Bus) OffloadTransfer(p *sim.Proc, dst, src []byte) {
+	ev := b.StartOffloadTransfer(dst, src)
+	ev.Wait(p)
+}
+
+// OffloadLaunch charges one offload-region invocation with the given
+// OpenMP thread count awakened inside the region.
+func (b *Bus) OffloadLaunch(p *sim.Proc, threads int) {
+	p.Sleep(b.Plat.OffloadLaunchCost(threads))
+}
+
+// OffloadInit charges the one-time COI engine initialization.
+func (b *Bus) OffloadInit(p *sim.Proc) {
+	p.Sleep(b.Plat.OffloadInitCost)
+}

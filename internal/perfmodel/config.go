@@ -1,0 +1,69 @@
+package perfmodel
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// MarshalIndent serializes the platform as JSON for saving a custom
+// calibration.
+func (p *Platform) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(p, "", "  ")
+}
+
+// Load parses a JSON calibration over the defaults: omitted fields keep
+// their Default() values, so a file only needs the overrides.
+func Load(data []byte) (*Platform, error) {
+	p := Default()
+	if err := json.Unmarshal(data, p); err != nil {
+		return nil, fmt.Errorf("perfmodel: parse calibration: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Validate rejects calibrations the simulator cannot run.
+func (p *Platform) Validate() error {
+	pos := map[string]float64{
+		"IBBandwidth":        p.IBBandwidth,
+		"HCAReadHost":        p.HCAReadHost,
+		"HCAReadPhi":         p.HCAReadPhi,
+		"HCAWriteHost":       p.HCAWriteHost,
+		"HCAWritePhi":        p.HCAWritePhi,
+		"HostCopyRate":       p.HostCopyRate,
+		"PhiCopyRate":        p.PhiCopyRate,
+		"DMAEngineBandwidth": p.DMAEngineBandwidth,
+		"ProxyBandwidth":     p.ProxyBandwidth,
+		"OffloadBandwidth":   p.OffloadBandwidth,
+		"PhiCoreRate":        p.PhiCoreRate,
+		"HostCoreRate":       p.HostCoreRate,
+		"PhiPackRate":        p.PhiPackRate,
+		"HostPackRate":       p.HostPackRate,
+	}
+	for name, v := range pos {
+		if v <= 0 {
+			return fmt.Errorf("perfmodel: %s must be positive, got %g", name, v)
+		}
+	}
+	if p.PhiScalingAlpha < 0 {
+		return fmt.Errorf("perfmodel: PhiScalingAlpha must be non-negative")
+	}
+	ints := map[string]int{
+		"Nodes":          p.Nodes,
+		"HostCores":      p.HostCores,
+		"PhiCores":       p.PhiCores,
+		"PhiMaxThreads":  p.PhiMaxThreads,
+		"EagerMax":       p.EagerMax,
+		"OffloadMinSize": p.OffloadMinSize,
+		"EagerSlots":     p.EagerSlots,
+		"MRCacheEntries": p.MRCacheEntries,
+	}
+	for name, v := range ints {
+		if v <= 0 {
+			return fmt.Errorf("perfmodel: %s must be positive, got %d", name, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package perfmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := Default()
+	p.IBBandwidth = 1.23e9
+	data, err := p.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *p {
+		t.Fatal("round trip changed the platform")
+	}
+}
+
+func TestLoadOverridesOnlyGivenFields(t *testing.T) {
+	got, err := Load([]byte(`{"ProxyBandwidth": 5e8}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ProxyBandwidth != 5e8 {
+		t.Fatalf("override lost: %g", got.ProxyBandwidth)
+	}
+	def := Default()
+	if got.IBBandwidth != def.IBBandwidth || got.EagerMax != def.EagerMax {
+		t.Fatal("defaults clobbered")
+	}
+}
+
+func TestLoadRejectsBadJSON(t *testing.T) {
+	if _, err := Load([]byte(`{nope`)); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+func TestValidateRejectsNonPositiveRates(t *testing.T) {
+	if _, err := Load([]byte(`{"IBBandwidth": 0}`)); err == nil || !strings.Contains(err.Error(), "IBBandwidth") {
+		t.Fatalf("zero bandwidth accepted: %v", err)
+	}
+	if _, err := Load([]byte(`{"EagerSlots": -1}`)); err == nil {
+		t.Fatal("negative slots accepted")
+	}
+	if _, err := Load([]byte(`{"PhiScalingAlpha": -0.5}`)); err == nil {
+		t.Fatal("negative alpha accepted")
+	}
+}
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,331 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.Spawn("a", func(p *Proc) {
+		p.Sleep(5 * Microsecond)
+		at = p.Now()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 5*Microsecond {
+		t.Fatalf("woke at %v, want 5µs", at)
+	}
+	if e.Now() != 5*Microsecond {
+		t.Fatalf("engine now %v, want 5µs", e.Now())
+	}
+}
+
+func TestNegativeSleepIsZero(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("a", func(p *Proc) {
+		p.Sleep(-3)
+		if p.Now() != 0 {
+			t.Errorf("negative sleep advanced clock to %v", p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoProcsInterleaveDeterministically(t *testing.T) {
+	run := func() string {
+		e := NewEngine()
+		var log []string
+		for _, nm := range []string{"a", "b"} {
+			name := nm
+			e.Spawn(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					p.Sleep(Microsecond)
+					log = append(log, fmt.Sprintf("%s@%v", name, p.Now()))
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(log, " ")
+	}
+	first := run()
+	for i := 0; i < 10; i++ {
+		if got := run(); got != first {
+			t.Fatalf("nondeterministic schedule:\n%s\nvs\n%s", first, got)
+		}
+	}
+	want := "a@1µs b@1µs a@2µs b@2µs a@3µs b@3µs"
+	if first != want {
+		t.Fatalf("schedule %q, want %q", first, want)
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 20; i++ {
+		i := i
+		e.At(7, func() { order = append(order, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie order %v, want ascending", order)
+		}
+	}
+}
+
+func TestEventFireWakesWaiters(t *testing.T) {
+	e := NewEngine()
+	ev := NewEvent(e)
+	var woke []Time
+	for i := 0; i < 3; i++ {
+		e.Spawn(fmt.Sprintf("w%d", i), func(p *Proc) {
+			ev.Wait(p)
+			woke = append(woke, p.Now())
+		})
+	}
+	e.At(9*Microsecond, func() { ev.Fire() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(woke) != 3 {
+		t.Fatalf("woke %d waiters, want 3", len(woke))
+	}
+	for _, w := range woke {
+		if w != 9*Microsecond {
+			t.Fatalf("waiter woke at %v, want 9µs", w)
+		}
+	}
+	if !ev.Fired() || ev.FiredAt() != 9*Microsecond {
+		t.Fatalf("event state fired=%v at=%v", ev.Fired(), ev.FiredAt())
+	}
+}
+
+func TestEventWaitAfterFireReturnsImmediately(t *testing.T) {
+	e := NewEngine()
+	ev := NewEvent(e)
+	ev.eng = e
+	e.Spawn("a", func(p *Proc) {
+		p.Sleep(Microsecond)
+		ev.Fire()
+		ev.Fire() // idempotent
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Sleep(2 * Microsecond)
+		ev.Wait(p)
+		if p.Now() != 2*Microsecond {
+			t.Errorf("wait on fired event blocked until %v", p.Now())
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := NewEngine()
+	ev := NewEvent(e)
+	e.Spawn("stuck-proc", func(p *Proc) {
+		ev.Wait(p) // never fired
+	})
+	err := e.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("got %v, want DeadlockError", err)
+	}
+	if len(de.Stuck) != 1 || de.Stuck[0] != "stuck-proc" {
+		t.Fatalf("stuck list %v", de.Stuck)
+	}
+	if !strings.Contains(de.Error(), "stuck-proc") {
+		t.Fatalf("error text %q lacks proc name", de.Error())
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("boom", func(p *Proc) {
+		p.Sleep(1)
+		panic("kaboom")
+	})
+	err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("got %v, want panic error", err)
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Spawn("loop", func(p *Proc) {
+		for {
+			p.Sleep(Microsecond)
+			n++
+			if n == 5 {
+				e.Stop()
+			}
+		}
+	})
+	if err := e.Run(); err != ErrStopped {
+		t.Fatalf("got %v, want ErrStopped", err)
+	}
+	if n != 5 {
+		t.Fatalf("ran %d iterations, want 5", n)
+	}
+}
+
+func TestSpawnFromInsideSimulation(t *testing.T) {
+	e := NewEngine()
+	var childAt Time
+	e.Spawn("parent", func(p *Proc) {
+		p.Sleep(3 * Microsecond)
+		e.Spawn("child", func(c *Proc) {
+			childAt = c.Now()
+		})
+		p.Sleep(Microsecond)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childAt != 3*Microsecond {
+		t.Fatalf("child started at %v, want 3µs", childAt)
+	}
+}
+
+func TestYieldRunsOthersFirst(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	e.Spawn("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "a1 b1 a2"
+	if got := strings.Join(order, " "); got != want {
+		t.Fatalf("order %q, want %q", got, want)
+	}
+}
+
+func TestSignalEdgeTriggered(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	wakes := 0
+	e.Spawn("waiter", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			s.Wait(p)
+			wakes++
+		}
+	})
+	e.Spawn("caster", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(Microsecond)
+			s.Broadcast()
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wakes != 3 {
+		t.Fatalf("wakes=%d, want 3", wakes)
+	}
+}
+
+func TestBroadcastWithNoWaitersIsNoop(t *testing.T) {
+	e := NewEngine()
+	s := NewSignal(e)
+	s.Broadcast()
+	e.Spawn("a", func(p *Proc) { p.Sleep(1) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBusyAccounting(t *testing.T) {
+	e := NewEngine()
+	ev := NewEvent(e)
+	var busy Duration
+	e.Spawn("a", func(p *Proc) {
+		p.Sleep(4 * Microsecond)
+		ev.Wait(p) // blocked time must not count
+		p.Sleep(Microsecond)
+		busy = p.Busy()
+	})
+	e.At(100*Microsecond, func() { ev.Fire() })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if busy != 5*Microsecond {
+		t.Fatalf("busy=%v, want 5µs", busy)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{1500, "1.5µs"},
+		{2500000, "2.5ms"},
+		{3 * Second, "3s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("%d.String()=%q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+// Property: for any set of non-negative sleep offsets, processes wake in
+// global timestamp order and the engine clock ends at the max.
+func TestQuickSleepOrdering(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		if len(offsets) == 0 {
+			return true
+		}
+		if len(offsets) > 50 {
+			offsets = offsets[:50]
+		}
+		e := NewEngine()
+		var wakes []Time
+		var max Time
+		for i, off := range offsets {
+			d := Duration(off)
+			if d > max {
+				max = d
+			}
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				p.Sleep(d)
+				wakes = append(wakes, p.Now())
+			})
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		for i := 1; i < len(wakes); i++ {
+			if wakes[i] < wakes[i-1] {
+				return false
+			}
+		}
+		return e.Now() == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

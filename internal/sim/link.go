@@ -1,0 +1,98 @@
+package sim
+
+// Link models a serialized store-and-forward channel with fixed
+// propagation latency and a (possibly size-dependent) bandwidth. It is
+// the shared timing primitive for PCIe lanes, DMA engines and InfiniBand
+// wires: concurrent transfers queue behind one another for the occupancy
+// portion, while latency overlaps freely.
+type Link struct {
+	eng *Engine
+	// Name identifies the link in traces.
+	Name string
+	// Latency is the propagation delay added after occupancy.
+	Latency Duration
+	// Bandwidth returns effective bytes/second for a transfer of n bytes.
+	// It must be positive.
+	Bandwidth func(n int) float64
+
+	nextFree Time
+	// Bytes and Transfers accumulate usage for reports.
+	Bytes     int64
+	Transfers int64
+}
+
+// NewLink returns a link with constant bandwidth bps bytes/second.
+func NewLink(e *Engine, name string, latency Duration, bps float64) *Link {
+	if bps <= 0 {
+		panic("sim: non-positive link bandwidth")
+	}
+	return &Link{eng: e, Name: name, Latency: latency, Bandwidth: func(int) float64 { return bps }}
+}
+
+// NewCurveLink returns a link whose bandwidth depends on transfer size.
+func NewCurveLink(e *Engine, name string, latency Duration, bw func(n int) float64) *Link {
+	return &Link{eng: e, Name: name, Latency: latency, Bandwidth: bw}
+}
+
+// OccupancyFor returns the wire-occupancy time for n bytes at the
+// link's effective bandwidth, with no queueing.
+func (l *Link) OccupancyFor(n int) Duration {
+	if n <= 0 {
+		return 0
+	}
+	bps := l.Bandwidth(n)
+	if bps <= 0 {
+		panic("sim: link bandwidth curve returned non-positive rate")
+	}
+	return Duration(float64(n) / bps * float64(Second))
+}
+
+// Reserve books a transfer of n bytes starting no earlier than the
+// current time and returns the virtual time at which the last byte
+// arrives (queueing + occupancy + latency). It does not block the
+// caller; combine with Engine.At to deliver the completion.
+func (l *Link) Reserve(n int) Time {
+	now := l.eng.now
+	start := now
+	if l.nextFree > start {
+		start = l.nextFree
+	}
+	occ := l.OccupancyFor(n)
+	l.nextFree = start + occ
+	l.Bytes += int64(n)
+	l.Transfers++
+	return start + occ + l.Latency
+}
+
+// ReserveRate books a transfer of n bytes like Reserve but at an
+// explicit effective rate (bytes/second) instead of the link's curve.
+// Interconnect models use this when the rate is constrained by the
+// slower of several stages (e.g. an HCA DMA read feeding the wire).
+func (l *Link) ReserveRate(n int, bps float64) Time {
+	if bps <= 0 {
+		panic("sim: non-positive reserve rate")
+	}
+	now := l.eng.now
+	start := now
+	if l.nextFree > start {
+		start = l.nextFree
+	}
+	var occ Duration
+	if n > 0 {
+		occ = Duration(float64(n) / bps * float64(Second))
+	}
+	l.nextFree = start + occ
+	l.Bytes += int64(n)
+	l.Transfers++
+	return start + occ + l.Latency
+}
+
+// NextFree reports when the link's occupancy window ends.
+func (l *Link) NextFree() Time { return l.nextFree }
+
+// Transfer is the common process-context idiom: reserve the link for n
+// bytes and sleep until the data has fully arrived.
+func (l *Link) Transfer(p *Proc, n int) {
+	done := l.Reserve(n)
+	p.Sleep(done - p.Now())
+}

@@ -1,0 +1,183 @@
+package sim
+
+import "fmt"
+
+type parkKind int
+
+const (
+	parkBlocked   parkKind = iota // waiting on an Event/Signal/Queue; no timer
+	parkScheduled                 // a wake event is already in the calendar
+	parkFinished                  // process function returned
+	parkPanicked                  // process function panicked
+)
+
+type parkMsg struct {
+	kind     parkKind
+	panicVal any
+}
+
+// Proc is a simulated process: a goroutine that runs only when the engine
+// dispatches it and that advances virtual time by sleeping or blocking.
+// All Proc methods must be called from the process's own goroutine while
+// it is running.
+type Proc struct {
+	eng      *Engine
+	name     string
+	id       int
+	resume   chan struct{}
+	parked   chan parkMsg
+	finished bool
+	dead     bool
+	daemon   bool
+
+	// busy accumulates virtual time this process spent in Sleep/Compute
+	// (as opposed to blocked waiting), for utilization reporting.
+	busy Duration
+}
+
+// MarkDaemon excludes this process from deadlock detection: a daemon
+// blocked forever (e.g. a delegation server waiting for commands) is
+// normal program shape, not a hang.
+func (p *Proc) MarkDaemon() { p.daemon = true }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the process's engine-unique id.
+func (p *Proc) ID() int { return p.id }
+
+// Engine returns the owning engine.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Busy returns the virtual time this process spent actively sleeping or
+// computing (not blocked).
+func (p *Proc) Busy() Duration { return p.busy }
+
+// run is the goroutine body backing the process.
+func (p *Proc) run(fn func(p *Proc)) {
+	<-p.resume // wait for first dispatch
+	defer func() {
+		if r := recover(); r != nil {
+			if r == errProcKilled {
+				// Engine tore us down; exit silently.
+				return
+			}
+			p.parked <- parkMsg{kind: parkPanicked, panicVal: r}
+			return
+		}
+		p.parked <- parkMsg{kind: parkFinished}
+	}()
+	fn(p)
+}
+
+// errProcKilled is thrown to unwind a process the engine abandoned.
+var errProcKilled = fmt.Errorf("sim: proc killed")
+
+// park hands control back to the engine and waits to be resumed.
+func (p *Proc) park(kind parkKind) {
+	p.parked <- parkMsg{kind: kind}
+	<-p.resume
+	if p.dead {
+		panic(errProcKilled)
+	}
+}
+
+// Sleep advances this process's virtual clock by d. Other events run in
+// the meantime. Negative durations are treated as zero.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.busy += d
+	p.eng.schedule(p.eng.now+d, p, nil)
+	p.park(parkScheduled)
+}
+
+// Yield reschedules the process at the current time, letting every other
+// event already queued for this instant run first.
+func (p *Proc) Yield() {
+	p.eng.schedule(p.eng.now, p, nil)
+	p.park(parkScheduled)
+}
+
+// block parks the process with no pending wake; some other party must
+// call wake.
+func (p *Proc) block() {
+	p.park(parkBlocked)
+}
+
+// wake schedules the process to resume at the current virtual time.
+func (p *Proc) wake() {
+	p.eng.schedule(p.eng.now, p, nil)
+}
+
+// Event is a one-shot level-triggered completion: once fired it stays
+// fired, and waiters return immediately. Fire is idempotent.
+type Event struct {
+	eng     *Engine
+	fired   bool
+	firedAt Time
+	waiters []*Proc
+}
+
+// NewEvent returns an unfired event on engine e.
+func NewEvent(e *Engine) *Event { return &Event{eng: e} }
+
+// Fired reports whether the event has fired.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// FiredAt returns the virtual time of the first Fire; zero if unfired.
+func (ev *Event) FiredAt() Time { return ev.firedAt }
+
+// Fire marks the event complete and wakes all waiters at the current
+// virtual time. Subsequent calls are no-ops.
+func (ev *Event) Fire() {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	ev.firedAt = ev.eng.now
+	for _, w := range ev.waiters {
+		w.wake()
+	}
+	ev.waiters = nil
+}
+
+// Wait blocks p until the event fires. Returns immediately if already
+// fired.
+func (ev *Event) Wait(p *Proc) {
+	if ev.fired {
+		return
+	}
+	ev.waiters = append(ev.waiters, p)
+	p.block()
+}
+
+// Signal is an edge-triggered broadcast: Wait blocks until the next
+// Broadcast after the wait began. It is the engine's condition variable;
+// because the engine is cooperative there is no lost-wakeup race as long
+// as the caller re-checks its predicate after waking.
+type Signal struct {
+	eng     *Engine
+	waiters []*Proc
+}
+
+// NewSignal returns a signal on engine e.
+func NewSignal(e *Engine) *Signal { return &Signal{eng: e} }
+
+// Broadcast wakes every currently blocked waiter.
+func (s *Signal) Broadcast() {
+	for _, w := range s.waiters {
+		w.wake()
+	}
+	s.waiters = s.waiters[:0]
+}
+
+// Wait blocks p until the next Broadcast.
+func (s *Signal) Wait(p *Proc) {
+	s.waiters = append(s.waiters, p)
+	p.block()
+}

@@ -1,0 +1,106 @@
+package sim
+
+// Queue is an unbounded FIFO of arbitrary items with blocking Get,
+// usable only from inside a running simulation. Multiple getters are
+// served in the order they blocked.
+type Queue[T any] struct {
+	eng     *Engine
+	items   []T
+	getters []*Proc
+}
+
+// NewQueue returns an empty queue on engine e.
+func NewQueue[T any](e *Engine) *Queue[T] {
+	return &Queue[T]{eng: e}
+}
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Put appends v and wakes the oldest blocked getter, if any. It may be
+// called from process or callback context.
+func (q *Queue[T]) Put(v T) {
+	q.items = append(q.items, v)
+	if len(q.getters) > 0 {
+		g := q.getters[0]
+		q.getters = q.getters[1:]
+		g.wake()
+	}
+}
+
+// TryGet removes and returns the head item without blocking.
+func (q *Queue[T]) TryGet() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Get blocks p until an item is available, then removes and returns it.
+func (q *Queue[T]) Get(p *Proc) T {
+	for {
+		if v, ok := q.TryGet(); ok {
+			return v
+		}
+		q.getters = append(q.getters, p)
+		p.block()
+	}
+}
+
+// Peek returns the head item without removing it.
+func (q *Queue[T]) Peek() (T, bool) {
+	var zero T
+	if len(q.items) == 0 {
+		return zero, false
+	}
+	return q.items[0], true
+}
+
+// Semaphore is a counting semaphore for modeling limited resources
+// (DMA channels, QP slots). Acquire blocks in FIFO order.
+type Semaphore struct {
+	eng     *Engine
+	free    int
+	waiters []*Proc
+}
+
+// NewSemaphore returns a semaphore with n permits.
+func NewSemaphore(e *Engine, n int) *Semaphore {
+	if n < 0 {
+		panic("sim: negative semaphore")
+	}
+	return &Semaphore{eng: e, free: n}
+}
+
+// Free returns the number of available permits.
+func (s *Semaphore) Free() int { return s.free }
+
+// TryAcquire takes a permit without blocking.
+func (s *Semaphore) TryAcquire() bool {
+	if s.free > 0 {
+		s.free--
+		return true
+	}
+	return false
+}
+
+// Acquire blocks p until a permit is available.
+func (s *Semaphore) Acquire(p *Proc) {
+	for !s.TryAcquire() {
+		s.waiters = append(s.waiters, p)
+		p.block()
+	}
+}
+
+// Release returns a permit and wakes the oldest waiter.
+func (s *Semaphore) Release() {
+	s.free++
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		w.wake()
+	}
+}

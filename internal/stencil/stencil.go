@@ -1,0 +1,476 @@
+// Package stencil implements the paper's third experiment: a five-point
+// Jacobi stencil on a 1282×1282 grid, parallelized with MPI across
+// nodes and OpenMP within each Xeon Phi, runnable under all three
+// execution modes (DCFA-MPI, 'Intel MPI on Xeon Phi', 'Intel MPI on
+// Xeon + offload') plus a serial reference.
+//
+// Domain decomposition is by rows; each rank exchanges one ~10 KiB halo
+// row per neighbor per iteration (Table III). All modes do the real
+// floating-point math on simulated device memory, so every
+// configuration is verified bit-for-bit against the serial reference.
+package stencil
+
+import (
+	"fmt"
+	"unsafe"
+
+	"repro/internal/baseline"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/omp"
+	"repro/internal/perfmodel"
+	"repro/internal/sim"
+)
+
+// Params configures one stencil run.
+type Params struct {
+	// N is the interior dimension: the paper uses N=1280 (a 1282×1282
+	// grid holding ~12 MiB of float64).
+	N int
+	// Iters is the iteration count (paper: 100).
+	Iters int
+	// Procs is the MPI process count; must divide N.
+	Procs int
+	// Threads is the OpenMP team size per process (paper sweeps to 56).
+	Threads int
+	// SkipCompute charges compute time without running the math —
+	// benchmark mode; numeric verification uses SkipCompute=false.
+	SkipCompute bool
+}
+
+// PaperParams returns the paper's configuration.
+func PaperParams(procs, threads int) Params {
+	return Params{N: 1280, Iters: 100, Procs: procs, Threads: threads}
+}
+
+// Validate checks the decomposition.
+func (pr Params) Validate() error {
+	if pr.N <= 0 || pr.Iters <= 0 || pr.Procs <= 0 || pr.Threads <= 0 {
+		return fmt.Errorf("stencil: non-positive parameter: %+v", pr)
+	}
+	if pr.N%pr.Procs != 0 {
+		return fmt.Errorf("stencil: procs %d does not divide N %d", pr.Procs, pr.N)
+	}
+	return nil
+}
+
+// Width is the padded grid dimension (interior + 2 boundary).
+func (pr Params) Width() int { return pr.N + 2 }
+
+// ComputeBytes is the full grid footprint (Table III "Computing Data").
+func (pr Params) ComputeBytes() int { return pr.Width() * pr.Width() * 8 }
+
+// HaloBytes is one exchanged row (Table III "MPI Communication Data":
+// ~10 KiB at the paper's size).
+func (pr Params) HaloBytes() int { return pr.Width() * 8 }
+
+// Result reports one run.
+type Result struct {
+	// Total is the timed loop duration (rank 0's measurement after a
+	// closing barrier).
+	Total sim.Duration
+	// PerIter is Total / Iters — the paper's "average processing time".
+	PerIter sim.Duration
+	// Checksum is the rank-blocked interior sum (zero when SkipCompute).
+	Checksum float64
+}
+
+// f64view reinterprets device memory as float64s; device buffers come
+// from make([]byte, ...), which is suitably aligned for the slab sizes
+// used here.
+func f64view(b []byte) []float64 {
+	if len(b) < 8 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+// initSlab fills a local slab ((rows+2)×w, ghost rows included) with
+// the initial condition: global top boundary row = 1, everything else 0.
+// isTop marks the rank owning the global top.
+func initSlab(g []float64, isTop bool, w int) {
+	for i := range g {
+		g[i] = 0
+	}
+	if isTop {
+		for c := 0; c < w; c++ {
+			g[c] = 1
+		}
+	}
+}
+
+// jacobiRows computes one sweep over owned rows [lo, hi) (0-based owned
+// index; slab row = owned index + 1).
+func jacobiRows(next, cur []float64, w, lo, hi int) {
+	for r := lo; r < hi; r++ {
+		row := (r + 1) * w
+		for c := 1; c < w-1; c++ {
+			i := row + c
+			next[i] = 0.25 * (cur[i-w] + cur[i+w] + cur[i-1] + cur[i+1])
+		}
+	}
+}
+
+// Reference runs the serial stencil in plain Go and returns the full
+// grid after Iters sweeps.
+func Reference(pr Params) []float64 {
+	w := pr.Width()
+	cur := make([]float64, w*w)
+	next := make([]float64, w*w)
+	initSlab(cur, true, w)
+	copy(next, cur)
+	for it := 0; it < pr.Iters; it++ {
+		jacobiRows(next, cur, w, 0, pr.N)
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// ReferenceChecksum sums the interior of a grid in the same
+// rank-blocked order the distributed runs use, so floating-point
+// association matches exactly.
+func ReferenceChecksum(grid []float64, pr Params) float64 {
+	w := pr.Width()
+	rowsPer := pr.N / pr.Procs
+	total := 0.0
+	for k := 0; k < pr.Procs; k++ {
+		part := 0.0
+		for r := 1 + k*rowsPer; r <= (k+1)*rowsPer; r++ {
+			for c := 1; c < w-1; c++ {
+				part += grid[r*w+c]
+			}
+		}
+		total += part
+	}
+	return total
+}
+
+// slab is one rank's local grid (owned rows plus two ghost rows).
+type slab struct {
+	rows int
+	w    int
+	cur  *machine.Buffer
+	next *machine.Buffer
+}
+
+func newSlab(dom *machine.Domain, pr Params, rank int) *slab {
+	w := pr.Width()
+	rows := pr.N / pr.Procs
+	bytes := (rows + 2) * w * 8
+	l := &slab{rows: rows, w: w, cur: dom.Alloc(bytes), next: dom.Alloc(bytes)}
+	initSlab(f64view(l.cur.Data), rank == 0, w)
+	copy(f64view(l.next.Data), f64view(l.cur.Data))
+	return l
+}
+
+// row returns slab row i of buffer b as a core.Slice.
+func (l *slab) row(b *machine.Buffer, i int) core.Slice {
+	return core.Slice{Buf: b, Off: i * l.w * 8, N: l.w * 8}
+}
+
+// sweep runs one Jacobi iteration: charge the parallel region for all
+// interior points; execute the math by rows unless skipped; keep fixed
+// boundaries and ghost rows intact in the new buffer; swap.
+func (l *slab) sweep(p *sim.Proc, team *omp.Team, skip bool) {
+	points := l.rows * (l.w - 2)
+	team.ParallelFor(p, points, nil)
+	if !skip {
+		cur := f64view(l.cur.Data)
+		next := f64view(l.next.Data)
+		team.Execute(l.rows, func(lo, hi int) {
+			jacobiRows(next, cur, l.w, lo, hi)
+		})
+		// Fixed left/right boundary columns and both ghost rows carry
+		// over unchanged.
+		for r := 0; r < l.rows+2; r++ {
+			next[r*l.w] = cur[r*l.w]
+			next[r*l.w+l.w-1] = cur[r*l.w+l.w-1]
+		}
+		copy(next[:l.w], cur[:l.w])
+		copy(next[(l.rows+1)*l.w:], cur[(l.rows+1)*l.w:])
+	}
+	l.cur, l.next = l.next, l.cur
+}
+
+// partialSum sums the rank's owned interior.
+func (l *slab) partialSum() float64 {
+	g := f64view(l.cur.Data)
+	s := 0.0
+	for r := 1; r <= l.rows; r++ {
+		for c := 1; c < l.w-1; c++ {
+			s += g[r*l.w+c]
+		}
+	}
+	return s
+}
+
+const (
+	tagUp   = 11 // halo moving toward lower ranks
+	tagDown = 12 // halo moving toward higher ranks
+)
+
+// exchange swaps halo rows with both neighbors using nonblocking MPI on
+// the given buffer.
+func exchange(p *sim.Proc, r *core.Rank, l *slab, buf *machine.Buffer, procs int) error {
+	var reqs []*core.Request
+	add := func(q *core.Request, err error) error {
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, q)
+		return nil
+	}
+	if up := r.ID() - 1; up >= 0 {
+		if err := add(r.Isend(p, up, tagUp, l.row(buf, 1))); err != nil {
+			return err
+		}
+		if err := add(r.Irecv(p, up, tagDown, l.row(buf, 0))); err != nil {
+			return err
+		}
+	}
+	if down := r.ID() + 1; down < procs {
+		if err := add(r.Isend(p, down, tagDown, l.row(buf, l.rows))); err != nil {
+			return err
+		}
+		if err := add(r.Irecv(p, down, tagUp, l.row(buf, l.rows+1))); err != nil {
+			return err
+		}
+	}
+	return r.WaitAll(p, reqs...)
+}
+
+// gatherChecksum combines rank partial sums at rank 0 in rank order.
+func gatherChecksum(p *sim.Proc, r *core.Rank, part float64) (float64, error) {
+	mine := r.Mem(8)
+	core.PutF64s(mine.Data, []float64{part})
+	all := r.Mem(8 * r.Size())
+	if err := r.Gather(p, 0, core.Whole(mine), core.Whole(all)); err != nil {
+		return 0, err
+	}
+	if r.ID() != 0 {
+		return 0, nil
+	}
+	parts := core.GetF64s(all.Data, r.Size())
+	total := 0.0
+	for _, v := range parts {
+		total += v
+	}
+	return total, nil
+}
+
+// runMPI is the shared application body for the two co-processor
+// resident modes (DCFA-MPI and 'Intel MPI on Xeon Phi').
+func runMPI(w *core.World, pr Params) (Result, error) {
+	if err := pr.Validate(); err != nil {
+		return Result{}, err
+	}
+	var res Result
+	err := w.Run(func(r *core.Rank) error {
+		p := r.Proc()
+		l := newSlab(r.Domain(), pr, r.ID())
+		team := omp.NewTeam(w.Plat, pr.Threads, r.Loc())
+		// In benchmark mode, run untimed warmup exchanges so one-time
+		// registration costs amortize as in the paper's 100-iteration
+		// averages (MR cache warm, offload arena touched).
+		if pr.SkipCompute && pr.Procs > 1 {
+			for i := 0; i < 2; i++ {
+				if err := exchange(p, r, l, l.cur, pr.Procs); err != nil {
+					return err
+				}
+				l.cur, l.next = l.next, l.cur
+			}
+		}
+		if err := r.Barrier(p); err != nil {
+			return err
+		}
+		start := p.Now()
+		for it := 0; it < pr.Iters; it++ {
+			if pr.Procs > 1 {
+				if err := exchange(p, r, l, l.cur, pr.Procs); err != nil {
+					return err
+				}
+			}
+			l.sweep(p, team, pr.SkipCompute)
+		}
+		if err := r.Barrier(p); err != nil {
+			return err
+		}
+		total := p.Now() - start
+		var sum float64
+		if !pr.SkipCompute {
+			var err error
+			sum, err = gatherChecksum(p, r, l.partialSum())
+			if err != nil {
+				return err
+			}
+		}
+		if r.ID() == 0 {
+			res = Result{Total: total, PerIter: total / sim.Duration(pr.Iters), Checksum: sum}
+		}
+		return nil
+	})
+	return res, err
+}
+
+// RunDCFA runs the stencil under DCFA-MPI (offload send buffer per the
+// flag) on a fresh cluster with one node per process.
+func RunDCFA(plat *perfmodel.Platform, pr Params, offload bool) (Result, error) {
+	c := cluster.New(plat, pr.Procs)
+	return runMPI(c.DCFAWorld(pr.Procs, offload), pr)
+}
+
+// RunPhiMPI runs the stencil under the 'Intel MPI on Xeon Phi' mode.
+func RunPhiMPI(plat *perfmodel.Platform, pr Params) (Result, error) {
+	c := cluster.New(plat, pr.Procs)
+	return runMPI(baseline.PhiMPIWorld(c, pr.Procs), pr)
+}
+
+// RunHostOffload runs the stencil under the 'Intel MPI on Xeon where it
+// offloads computation to Xeon Phi co-processors' mode: host MPI ranks,
+// computation and grid on the co-processor, per-iteration offload
+// kernel launches, and packed halo transfers over the COI path
+// (Table III: copy in + copy out each iteration).
+func RunHostOffload(plat *perfmodel.Platform, pr Params) (Result, error) {
+	if err := pr.Validate(); err != nil {
+		return Result{}, err
+	}
+	c := cluster.New(plat, pr.Procs)
+	w, devs := baseline.HostOffloadWorld(c, pr.Procs)
+	var res Result
+	err := w.Run(func(r *core.Rank) error {
+		p := r.Proc()
+		dev := devs[r.ID()]
+		dev.Init(p) // one-time, outside the timed loop, as optimized
+		micDom := dev.Node.Mic
+		l := newSlab(micDom, pr, r.ID()) // compute slab on the card
+		hostSlab := newSlab(r.Domain(), pr, r.ID())
+		team := omp.NewTeam(w.Plat, pr.Threads, machine.MicMem)
+		hasUp := r.ID() > 0
+		hasDown := r.ID() < pr.Procs-1
+		nHalo := 0
+		if hasUp {
+			nHalo++
+		}
+		if hasDown {
+			nHalo++
+		}
+		rowB := l.w * 8
+		// Persistent, page-aligned packed staging buffers (policies 2+3).
+		hostPack := r.Domain().Alloc(2 * rowB)
+		micPack := micDom.Alloc(2 * rowB)
+		// Untimed warmup in benchmark mode, mirroring runMPI.
+		if pr.SkipCompute && pr.Procs > 1 {
+			for i := 0; i < 2; i++ {
+				if err := exchange(p, r, hostSlab, hostSlab.cur, pr.Procs); err != nil {
+					return err
+				}
+				hostSlab.cur, hostSlab.next = hostSlab.next, hostSlab.cur
+			}
+		}
+		if err := r.Barrier(p); err != nil {
+			return err
+		}
+		start := p.Now()
+		for it := 0; it < pr.Iters; it++ {
+			if nHalo > 0 {
+				// Copy out: pack the card's edge rows, one COI transfer,
+				// unpack into the host slab for MPI.
+				off := 0
+				if hasUp {
+					copy(micPack.Data[off:off+rowB], l.row(l.cur, 1).Bytes())
+					off += rowB
+				}
+				if hasDown {
+					copy(micPack.Data[off:off+rowB], l.row(l.cur, l.rows).Bytes())
+					off += rowB
+				}
+				dev.TransferOut(p, hostPack.Data[:off], micPack.Data[:off])
+				off = 0
+				if hasUp {
+					copy(hostSlab.row(hostSlab.cur, 1).Bytes(), hostPack.Data[off:off+rowB])
+					off += rowB
+				}
+				if hasDown {
+					copy(hostSlab.row(hostSlab.cur, hostSlab.rows).Bytes(), hostPack.Data[off:off+rowB])
+					off += rowB
+				}
+				// Host MPI halo exchange.
+				if err := exchange(p, r, hostSlab, hostSlab.cur, pr.Procs); err != nil {
+					return err
+				}
+				// Copy in: pack received ghost rows, one COI transfer,
+				// unpack into the card's ghost rows.
+				off = 0
+				if hasUp {
+					copy(hostPack.Data[off:off+rowB], hostSlab.row(hostSlab.cur, 0).Bytes())
+					off += rowB
+				}
+				if hasDown {
+					copy(hostPack.Data[off:off+rowB], hostSlab.row(hostSlab.cur, hostSlab.rows+1).Bytes())
+					off += rowB
+				}
+				dev.TransferIn(p, micPack.Data[:off], hostPack.Data[:off])
+				off = 0
+				if hasUp {
+					copy(l.row(l.cur, 0).Bytes(), micPack.Data[off:off+rowB])
+					off += rowB
+				}
+				if hasDown {
+					copy(l.row(l.cur, l.rows+1).Bytes(), micPack.Data[off:off+rowB])
+					off += rowB
+				}
+			}
+			// Kernel launch each iteration (the mode's fixed overhead),
+			// then the sweep on the card.
+			dev.Launch(p, pr.Threads)
+			l.sweep(p, team, pr.SkipCompute)
+		}
+		if err := r.Barrier(p); err != nil {
+			return err
+		}
+		total := p.Now() - start
+		var sum float64
+		if !pr.SkipCompute {
+			var err error
+			sum, err = gatherChecksum(p, r, l.partialSum())
+			if err != nil {
+				return err
+			}
+		}
+		if r.ID() == 0 {
+			res = Result{Total: total, PerIter: total / sim.Duration(pr.Iters), Checksum: sum}
+		}
+		return nil
+	})
+	return res, err
+}
+
+// RunSerial runs the single-thread, no-MPI program on one co-processor:
+// the baseline of the paper's Figure 12 speed-ups.
+func RunSerial(plat *perfmodel.Platform, pr Params) (Result, error) {
+	pr.Procs = 1
+	pr.Threads = 1
+	if err := pr.Validate(); err != nil {
+		return Result{}, err
+	}
+	c := cluster.New(plat, 1)
+	l := newSlab(c.Nodes[0].Mic, pr, 0)
+	team := omp.NewTeam(plat, 1, machine.MicMem)
+	var res Result
+	c.Eng.Spawn("serial-stencil", func(p *sim.Proc) {
+		start := p.Now()
+		for it := 0; it < pr.Iters; it++ {
+			l.sweep(p, team, pr.SkipCompute)
+		}
+		total := p.Now() - start
+		res = Result{Total: total, PerIter: total / sim.Duration(pr.Iters)}
+		if !pr.SkipCompute {
+			res.Checksum = l.partialSum()
+		}
+	})
+	if err := c.Eng.Run(); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}

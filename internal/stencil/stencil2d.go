@@ -1,0 +1,265 @@
+package stencil
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/omp"
+	"repro/internal/perfmodel"
+	"repro/internal/sim"
+)
+
+// Params2D configures a two-dimensional domain decomposition: a Px×Py
+// process grid over the same (N+2)² problem. Row halos stay contiguous;
+// column halos are strided and exercise the vector datatype path. The
+// paper uses the 1D decomposition; this is the natural extension for
+// larger process counts, included as an ablation.
+type Params2D struct {
+	N       int
+	Iters   int
+	Px, Py  int
+	Threads int
+	// SkipCompute mirrors Params.SkipCompute.
+	SkipCompute bool
+}
+
+// Procs is the total process count.
+func (pr Params2D) Procs() int { return pr.Px * pr.Py }
+
+// Validate checks the decomposition.
+func (pr Params2D) Validate() error {
+	if pr.N <= 0 || pr.Iters <= 0 || pr.Px <= 0 || pr.Py <= 0 || pr.Threads <= 0 {
+		return fmt.Errorf("stencil: non-positive 2D parameter: %+v", pr)
+	}
+	if pr.N%pr.Px != 0 || pr.N%pr.Py != 0 {
+		return fmt.Errorf("stencil: grid %d×%d does not divide N=%d", pr.Px, pr.Py, pr.N)
+	}
+	return nil
+}
+
+// slab2d is one rank's 2D block with a one-cell ghost ring.
+type slab2d struct {
+	rows, cols int // owned interior
+	w          int // local width = cols+2
+	cur, next  *machine.Buffer
+}
+
+// newSlab2D allocates and initializes the block at grid position
+// (py, px).
+func newSlab2D(dom *machine.Domain, pr Params2D, px, py int) *slab2d {
+	rows := pr.N / pr.Py
+	cols := pr.N / pr.Px
+	w := cols + 2
+	bytes := (rows + 2) * w * 8
+	l := &slab2d{rows: rows, cols: cols, w: w, cur: dom.Alloc(bytes), next: dom.Alloc(bytes)}
+	g := f64view(l.cur.Data)
+	for i := range g {
+		g[i] = 0
+	}
+	if py == 0 {
+		// Global top boundary row = 1 lands in this block's top ghost.
+		for c := 0; c < w; c++ {
+			g[c] = 1
+		}
+	}
+	copy(f64view(l.next.Data), g)
+	return l
+}
+
+func (l *slab2d) sweep(p *sim.Proc, team *omp.Team, skip bool) {
+	points := l.rows * l.cols
+	team.ParallelFor(p, points, nil)
+	if !skip {
+		cur := f64view(l.cur.Data)
+		next := f64view(l.next.Data)
+		team.Execute(l.rows, func(lo, hi int) {
+			for r := lo; r < hi; r++ {
+				row := (r + 1) * l.w
+				for c := 1; c <= l.cols; c++ {
+					i := row + c
+					next[i] = 0.25 * (cur[i-l.w] + cur[i+l.w] + cur[i-1] + cur[i+1])
+				}
+			}
+		})
+		// Ghost ring carries over.
+		for r := 0; r < l.rows+2; r++ {
+			next[r*l.w] = cur[r*l.w]
+			next[r*l.w+l.w-1] = cur[r*l.w+l.w-1]
+		}
+		copy(next[:l.w], cur[:l.w])
+		copy(next[(l.rows+1)*l.w:], cur[(l.rows+1)*l.w:])
+	}
+	l.cur, l.next = l.next, l.cur
+}
+
+func (l *slab2d) partialSum() float64 {
+	g := f64view(l.cur.Data)
+	s := 0.0
+	for r := 1; r <= l.rows; r++ {
+		for c := 1; c <= l.cols; c++ {
+			s += g[r*l.w+c]
+		}
+	}
+	return s
+}
+
+// exchange2d swaps the four halos. Rows are contiguous slices; columns
+// are packed/unpacked through the vector datatype with its charged
+// gather cost, like a real MPI application would.
+func exchange2d(p *sim.Proc, r *core.Rank, l *slab2d, pr Params2D,
+	colStage [4]*machine.Buffer) error {
+	px := r.ID() % pr.Px
+	py := r.ID() / pr.Px
+	rowB := l.cols * 8
+	rowSlice := func(row int) core.Slice {
+		return core.Slice{Buf: l.cur, Off: (row*l.w + 1) * 8, N: rowB}
+	}
+	var reqs []*core.Request
+	add := func(q *core.Request, err error) error {
+		if err != nil {
+			return err
+		}
+		reqs = append(reqs, q)
+		return nil
+	}
+	// North/south: contiguous interior row segments.
+	if py > 0 {
+		north := r.ID() - pr.Px
+		if err := add(r.Isend(p, north, tagUp, rowSlice(1))); err != nil {
+			return err
+		}
+		if err := add(r.Irecv(p, north, tagDown, rowSlice(0))); err != nil {
+			return err
+		}
+	}
+	if py < pr.Py-1 {
+		south := r.ID() + pr.Px
+		if err := add(r.Isend(p, south, tagDown, rowSlice(l.rows))); err != nil {
+			return err
+		}
+		if err := add(r.Irecv(p, south, tagUp, rowSlice(l.rows+1))); err != nil {
+			return err
+		}
+	}
+	// East/west: strided columns, packed into staging buffers.
+	colDT := core.Vector(l.rows, 1, l.w, 8)
+	colBytes := l.rows * 8
+	colOff := func(col int) int { return (l.w + col) * 8 } // row 1, given column
+	if px > 0 {
+		west := r.ID() - 1
+		r.Pack(p, colStage[0].Data[:colBytes], l.cur.Data[colOff(1):], colDT)
+		if err := add(r.Isend(p, west, tagWest, core.Slice{Buf: colStage[0], N: colBytes})); err != nil {
+			return err
+		}
+		if err := add(r.Irecv(p, west, tagEast, core.Slice{Buf: colStage[1], N: colBytes})); err != nil {
+			return err
+		}
+	}
+	if px < pr.Px-1 {
+		east := r.ID() + 1
+		r.Pack(p, colStage[2].Data[:colBytes], l.cur.Data[colOff(l.cols):], colDT)
+		if err := add(r.Isend(p, east, tagEast, core.Slice{Buf: colStage[2], N: colBytes})); err != nil {
+			return err
+		}
+		if err := add(r.Irecv(p, east, tagWest, core.Slice{Buf: colStage[3], N: colBytes})); err != nil {
+			return err
+		}
+	}
+	if err := r.WaitAll(p, reqs...); err != nil {
+		return err
+	}
+	// Unpack received columns into the ghost columns.
+	if px > 0 {
+		r.Unpack(p, l.cur.Data[colOff(0):], colStage[1].Data[:colBytes], colDT)
+	}
+	if px < pr.Px-1 {
+		r.Unpack(p, l.cur.Data[colOff(l.cols+1):], colStage[3].Data[:colBytes], colDT)
+	}
+	return nil
+}
+
+const (
+	tagWest = 13
+	tagEast = 14
+)
+
+// ReferenceChecksum2D sums the reference grid in the 2D rank-blocked
+// order used by Run2D, preserving float association.
+func ReferenceChecksum2D(grid []float64, pr Params2D) float64 {
+	w := pr.N + 2
+	rows := pr.N / pr.Py
+	cols := pr.N / pr.Px
+	total := 0.0
+	for py := 0; py < pr.Py; py++ {
+		for px := 0; px < pr.Px; px++ {
+			part := 0.0
+			for r := 1 + py*rows; r <= (py+1)*rows; r++ {
+				for c := 1 + px*cols; c <= (px+1)*cols; c++ {
+					part += grid[r*w+c]
+				}
+			}
+			total += part
+		}
+	}
+	return total
+}
+
+// Run2D runs the 2D-decomposed stencil under DCFA-MPI.
+func Run2D(plat *perfmodel.Platform, pr Params2D, offload bool) (Result, error) {
+	if err := pr.Validate(); err != nil {
+		return Result{}, err
+	}
+	c := cluster.New(plat, pr.Procs())
+	w := c.DCFAWorld(pr.Procs(), offload)
+	var res Result
+	err := w.Run(func(r *core.Rank) error {
+		p := r.Proc()
+		px := r.ID() % pr.Px
+		py := r.ID() / pr.Px
+		l := newSlab2D(r.Domain(), Params2D{N: pr.N, Iters: pr.Iters, Px: pr.Px, Py: pr.Py, Threads: pr.Threads}, px, py)
+		team := omp.NewTeam(plat, pr.Threads, r.Loc())
+		var colStage [4]*machine.Buffer
+		for i := range colStage {
+			colStage[i] = r.Mem(l.rows * 8)
+		}
+		if pr.SkipCompute && pr.Procs() > 1 {
+			for i := 0; i < 2; i++ {
+				if err := exchange2d(p, r, l, pr, colStage); err != nil {
+					return err
+				}
+				l.cur, l.next = l.next, l.cur
+			}
+		}
+		if err := r.Barrier(p); err != nil {
+			return err
+		}
+		start := p.Now()
+		for it := 0; it < pr.Iters; it++ {
+			if pr.Procs() > 1 {
+				if err := exchange2d(p, r, l, pr, colStage); err != nil {
+					return err
+				}
+			}
+			l.sweep(p, team, pr.SkipCompute)
+		}
+		if err := r.Barrier(p); err != nil {
+			return err
+		}
+		total := p.Now() - start
+		var sum float64
+		if !pr.SkipCompute {
+			var err error
+			sum, err = gatherChecksum(p, r, l.partialSum())
+			if err != nil {
+				return err
+			}
+		}
+		if r.ID() == 0 {
+			res = Result{Total: total, PerIter: total / sim.Duration(pr.Iters), Checksum: sum}
+		}
+		return nil
+	})
+	return res, err
+}

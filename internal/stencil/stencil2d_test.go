@@ -1,0 +1,71 @@
+package stencil
+
+import (
+	"testing"
+
+	"repro/internal/perfmodel"
+)
+
+func TestRun2DMatchesReference(t *testing.T) {
+	for _, grid := range []struct{ px, py int }{{1, 1}, {2, 1}, {1, 2}, {2, 2}, {4, 2}} {
+		pr := Params2D{N: 64, Iters: 8, Px: grid.px, Py: grid.py, Threads: 2}
+		res, err := Run2D(perfmodel.Default(), pr, true)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", grid.px, grid.py, err)
+		}
+		ref := Reference(Params{N: pr.N, Iters: pr.Iters, Procs: 1, Threads: 1})
+		want := ReferenceChecksum2D(ref, pr)
+		if res.Checksum != want {
+			t.Fatalf("%dx%d: checksum %v, reference %v", grid.px, grid.py, res.Checksum, want)
+		}
+	}
+}
+
+func TestRun2DRejectsBadGrid(t *testing.T) {
+	if _, err := Run2D(perfmodel.Default(), Params2D{N: 10, Iters: 1, Px: 3, Py: 1, Threads: 1}, true); err == nil {
+		t.Fatal("3 does not divide 10")
+	}
+	if _, err := Run2D(perfmodel.Default(), Params2D{N: 8, Iters: 1, Px: 0, Py: 1, Threads: 1}, true); err == nil {
+		t.Fatal("zero Px accepted")
+	}
+}
+
+func Test2DChecksumEquals1DForRowGrids(t *testing.T) {
+	// A Px=1 2D decomposition is exactly the 1D decomposition.
+	pr2 := Params2D{N: 32, Iters: 5, Px: 1, Py: 4, Threads: 1}
+	pr1 := Params{N: 32, Iters: 5, Procs: 4, Threads: 1}
+	r2, err := Run2D(perfmodel.Default(), pr2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := RunDCFA(perfmodel.Default(), pr1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Checksum != r2.Checksum {
+		t.Fatalf("1D %v vs 2D %v", r1.Checksum, r2.Checksum)
+	}
+}
+
+func Test2DHaloVolumeAdvantage(t *testing.T) {
+	// At 8 processes on the paper's grid, the 2×4 decomposition moves
+	// less halo data per rank than 1×8, though with more messages and
+	// column-pack overhead. Verify both run and report sane times.
+	plat := perfmodel.Default()
+	pr1 := Params{N: 1280, Iters: 5, Procs: 8, Threads: 16, SkipCompute: true}
+	r1, err := RunDCFA(plat, pr1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr2 := Params2D{N: 1280, Iters: 5, Px: 2, Py: 4, Threads: 16, SkipCompute: true}
+	r2, err := Run2D(plat, pr2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute costs are identical; the decompositions should land
+	// within 25% of each other.
+	ratio := float64(r2.PerIter) / float64(r1.PerIter)
+	if ratio < 0.75 || ratio > 1.25 {
+		t.Fatalf("2D/1D per-iteration ratio %.2f (1D %v, 2D %v)", ratio, r1.PerIter, r2.PerIter)
+	}
+}

@@ -1,0 +1,111 @@
+// Package trace records protocol events on the virtual timeline for
+// debugging and for inspecting protocol behavior in tests (which
+// protocol a message took, when an RTS crossed an RTR, how credits
+// flowed). Recording is off unless a Recorder is installed, and the
+// hot path pays only a nil check.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Event is one timeline entry.
+type Event struct {
+	T     sim.Time
+	Actor string
+	Kind  string
+	Msg   string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%12v  %-12s %-14s %s", e.T, e.Actor, e.Kind, e.Msg)
+}
+
+// Recorder accumulates events in order. The zero value records
+// unboundedly; set Cap to bound memory.
+type Recorder struct {
+	Events []Event
+	// Cap bounds retained events (0 = unbounded); older entries are
+	// dropped.
+	Cap     int
+	Dropped int64
+}
+
+// New returns a recorder bounded to cap events.
+func New(cap int) *Recorder { return &Recorder{Cap: cap} }
+
+// Log appends an event. Safe to call on a nil recorder.
+func (r *Recorder) Log(t sim.Time, actor, kind, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	if r.Cap > 0 && len(r.Events) >= r.Cap {
+		copy(r.Events, r.Events[1:])
+		r.Events = r.Events[:len(r.Events)-1]
+		r.Dropped++
+	}
+	r.Events = append(r.Events, Event{T: t, Actor: actor, Kind: kind, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Count returns how many events of the given kind were retained.
+func (r *Recorder) Count(kind string) int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range r.Events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Find returns the first retained event of the kind, if any.
+func (r *Recorder) Find(kind string) (Event, bool) {
+	if r != nil {
+		for _, e := range r.Events {
+			if e.Kind == kind {
+				return e, true
+			}
+		}
+	}
+	return Event{}, false
+}
+
+// Dump writes the timeline.
+func (r *Recorder) Dump(w io.Writer) {
+	if r == nil {
+		return
+	}
+	for _, e := range r.Events {
+		fmt.Fprintln(w, e)
+	}
+	if r.Dropped > 0 {
+		fmt.Fprintf(w, "(%d earlier events dropped)\n", r.Dropped)
+	}
+}
+
+// Summary aggregates counts per kind.
+func (r *Recorder) Summary() string {
+	if r == nil {
+		return ""
+	}
+	counts := map[string]int{}
+	var order []string
+	for _, e := range r.Events {
+		if counts[e.Kind] == 0 {
+			order = append(order, e.Kind)
+		}
+		counts[e.Kind]++
+	}
+	parts := make([]string, 0, len(order))
+	for _, k := range order {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, counts[k]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestLogAndDump(t *testing.T) {
+	r := New(0)
+	r.Log(5*sim.Microsecond, "rank0", "eager-send", "to=%d", 1)
+	r.Log(9*sim.Microsecond, "rank1", "eager-recv", "from=%d", 0)
+	if len(r.Events) != 2 {
+		t.Fatalf("events %d", len(r.Events))
+	}
+	var buf bytes.Buffer
+	r.Dump(&buf)
+	out := buf.String()
+	for _, want := range []string{"rank0", "eager-send", "to=1", "5µs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCapDropsOldest(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10; i++ {
+		r.Log(sim.Time(i), "a", "k", "%d", i)
+	}
+	if len(r.Events) != 3 {
+		t.Fatalf("retained %d", len(r.Events))
+	}
+	if r.Events[0].Msg != "7" || r.Events[2].Msg != "9" {
+		t.Fatalf("wrong retained window: %v", r.Events)
+	}
+	if r.Dropped != 7 {
+		t.Fatalf("dropped %d", r.Dropped)
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Log(0, "a", "k", "x")
+	if r.Count("k") != 0 {
+		t.Fatal("nil recorder counted")
+	}
+	if _, ok := r.Find("k"); ok {
+		t.Fatal("nil recorder found")
+	}
+	r.Dump(&bytes.Buffer{})
+	if r.Summary() != "" {
+		t.Fatal("nil recorder summarized")
+	}
+}
+
+func TestCountFindSummary(t *testing.T) {
+	r := New(0)
+	r.Log(1, "a", "x", "first")
+	r.Log(2, "a", "y", "mid")
+	r.Log(3, "a", "x", "second")
+	if r.Count("x") != 2 || r.Count("y") != 1 || r.Count("z") != 0 {
+		t.Fatal("counts wrong")
+	}
+	e, ok := r.Find("x")
+	if !ok || e.Msg != "first" {
+		t.Fatalf("find %v %v", e, ok)
+	}
+	s := r.Summary()
+	if !strings.Contains(s, "x=2") || !strings.Contains(s, "y=1") {
+		t.Fatalf("summary %q", s)
+	}
+}
