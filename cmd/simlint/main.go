@@ -1,0 +1,84 @@
+// Command simlint runs the determinism and simulation-safety static
+// analyzers over the repository and exits nonzero on findings.
+//
+// Usage:
+//
+//	go run ./cmd/simlint ./...
+//	go run ./cmd/simlint -rules nondet,maporder ./internal/bench
+//
+// Findings print as "file:line: [rule] message". A finding is
+// suppressed by a comment on the offending line, or alone on the line
+// above it:
+//
+//	//simlint:ignore rule reason the construct is safe here
+//
+// The analyzers (see repro/internal/analysis):
+//
+//	nondet    wall-clock time, math/rand globals, env reads in sim-driven packages
+//	maporder  order-sensitive work inside range-over-map
+//	rawgo     goroutines, sync, and channels outside internal/sim
+//	errcheck  dropped error returns from MPI operations
+//	floatsum  float accumulation in map-iteration or goroutine order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	rules := flag.String("rules", "", "comma-separated rule subset to run (default: all)")
+	tests := flag.Bool("tests", true, "also lint _test.go files")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Parse()
+
+	analyzers, err := analysis.ByName(*rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	loader.IncludeTests = *tests
+
+	findings, err := loader.Check(patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "simlint:", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

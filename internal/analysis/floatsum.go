@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatSum flags floating-point accumulation whose summation order is
+// not fixed: reductions folded in map-iteration order or from inside
+// raw goroutines. Floating-point addition is not associative, so the
+// same multiset of addends in a different order yields a different
+// bit pattern — which breaks the repository's exact-checksum
+// verification (the stencil compares distributed sums against a serial
+// reference with ==). Deterministic reductions iterate sorted keys or
+// fold rank-ordered partials, the way core's Allreduce does.
+var FloatSum = &Analyzer{
+	Name: "floatsum",
+	Doc:  "forbid float accumulation in map-iteration or goroutine order",
+	Run:  runFloatSum,
+}
+
+func runFloatSum(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if p.isMapType(n.X) {
+					p.checkFloatAccum(n.Body, n, "map-iteration")
+				}
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					p.checkFloatAccum(lit.Body, lit, "goroutine")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkFloatAccum reports float accumulations inside body that target
+// variables declared outside container (the loop or goroutine body).
+func (p *Pass) checkFloatAccum(body *ast.BlockStmt, container ast.Node, order string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || !p.isFloat(id) || !p.declaredOutside(id, container) {
+			return true
+		}
+		accum := false
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			accum = true
+		case token.ASSIGN:
+			accum = selfReferential(p, id, as.Rhs[0])
+		}
+		if accum {
+			p.Reportf(as.Pos(), "float accumulation into %s in %s order: FP addition is not associative, so the digest depends on %s order; fold in a fixed order instead", id.Name, order, order)
+		}
+		return true
+	})
+}

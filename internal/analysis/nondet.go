@@ -1,0 +1,82 @@
+package analysis
+
+import "go/ast"
+
+// simDrivenPkgs are the module subtrees whose code runs under the sim
+// engine's virtual clock and single-threaded dispatch. Wall-clock
+// time, ambient randomness, and environment-dependent behavior are
+// forbidden there: they make two runs of the same workload diverge.
+var simDrivenPkgs = []string{
+	"internal/sim",
+	"internal/core",
+	"internal/dcfa",
+	"internal/ib",
+	"internal/pcie",
+	"internal/scif",
+	"internal/machine",
+	"dcfampi",
+}
+
+// timeFuncs are the wall-clock entry points of package time. Reading
+// the real clock inside a simulation ties results to host scheduling.
+var timeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTicker": true, "NewTimer": true,
+	"AfterFunc": true,
+}
+
+// envFuncs are the os functions that make behavior depend on the
+// ambient process environment.
+var envFuncs = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true,
+}
+
+// Nondet flags nondeterminism sources — wall-clock time, the shared
+// math/rand generators, and environment reads — inside sim-driven
+// packages. Virtual time comes from sim.Proc/sim.Engine; randomness
+// must flow from an explicit seeded *rand.Rand threaded through the
+// workload; configuration belongs in perfmodel calibrations.
+var Nondet = &Analyzer{
+	Name: "nondet",
+	Doc:  "forbid wall-clock time, ambient randomness, and env reads in sim-driven packages",
+	AppliesTo: func(p *Pass) bool {
+		if p.external() {
+			return true
+		}
+		for _, sub := range simDrivenPkgs {
+			if p.inModule(sub) {
+				return true
+			}
+		}
+		return false
+	},
+	Run: runNondet,
+}
+
+func runNondet(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := p.pkgCallee(call)
+			if !ok {
+				return true
+			}
+			switch pkg {
+			case "time":
+				if timeFuncs[name] {
+					p.Reportf(call.Pos(), "time.%s reads the wall clock: simulations must use the engine's virtual clock (sim.Proc.Now/Sleep)", name)
+				}
+			case "math/rand", "math/rand/v2":
+				p.Reportf(call.Pos(), "rand.%s uses the shared global generator: thread an explicitly seeded *rand.Rand through the workload instead", name)
+			case "os":
+				if envFuncs[name] {
+					p.Reportf(call.Pos(), "os.%s makes simulation behavior depend on the ambient environment: pass configuration explicitly (perfmodel calibration)", name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,60 @@
+// Package floatsum seeds floating-point reductions folded in
+// map-iteration and goroutine order, where non-associativity makes the
+// result order-dependent.
+package floatsum
+
+func MapSum(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m {
+		sum += v // want "float accumulation into sum in map-iteration order"
+	}
+	return sum
+}
+
+func MapSumExplicit(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v // want "float accumulation into total in map-iteration order"
+	}
+	return total
+}
+
+// IntSumOK is commutative and exact: not flagged.
+func IntSumOK(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func GoroutineSum(parts []float64) float64 {
+	var sum float64
+	done := make(chan struct{})
+	go func() {
+		for _, v := range parts {
+			sum += v // want "float accumulation into sum in goroutine order"
+		}
+		close(done)
+	}()
+	<-done
+	return sum
+}
+
+// SortedFoldOK accumulates over a slice in index order: not flagged.
+func SortedFoldOK(parts []float64) float64 {
+	s := 0.0
+	for _, v := range parts {
+		s += v
+	}
+	return s
+}
+
+// Suppressed shows the escape hatch.
+func Suppressed(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v //simlint:ignore floatsum compared with tolerance downstream
+	}
+	return s
+}

@@ -1,0 +1,36 @@
+// Package nondet seeds every nondeterminism source the nondet
+// analyzer must catch: wall-clock reads, the shared math/rand
+// generators, and environment-driven behavior.
+package nondet
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func WallClock() int64 {
+	t := time.Now()                            // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond)               // want "time.Sleep reads the wall clock"
+	return t.UnixNano() + int64(time.Since(t)) // want "time.Since reads the wall clock"
+}
+
+func AmbientRand() int {
+	return rand.Intn(6) // want "rand.Intn uses the shared global generator"
+}
+
+func EnvDriven() string {
+	return os.Getenv("SIM_SEED") // want "os.Getenv makes simulation behavior depend on the ambient environment"
+}
+
+// SeededOK draws from an explicitly seeded generator: the sanctioned
+// pattern, not flagged.
+func SeededOK(r *rand.Rand) int {
+	return r.Intn(6)
+}
+
+// Suppressed shows the escape hatch for genuinely wall-clock code.
+func Suppressed() int64 {
+	//simlint:ignore nondet calibration harness measures real host time on purpose
+	return time.Now().UnixNano()
+}

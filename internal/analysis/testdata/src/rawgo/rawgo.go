@@ -1,0 +1,30 @@
+// Package rawgo seeds real concurrency outside the sim engine: a
+// goroutine, a channel, and the sync package.
+package rawgo
+
+import "sync" // want "import of sync outside internal/sim"
+
+func Race(n int) int {
+	var mu sync.Mutex
+	total := 0
+	done := make(chan struct{}) // want "channel construction outside internal/sim"
+	go func() {                 // want "raw goroutine outside internal/sim"
+		mu.Lock()
+		total += n
+		mu.Unlock()
+		close(done)
+	}()
+	<-done
+	return total
+}
+
+// MakeSliceOK uses make for a slice, not a channel: not flagged.
+func MakeSliceOK(n int) []int {
+	return make([]int, n)
+}
+
+// Suppressed shows the escape hatch for vetted helpers.
+func Suppressed(f func()) {
+	//simlint:ignore rawgo joins before any sim state is touched
+	go f()
+}

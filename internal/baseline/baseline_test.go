@@ -19,7 +19,9 @@ func pingPongRTT(t *testing.T, w *core.World, n int) sim.Duration {
 	err := w.Run(func(r *core.Rank) error {
 		p := r.Proc()
 		buf := r.Mem(n)
-		r.Barrier(p)
+		if err := r.Barrier(p); err != nil {
+			return err
+		}
 		if r.ID() == 0 {
 			start := p.Now()
 			if err := r.Send(p, 1, 0, core.Whole(buf)); err != nil {
@@ -246,7 +248,9 @@ func TestSymmetricHostPairFasterThanPhiPair(t *testing.T) {
 	err := w.Run(func(r *core.Rank) error {
 		p := r.Proc()
 		buf := r.Mem(4)
-		r.Barrier(p)
+		if err := r.Barrier(p); err != nil {
+			return err
+		}
 		// Host pair: 0↔2. Phi pair: 1↔3.
 		var peer int
 		switch r.ID() {

@@ -268,7 +268,9 @@ func TestOffloadedDatatypePackFasterForLargeVectors(t *testing.T) {
 			p := r.Proc()
 			mat := r.Mem(dt.Extent())
 			if r.ID() == 0 {
-				r.Barrier(p)
+				if err := r.Barrier(p); err != nil {
+					return err
+				}
 				start := p.Now()
 				if err := r.SendTyped(p, 1, 0, core.Whole(mat), dt); err != nil {
 					return err
@@ -279,7 +281,9 @@ func TestOffloadedDatatypePackFasterForLargeVectors(t *testing.T) {
 				}
 				return nil
 			}
-			r.Barrier(p)
+			if err := r.Barrier(p); err != nil {
+				return err
+			}
 			_, err := r.RecvTyped(p, 0, 0, core.Whole(mat), dt)
 			return err
 		})

@@ -6,6 +6,7 @@ package core_test
 import (
 	"bytes"
 	"fmt"
+	"sort"
 	"testing"
 
 	"repro/internal/baseline"
@@ -30,7 +31,14 @@ func allWorlds(n int) map[string]*core.World {
 func TestAllModesDeliverIdenticalResults(t *testing.T) {
 	const n = 4
 	sizes := []int{64, 8192, 64 << 10}
-	for name, w := range allWorlds(n) {
+	worlds := allWorlds(n)
+	names := make([]string, 0, len(worlds))
+	for name := range worlds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		w := worlds[name]
 		t.Run(name, func(t *testing.T) {
 			var elapsed sim.Duration
 			err := w.Run(func(r *core.Rank) error {

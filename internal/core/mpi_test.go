@@ -66,7 +66,9 @@ func TestFourByteRTTNear15us(t *testing.T) {
 		p := r.Proc()
 		buf := r.Mem(4)
 		if r.ID() == 0 {
-			r.Barrier(p)
+			if err := r.Barrier(p); err != nil {
+				return err
+			}
 			start := p.Now()
 			const iters = 10
 			for i := 0; i < iters; i++ {
@@ -80,7 +82,9 @@ func TestFourByteRTTNear15us(t *testing.T) {
 			rtt = (p.Now() - start) / iters
 			return nil
 		}
-		r.Barrier(p)
+		if err := r.Barrier(p); err != nil {
+			return err
+		}
 		for i := 0; i < 10; i++ {
 			if _, err := r.Recv(p, 0, 0, core.Whole(buf)); err != nil {
 				return err
@@ -110,11 +114,15 @@ func rendezvousRoundTrip(t *testing.T, n int, senderDelay, receiverDelay sim.Dur
 		buf := r.Mem(n)
 		if r.ID() == 0 {
 			fill(buf.Data, 9)
-			r.Barrier(p)
+			if err := r.Barrier(p); err != nil {
+				return err
+			}
 			p.Sleep(senderDelay)
 			return r.Send(p, 1, 7, core.Whole(buf))
 		}
-		r.Barrier(p)
+		if err := r.Barrier(p); err != nil {
+			return err
+		}
 		p.Sleep(receiverDelay)
 		st, err := r.Recv(p, 0, 7, core.Whole(buf))
 		if err != nil {
@@ -177,7 +185,9 @@ func TestEagerToRendezvousReceiverMisprediction(t *testing.T) {
 		if r.ID() == 0 {
 			buf := r.Mem(small)
 			fill(buf.Data, 3)
-			r.Barrier(p)
+			if err := r.Barrier(p); err != nil {
+				return err
+			}
 			p.Sleep(200 * sim.Microsecond) // let the RTR arrive first
 			if err := r.Send(p, 1, 5, core.Whole(buf)); err != nil {
 				return err
@@ -186,7 +196,9 @@ func TestEagerToRendezvousReceiverMisprediction(t *testing.T) {
 			return r.Barrier(p)
 		}
 		big := r.Mem(64 << 10)
-		r.Barrier(p)
+		if err := r.Barrier(p); err != nil {
+			return err
+		}
 		st, err := r.Recv(p, 0, 5, core.Whole(big))
 		if err != nil {
 			return err
@@ -214,7 +226,9 @@ func TestRendezvousToEagerReceiverErrors(t *testing.T) {
 		p := r.Proc()
 		if r.ID() == 0 {
 			big := r.Mem(64 << 10)
-			r.Barrier(p)
+			if err := r.Barrier(p); err != nil {
+				return err
+			}
 			err := r.Send(p, 1, 5, core.Whole(big))
 			if !errors.Is(err, core.ErrTruncate) {
 				return fmt.Errorf("sender got %v, want ErrTruncate", err)
@@ -222,7 +236,9 @@ func TestRendezvousToEagerReceiverErrors(t *testing.T) {
 			return nil
 		}
 		small := r.Mem(512)
-		r.Barrier(p)
+		if err := r.Barrier(p); err != nil {
+			return err
+		}
 		_, err := r.Recv(p, 0, 5, core.Whole(small))
 		if !errors.Is(err, core.ErrTruncate) {
 			return fmt.Errorf("receiver got %v, want ErrTruncate", err)
@@ -240,11 +256,15 @@ func TestEagerTruncationError(t *testing.T) {
 		p := r.Proc()
 		if r.ID() == 0 {
 			buf := r.Mem(1024)
-			r.Barrier(p)
+			if err := r.Barrier(p); err != nil {
+				return err
+			}
 			return r.Send(p, 1, 5, core.Whole(buf))
 		}
 		small := r.Mem(100)
-		r.Barrier(p)
+		if err := r.Barrier(p); err != nil {
+			return err
+		}
 		_, err := r.Recv(p, 0, 5, core.Whole(small))
 		if !errors.Is(err, core.ErrTruncate) {
 			return fmt.Errorf("got %v, want ErrTruncate", err)
@@ -294,10 +314,14 @@ func TestTagMismatchAtSameSeqErrors(t *testing.T) {
 		p := r.Proc()
 		buf := r.Mem(8)
 		if r.ID() == 0 {
-			r.Barrier(p)
+			if err := r.Barrier(p); err != nil {
+				return err
+			}
 			return r.Send(p, 1, 1, core.Whole(buf))
 		}
-		r.Barrier(p)
+		if err := r.Barrier(p); err != nil {
+			return err
+		}
 		_, err := r.Recv(p, 0, 2, core.Whole(buf)) // wrong tag, same seq
 		if !errors.Is(err, core.ErrTagMismatch) {
 			return fmt.Errorf("got %v, want ErrTagMismatch", err)
@@ -641,7 +665,9 @@ func TestOffloadImprovesLargeMessageTime(t *testing.T) {
 			const n = 1 << 20
 			buf := r.Mem(n)
 			if r.ID() == 0 {
-				r.Barrier(p)
+				if err := r.Barrier(p); err != nil {
+					return err
+				}
 				start := p.Now()
 				if err := r.Send(p, 1, 1, core.Whole(buf)); err != nil {
 					return err
@@ -652,7 +678,9 @@ func TestOffloadImprovesLargeMessageTime(t *testing.T) {
 				elapsed = p.Now() - start
 				return nil
 			}
-			r.Barrier(p)
+			if err := r.Barrier(p); err != nil {
+				return err
+			}
 			if _, err := r.Recv(p, 0, 1, core.Whole(buf)); err != nil {
 				return err
 			}
@@ -686,15 +714,23 @@ func TestHostWorldFasterSmallRTT(t *testing.T) {
 		err := w.Run(func(r *core.Rank) error {
 			p := r.Proc()
 			buf := r.Mem(4)
-			r.Barrier(p)
+			if err := r.Barrier(p); err != nil {
+				return err
+			}
 			if r.ID() == 0 {
 				start := p.Now()
-				r.Send(p, 1, 0, core.Whole(buf))
-				r.Recv(p, 1, 0, core.Whole(buf))
+				if err := r.Send(p, 1, 0, core.Whole(buf)); err != nil {
+					return err
+				}
+				if _, err := r.Recv(p, 1, 0, core.Whole(buf)); err != nil {
+					return err
+				}
 				rtt = p.Now() - start
 				return nil
 			}
-			r.Recv(p, 0, 0, core.Whole(buf))
+			if _, err := r.Recv(p, 0, 0, core.Whole(buf)); err != nil {
+				return err
+			}
 			return r.Send(p, 0, 0, core.Whole(buf))
 		})
 		if err != nil {
@@ -719,11 +755,19 @@ func TestDeterministicRuns(t *testing.T) {
 			other := 1 - r.ID()
 			for i := 0; i < 3; i++ {
 				if r.ID() == 0 {
-					r.Send(p, other, 1, core.Whole(buf))
-					r.Recv(p, other, 1, core.Whole(buf))
+					if err := r.Send(p, other, 1, core.Whole(buf)); err != nil {
+						return err
+					}
+					if _, err := r.Recv(p, other, 1, core.Whole(buf)); err != nil {
+						return err
+					}
 				} else {
-					r.Recv(p, other, 1, core.Whole(buf))
-					r.Send(p, other, 1, core.Whole(buf))
+					if _, err := r.Recv(p, other, 1, core.Whole(buf)); err != nil {
+						return err
+					}
+					if err := r.Send(p, other, 1, core.Whole(buf)); err != nil {
+						return err
+					}
 				}
 			}
 			end = p.Now()

@@ -30,7 +30,9 @@ func oneTransfer(t *testing.T, w *core.World, n int, sd, rd sim.Duration) {
 	err := w.Run(func(r *core.Rank) error {
 		p := r.Proc()
 		buf := r.Mem(n)
-		r.Barrier(p)
+		if err := r.Barrier(p); err != nil {
+			return err
+		}
 		if r.ID() == 0 {
 			p.Sleep(sd)
 			return r.Send(p, 1, 9, core.Whole(buf))
@@ -91,7 +93,9 @@ func TestTraceSimultaneousDropsRTR(t *testing.T) {
 		sb := r.Mem(n)
 		rb := r.Mem(n)
 		other := 1 - r.ID()
-		r.Barrier(p)
+		if err := r.Barrier(p); err != nil {
+			return err
+		}
 		_, err := r.Sendrecv(p, other, 1, core.Whole(sb), other, 1, core.Whole(rb))
 		return err
 	})
@@ -122,7 +126,9 @@ func TestTraceMispredictDropsStaleRTR(t *testing.T) {
 		p := r.Proc()
 		if r.ID() == 0 {
 			small := r.Mem(256)
-			r.Barrier(p)
+			if err := r.Barrier(p); err != nil {
+				return err
+			}
 			p.Sleep(300 * sim.Microsecond)
 			if err := r.Send(p, 1, 1, core.Whole(small)); err != nil {
 				return err
@@ -130,7 +136,9 @@ func TestTraceMispredictDropsStaleRTR(t *testing.T) {
 			return r.Barrier(p)
 		}
 		big := r.Mem(64 << 10)
-		r.Barrier(p)
+		if err := r.Barrier(p); err != nil {
+			return err
+		}
 		if _, err := r.Recv(p, 0, 1, core.Whole(big)); err != nil {
 			return err
 		}

@@ -18,6 +18,7 @@ package dcfa
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/ib"
 	"repro/internal/machine"
@@ -260,10 +261,17 @@ func (v *MicVerbs) RegMRBuffer(p *sim.Proc, pd *ib.PD, b *machine.Buffer) (*ib.M
 // the object itself; the daemon's hash table is scanned client-side via
 // the MR's key, so we ship the published handle.
 func (v *MicVerbs) DeregMR(p *sim.Proc, mr *ib.MR) error {
-	// Find the daemon handle for this MR.
+	// Find the daemon handle for this MR, scanning handles in sorted
+	// order so the lookup is deterministic even if an object were ever
+	// published twice.
+	handles := make([]uint64, 0, len(v.daemon.objects))
+	for h := range v.daemon.objects {
+		handles = append(handles, h)
+	}
+	slices.Sort(handles)
 	var handle uint64
-	for h, o := range v.daemon.objects {
-		if o == mr {
+	for _, h := range handles {
+		if v.daemon.objects[h] == mr {
 			handle = h
 			break
 		}

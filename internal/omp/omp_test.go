@@ -1,7 +1,7 @@
 package omp
 
 import (
-	"sync/atomic"
+	"sync/atomic" //simlint:ignore rawgo exercises Execute's real worker threads from test code
 	"testing"
 
 	"repro/internal/machine"

@@ -24,45 +24,53 @@ func Load(data []byte) (*Platform, error) {
 	return p, nil
 }
 
-// Validate rejects calibrations the simulator cannot run.
+// Validate rejects calibrations the simulator cannot run. The checks
+// run in declaration order so the same bad calibration always reports
+// the same field first.
 func (p *Platform) Validate() error {
-	pos := map[string]float64{
-		"IBBandwidth":        p.IBBandwidth,
-		"HCAReadHost":        p.HCAReadHost,
-		"HCAReadPhi":         p.HCAReadPhi,
-		"HCAWriteHost":       p.HCAWriteHost,
-		"HCAWritePhi":        p.HCAWritePhi,
-		"HostCopyRate":       p.HostCopyRate,
-		"PhiCopyRate":        p.PhiCopyRate,
-		"DMAEngineBandwidth": p.DMAEngineBandwidth,
-		"ProxyBandwidth":     p.ProxyBandwidth,
-		"OffloadBandwidth":   p.OffloadBandwidth,
-		"PhiCoreRate":        p.PhiCoreRate,
-		"HostCoreRate":       p.HostCoreRate,
-		"PhiPackRate":        p.PhiPackRate,
-		"HostPackRate":       p.HostPackRate,
+	pos := []struct {
+		name string
+		v    float64
+	}{
+		{"IBBandwidth", p.IBBandwidth},
+		{"HCAReadHost", p.HCAReadHost},
+		{"HCAReadPhi", p.HCAReadPhi},
+		{"HCAWriteHost", p.HCAWriteHost},
+		{"HCAWritePhi", p.HCAWritePhi},
+		{"HostCopyRate", p.HostCopyRate},
+		{"PhiCopyRate", p.PhiCopyRate},
+		{"DMAEngineBandwidth", p.DMAEngineBandwidth},
+		{"ProxyBandwidth", p.ProxyBandwidth},
+		{"OffloadBandwidth", p.OffloadBandwidth},
+		{"PhiCoreRate", p.PhiCoreRate},
+		{"HostCoreRate", p.HostCoreRate},
+		{"PhiPackRate", p.PhiPackRate},
+		{"HostPackRate", p.HostPackRate},
 	}
-	for name, v := range pos {
-		if v <= 0 {
-			return fmt.Errorf("perfmodel: %s must be positive, got %g", name, v)
+	for _, c := range pos {
+		if c.v <= 0 {
+			return fmt.Errorf("perfmodel: %s must be positive, got %g", c.name, c.v)
 		}
 	}
 	if p.PhiScalingAlpha < 0 {
 		return fmt.Errorf("perfmodel: PhiScalingAlpha must be non-negative")
 	}
-	ints := map[string]int{
-		"Nodes":          p.Nodes,
-		"HostCores":      p.HostCores,
-		"PhiCores":       p.PhiCores,
-		"PhiMaxThreads":  p.PhiMaxThreads,
-		"EagerMax":       p.EagerMax,
-		"OffloadMinSize": p.OffloadMinSize,
-		"EagerSlots":     p.EagerSlots,
-		"MRCacheEntries": p.MRCacheEntries,
+	ints := []struct {
+		name string
+		v    int
+	}{
+		{"Nodes", p.Nodes},
+		{"HostCores", p.HostCores},
+		{"PhiCores", p.PhiCores},
+		{"PhiMaxThreads", p.PhiMaxThreads},
+		{"EagerMax", p.EagerMax},
+		{"OffloadMinSize", p.OffloadMinSize},
+		{"EagerSlots", p.EagerSlots},
+		{"MRCacheEntries", p.MRCacheEntries},
 	}
-	for name, v := range ints {
-		if v <= 0 {
-			return fmt.Errorf("perfmodel: %s must be positive, got %d", name, v)
+	for _, c := range ints {
+		if c.v <= 0 {
+			return fmt.Errorf("perfmodel: %s must be positive, got %d", c.name, c.v)
 		}
 	}
 	return nil

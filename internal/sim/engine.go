@@ -101,12 +101,39 @@ type Engine struct {
 	// Stats.
 	eventsRun int64
 	maxQueue  int
+
+	// fp accumulates an FNV-1a digest of every dispatched event's
+	// (time, seq, proc) tuple; see Fingerprint.
+	fp uint64
 }
+
+// fnv64Offset and fnv64Prime are the FNV-1a 64-bit parameters.
+const (
+	fnv64Offset = 14695981039346656037
+	fnv64Prime  = 1099511628211
+)
 
 // NewEngine returns an empty simulation at virtual time zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{fp: fnv64Offset}
 }
+
+// fpMix folds one 64-bit word into the event-order digest.
+func (e *Engine) fpMix(x uint64) {
+	for i := 0; i < 8; i++ {
+		e.fp ^= x & 0xff
+		e.fp *= fnv64Prime
+		x >>= 8
+	}
+}
+
+// Fingerprint returns an order-sensitive FNV-1a digest of every event
+// dispatched so far: each event contributes its (virtual time, sequence
+// number, process id) tuple, with callbacks contributing a sentinel id.
+// Two runs of the same workload on fresh engines must produce identical
+// fingerprints; a divergence means nondeterminism leaked into the
+// simulation (wall-clock time, map iteration order, real concurrency).
+func (e *Engine) Fingerprint() uint64 { return e.fp }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -198,6 +225,13 @@ func (e *Engine) Run() error {
 		}
 		e.now = ev.at
 		e.eventsRun++
+		pid := uint64(1<<64 - 1) // sentinel for engine-context callbacks
+		if ev.proc != nil {
+			pid = uint64(ev.proc.id)
+		}
+		e.fpMix(uint64(ev.at))
+		e.fpMix(ev.seq)
+		e.fpMix(pid)
 		switch {
 		case ev.proc != nil:
 			if ev.proc.dead {
