@@ -1,14 +1,20 @@
-// Command simlint runs the determinism and simulation-safety static
-// analyzers over the repository and exits nonzero on findings.
+// Command simlint runs the determinism, simulation-safety, and
+// resource-lifecycle static analyzers over the repository and exits
+// nonzero on findings.
 //
 // Usage:
 //
 //	go run ./cmd/simlint ./...
 //	go run ./cmd/simlint -rules nondet,maporder ./internal/bench
+//	go run ./cmd/simlint -json ./...
 //
-// Findings print as "file:line: [rule] message". A finding is
-// suppressed by a comment on the offending line, or alone on the line
-// above it:
+// Exit codes: 0 when clean, 1 when findings were reported, 2 on a
+// usage or load error.
+//
+// Findings print as "file:line: [rule] message", or with -json as one
+// object holding the finding list and per-rule counts for CI
+// annotation. A finding is suppressed by a comment on the offending
+// line, or alone on the line above it:
 //
 //	//simlint:ignore rule reason the construct is safe here
 //
@@ -19,66 +25,131 @@
 //	rawgo     goroutines, sync, and channels outside internal/sim
 //	errcheck  dropped error returns from MPI operations
 //	floatsum  float accumulation in map-iteration or goroutine order
+//	mrleak    RegMR/RegMRBuffer results must reach DeregMR on all paths
+//	mrpin     MRCache.Get must be matched by Release on all paths
+//	offload   RegOffloadMR → SyncOffloadMR → post → DeregOffloadMR order
+//	reqwait   Isend/Irecv requests must reach Wait/Test/WaitAll on all paths
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/analysis"
 )
 
+// Exit codes.
+const (
+	exitClean    = 0
+	exitFindings = 1
+	exitError    = 2
+)
+
 func main() {
-	rules := flag.String("rules", "", "comma-separated rule subset to run (default: all)")
-	tests := flag.Bool("tests", true, "also lint _test.go files")
-	list := flag.Bool("list", false, "list the analyzers and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// jsonFinding is one finding in -json output.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// jsonReport is the -json document: the findings plus per-rule counts
+// so CI can annotate without re-aggregating.
+type jsonReport struct {
+	Findings []jsonFinding  `json:"findings"`
+	Counts   map[string]int `json:"counts"`
+	Total    int            `json:"total"`
+}
+
+// run executes the linter and returns the process exit code — the
+// single exit path for every outcome.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated rule subset to run (default: all)")
+	tests := fs.Bool("tests", true, "also lint _test.go files")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON report on stdout")
+	if err := fs.Parse(args); err != nil {
+		return exitError
+	}
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "simlint:", err)
+		return exitError
+	}
 
 	analyzers, err := analysis.ByName(*rules)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "simlint:", err)
-		os.Exit(2)
+		return fail(err)
 	}
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
 		}
-		return
+		return exitClean
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "simlint:", err)
-		os.Exit(2)
+		return fail(err)
 	}
 	root, err := analysis.FindModuleRoot(cwd)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "simlint:", err)
-		os.Exit(2)
+		return fail(err)
 	}
 	loader, err := analysis.NewLoader(root)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "simlint:", err)
-		os.Exit(2)
+		return fail(err)
 	}
 	loader.IncludeTests = *tests
 
 	findings, err := loader.Check(patterns, analyzers)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "simlint:", err)
-		os.Exit(2)
+		return fail(err)
 	}
-	for _, f := range findings {
-		fmt.Println(f)
+
+	if *asJSON {
+		report := jsonReport{
+			Findings: []jsonFinding{},
+			Counts:   map[string]int{},
+			Total:    len(findings),
+		}
+		for _, f := range findings {
+			report.Findings = append(report.Findings, jsonFinding{
+				File:    f.Pos.Filename,
+				Line:    f.Pos.Line,
+				Rule:    f.Rule,
+				Message: f.Message,
+			})
+			report.Counts[f.Rule]++
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return fail(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
 	}
+
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "simlint: %d finding(s)\n", len(findings))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "simlint: %d finding(s)\n", len(findings))
+		return exitFindings
 	}
+	return exitClean
 }

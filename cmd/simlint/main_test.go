@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunListExitsClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != exitClean {
+		t.Fatalf("run(-list) = %d, want %d (stderr: %s)", code, exitClean, errb.String())
+	}
+	for _, rule := range []string{"nondet", "mrleak", "mrpin", "offload", "reqwait"} {
+		if !strings.Contains(out.String(), rule) {
+			t.Errorf("-list output missing rule %q", rule)
+		}
+	}
+}
+
+func TestRunUnknownRuleIsUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-rules", "nosuchrule"}, &out, &errb); code != exitError {
+		t.Errorf("run(-rules nosuchrule) = %d, want %d", code, exitError)
+	}
+	if !strings.Contains(errb.String(), "unknown rule") {
+		t.Errorf("stderr does not explain the unknown rule: %s", errb.String())
+	}
+}
+
+func TestRunBadFlagIsUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-nosuchflag"}, &out, &errb); code != exitError {
+		t.Errorf("run(-nosuchflag) = %d, want %d", code, exitError)
+	}
+}
+
+func TestRunJSONCleanPackage(t *testing.T) {
+	var out, errb bytes.Buffer
+	// The test runs from cmd/simlint, so reach the package by relative
+	// path from here.
+	code := run([]string{"-json", "../../internal/sim"}, &out, &errb)
+	if code != exitClean {
+		t.Fatalf("run(-json internal/sim) = %d, want %d (stderr: %s)", code, exitClean, errb.String())
+	}
+	var report jsonReport
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if report.Total != 0 || len(report.Findings) != 0 {
+		t.Errorf("clean package reported %d findings: %+v", report.Total, report.Findings)
+	}
+	if report.Findings == nil {
+		t.Error("findings must marshal as [], not null")
+	}
+}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -44,24 +45,28 @@ func main() {
 			if up := r.ID() - 1; up >= 0 {
 				q, err := r.Isend(p, up, 1, rowSlice(cur, 1))
 				if err != nil {
-					return err
+					// Drain whatever was already posted before bailing out.
+					return errors.Join(err, r.WaitAll(p, reqs...))
 				}
 				reqs = append(reqs, q)
 				q, err = r.Irecv(p, up, 2, rowSlice(cur, 0))
 				if err != nil {
-					return err
+					// Drain whatever was already posted before bailing out.
+					return errors.Join(err, r.WaitAll(p, reqs...))
 				}
 				reqs = append(reqs, q)
 			}
 			if down := r.ID() + 1; down < procs {
 				q, err := r.Isend(p, down, 2, rowSlice(cur, rows))
 				if err != nil {
-					return err
+					// Drain whatever was already posted before bailing out.
+					return errors.Join(err, r.WaitAll(p, reqs...))
 				}
 				reqs = append(reqs, q)
 				q, err = r.Irecv(p, down, 1, rowSlice(cur, rows+1))
 				if err != nil {
-					return err
+					// Drain whatever was already posted before bailing out.
+					return errors.Join(err, r.WaitAll(p, reqs...))
 				}
 				reqs = append(reqs, q)
 			}

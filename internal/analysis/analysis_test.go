@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strings"
@@ -10,7 +11,7 @@ import (
 )
 
 // ruleDirs pairs each analyzer with its testdata corpus.
-var ruleDirs = []*Analyzer{Nondet, MapOrder, RawGo, ErrCheck, FloatSum}
+var ruleDirs = []*Analyzer{Nondet, MapOrder, RawGo, ErrCheck, FloatSum, MRLeak, MRPin, Offload, ReqWait}
 
 // loadTestdata type-checks testdata/src/<rule> as a synthetic package
 // outside the module, which every analyzer treats as in scope.
@@ -160,6 +161,36 @@ func TestRepoIsClean(t *testing.T) {
 	}
 	for _, f := range findings {
 		t.Errorf("%v", f)
+	}
+}
+
+// TestEveryRuleHasCorpus is the corpus-completeness gate: every
+// analyzer registered in All() must have a golden corpus directory and
+// appear in ruleDirs, so a new rule cannot land untested.
+func TestEveryRuleHasCorpus(t *testing.T) {
+	inRuleDirs := map[string]bool{}
+	for _, a := range ruleDirs {
+		inRuleDirs[a.Name] = true
+	}
+	for _, a := range All() {
+		if !inRuleDirs[a.Name] {
+			t.Errorf("rule %q is registered but missing from ruleDirs", a.Name)
+		}
+		dir := filepath.Join("testdata", "src", a.Name)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Errorf("rule %q has no corpus directory %s: %v", a.Name, dir, err)
+			continue
+		}
+		goFiles := 0
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".go") {
+				goFiles++
+			}
+		}
+		if goFiles == 0 {
+			t.Errorf("corpus directory %s contains no Go files", dir)
+		}
 	}
 }
 

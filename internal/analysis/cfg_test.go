@@ -1,0 +1,325 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses a function body for direct CFG construction.
+func parseBody(t *testing.T, body string) *ast.BlockStmt {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	return file.Decls[0].(*ast.FuncDecl).Body
+}
+
+func cfgString(t *testing.T, body string) string {
+	t.Helper()
+	return NewCFG(parseBody(t, body)).String()
+}
+
+func TestCFGIfElse(t *testing.T) {
+	got := cfgString(t, `
+if c {
+	a()
+}
+b()`)
+	want := `b0?[1n] -> b2 b3
+b1E[0n]
+b2[1n] -> b3
+b3[2n] -> b1
+`
+	if got != want {
+		t.Errorf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCFGShortCircuit(t *testing.T) {
+	// `a && b` must desugar into two condition blocks so facts can be
+	// refined separately along the a-false and b-false edges.
+	got := cfgString(t, `
+if a && b {
+	x()
+}
+y()`)
+	want := `b0?[1n] -> b4 b3
+b1E[0n]
+b2[1n] -> b3
+b3[2n] -> b1
+b4?[1n] -> b2 b3
+`
+	if got != want {
+		t.Errorf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	c := NewCFG(parseBody(t, `
+x()
+goto L
+y()
+L:
+z()`))
+	// The block holding y() is skipped by the goto and must be
+	// unreachable; the label block must be reachable and flow to exit.
+	reach := c.Reachable()
+	for _, b := range reach {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "y" {
+						t.Error("y() is reachable despite the goto jumping over it")
+					}
+				}
+			}
+		}
+	}
+	if !blockReachable(c, c.Exit) {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestCFGNestedLoopsLabeledBreak(t *testing.T) {
+	got := cfgString(t, `
+outer:
+for i := 0; i < 3; i++ {
+	for j := 0; j < 3; j++ {
+		if bad() {
+			break outer
+		}
+		work()
+	}
+}
+done()`)
+	// Hand-checked shape: b5 is the after-loop block holding done() and
+	// the implicit return; the labeled break block b11 jumps straight to
+	// it, bypassing both loop heads.
+	want := `b0[0n] -> b2
+b1E[0n]
+b2[1n] -> b3
+b3?[1n] -> b4 b5
+b4[1n] -> b7
+b5[2n] -> b1
+b6[1n] -> b3
+b7?[1n] -> b8 b9
+b8?[1n] -> b11 b12
+b9[0n] -> b6
+b10[1n] -> b7
+b11[0n] -> b5
+b12[1n] -> b10
+`
+	if got != want {
+		t.Errorf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestCFGContinueTargetsPost(t *testing.T) {
+	c := NewCFG(parseBody(t, `
+for i := 0; i < 3; i++ {
+	if skip() {
+		continue
+	}
+	work()
+}`))
+	// Every reachable non-exit block must eventually reach exit: continue
+	// must loop via the post block, not strand control.
+	for _, b := range c.Reachable() {
+		if b != c.Exit && !reachesExit(c, b) {
+			t.Errorf("block b%d cannot reach exit", b.Index)
+		}
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	c := NewCFG(parseBody(t, `
+switch x {
+case 1:
+	a()
+	fallthrough
+case 2:
+	b()
+default:
+	d()
+}
+after()`))
+	if !blockReachable(c, c.Exit) {
+		t.Error("exit unreachable")
+	}
+	// The case-1 body must have exactly one successor: the case-2 body
+	// (the fallthrough), not the after block.
+	var case1 *Block
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "a" {
+						case1 = b
+					}
+				}
+			}
+		}
+	}
+	if case1 == nil {
+		t.Fatal("case-1 body not found")
+	}
+	if len(case1.Succs) != 1 {
+		t.Fatalf("case-1 body has %d successors, want 1 (fallthrough)", len(case1.Succs))
+	}
+	next := case1.Succs[0]
+	found := false
+	for _, n := range next.Nodes {
+		if es, ok := n.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "b" {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("fallthrough edge does not lead to the case-2 body")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	c := NewCFG(parseBody(t, `
+select {
+case <-a:
+	x()
+case b <- 1:
+	y()
+}
+after()`))
+	if !blockReachable(c, c.Exit) {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestCFGRangeBodyNotInHead(t *testing.T) {
+	c := NewCFG(parseBody(t, `
+for _, v := range xs {
+	use(v)
+}`))
+	// The RangeStmt appears exactly once, as a loop-head node, and the
+	// body statement lives in a different block.
+	heads := 0
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				heads++
+				if len(b.Succs) != 2 {
+					t.Errorf("range head has %d successors, want 2 (body, after)", len(b.Succs))
+				}
+			}
+		}
+	}
+	if heads != 1 {
+		t.Errorf("RangeStmt appears in %d blocks, want 1", heads)
+	}
+}
+
+func TestCFGTerminatingCalls(t *testing.T) {
+	c := NewCFG(parseBody(t, `
+if c {
+	panic("boom")
+}
+rest()`))
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if terminatingCall(es.X) && len(b.Succs) != 0 {
+				t.Errorf("panic block b%d has successors %v", b.Index, b.Succs)
+			}
+		}
+	}
+	for _, src := range []string{`os.Exit(1)`, `log.Fatalf("x")`, `t.Fatal(err)`} {
+		body := parseBody(t, src)
+		es := body.List[0].(*ast.ExprStmt)
+		if !terminatingCall(es.X) {
+			t.Errorf("terminatingCall(%s) = false", src)
+		}
+	}
+	if terminatingCall(parseBody(t, `f(1)`).List[0].(*ast.ExprStmt).X) {
+		t.Error("terminatingCall(f(1)) = true")
+	}
+}
+
+func TestCFGImplicitReturnOnlyOnFallOff(t *testing.T) {
+	// A body ending in return gets no ImplicitReturn node.
+	c := NewCFG(parseBody(t, `
+x()
+return`))
+	if n := countImplicitReturns(c); n != 0 {
+		t.Errorf("explicit-return body has %d ImplicitReturn nodes, want 0", n)
+	}
+	c = NewCFG(parseBody(t, `
+if c {
+	return
+}
+x()`))
+	if n := countImplicitReturns(c); n != 1 {
+		t.Errorf("fall-off body has %d ImplicitReturn nodes, want 1", n)
+	}
+}
+
+func countImplicitReturns(c *CFG) int {
+	n := 0
+	for _, b := range c.Blocks {
+		for _, node := range b.Nodes {
+			if _, ok := node.(*ImplicitReturn); ok {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func blockReachable(c *CFG, target *Block) bool {
+	for _, b := range c.Reachable() {
+		if b == target {
+			return true
+		}
+	}
+	return false
+}
+
+// reachesExit reports whether the exit block is reachable from b.
+func reachesExit(c *CFG, b *Block) bool {
+	seen := map[*Block]bool{}
+	var walk func(*Block) bool
+	walk = func(x *Block) bool {
+		if x == c.Exit {
+			return true
+		}
+		if seen[x] {
+			return false
+		}
+		seen[x] = true
+		for _, s := range x.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(b)
+}
+
+// TestCFGStringMarksExit pins the debug-dump format the goldens above
+// rely on.
+func TestCFGStringMarksExit(t *testing.T) {
+	s := cfgString(t, `x()`)
+	if !strings.Contains(s, "E") {
+		t.Errorf("String() does not mark the exit block: %q", s)
+	}
+}

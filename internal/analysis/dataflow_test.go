@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// genKill is a toy flow problem for exercising the solver: a call to
+// gen() starts tracking its own statement as Live; a call to kill()
+// moves every tracked site to Released.
+type genKill struct {
+	reports int
+}
+
+func (g *genKill) Transfer(n ast.Node, f *Facts, report bool) {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return
+	}
+	switch id.Name {
+	case "gen":
+		f.Res[es] = stateLive
+	case "kill":
+		for _, site := range f.SortedSites() {
+			f.Res[site] = stateReleased
+		}
+	case "observe":
+		if report {
+			g.reports++
+		}
+	}
+}
+
+func (g *genKill) Refine(cond ast.Expr, branch bool, f *Facts) {}
+
+func solveBody(t *testing.T, body string) (*CFG, []*Facts, *genKill) {
+	t.Helper()
+	c := NewCFG(parseBody(t, body))
+	g := &genKill{}
+	return c, Solve(c, g), g
+}
+
+func TestSolveBranchJoinIsUnion(t *testing.T) {
+	c, in, _ := solveBody(t, `
+if c {
+	gen()
+} else {
+	gen()
+	kill()
+}
+observe()`)
+	// At the exit block the two paths merge: one site arrives Live, the
+	// other Released, so the union holds one of each.
+	exitFacts := in[c.Exit.Index]
+	if exitFacts == nil {
+		t.Fatal("exit block has no facts")
+	}
+	var live, released int
+	for _, st := range exitFacts.Res {
+		if st&stateLive != 0 {
+			live++
+		}
+		if st&stateReleased != 0 {
+			released++
+		}
+	}
+	if live != 1 || released != 1 {
+		t.Errorf("exit facts: live=%d released=%d, want 1 and 1", live, released)
+	}
+}
+
+func TestSolveLoopReachesFixpoint(t *testing.T) {
+	// The kill on iteration k affects the site generated on iteration
+	// k-1, so the loop-head in-fact must converge to Live|Released.
+	c, in, _ := solveBody(t, `
+for i := 0; i < 3; i++ {
+	gen()
+	kill()
+}
+observe()`)
+	exitFacts := in[c.Exit.Index]
+	if exitFacts == nil {
+		t.Fatal("exit block has no facts")
+	}
+	for site, st := range exitFacts.Res {
+		if st&stateReleased == 0 {
+			t.Errorf("site %v not released at exit: state %b", site, st)
+		}
+	}
+	// Find the loop-head (condition) block and check its in-fact saw the
+	// back edge: the site must be present there after round two.
+	for _, b := range c.Blocks {
+		if b.Cond == nil || in[b.Index] == nil {
+			continue
+		}
+		if len(in[b.Index].Res) == 0 {
+			t.Errorf("loop head b%d in-fact has no sites: back edge not propagated", b.Index)
+		}
+	}
+}
+
+func TestSolveReportReplayRunsOncePerBlock(t *testing.T) {
+	// observe() sits inside a loop: fixpoint iteration visits its block
+	// several times, but the report replay must run exactly once.
+	_, _, g := solveBody(t, `
+for i := 0; i < 3; i++ {
+	gen()
+	observe()
+	kill()
+}`)
+	if g.reports != 1 {
+		t.Errorf("report replay ran %d times, want 1", g.reports)
+	}
+}
+
+func TestSolveUnreachableBlockSkipped(t *testing.T) {
+	c, in, g := solveBody(t, `
+return
+observe()`)
+	_ = c
+	if g.reports != 0 {
+		t.Errorf("observe() after return was replayed %d times, want 0", g.reports)
+	}
+	reachable := 0
+	for _, f := range in {
+		if f != nil {
+			reachable++
+		}
+	}
+	if reachable == len(in) {
+		t.Error("every block has facts; the dead block should have none")
+	}
+}
+
+func TestFactsJoinTombstonesPairDisagreement(t *testing.T) {
+	site := &ast.Ident{Name: "site"}
+	errA := types.NewVar(token.NoPos, nil, "errA", types.Universe.Lookup("error").Type())
+	errB := types.NewVar(token.NoPos, nil, "errB", types.Universe.Lookup("error").Type())
+
+	a := NewFacts()
+	a.Pair[site] = errA
+	b := NewFacts()
+	b.Pair[site] = errB
+
+	if !a.Join(b) {
+		t.Fatal("join of disagreeing pairs reported no change")
+	}
+	if got, ok := a.Pair[site]; !ok || got != nil {
+		t.Errorf("disagreeing pair = %v, want nil tombstone", got)
+	}
+	// A tombstone must survive further joins against a concrete value.
+	c := NewFacts()
+	c.Pair[site] = errA
+	a.Join(c)
+	if got := a.Pair[site]; got != nil {
+		t.Errorf("tombstone overwritten by later join: %v", got)
+	}
+}
+
+func TestFactsJoinUnionsStatesAndBindings(t *testing.T) {
+	s1 := &ast.Ident{Name: "s1", NamePos: 1}
+	s2 := &ast.Ident{Name: "s2", NamePos: 2}
+	v := types.NewVar(token.NoPos, nil, "v", types.Typ[types.Int])
+
+	a := NewFacts()
+	a.Res[s1] = stateLive
+	a.Bind[v] = []ast.Node{s1}
+	b := NewFacts()
+	b.Res[s1] = stateReleased
+	b.Res[s2] = stateLive
+	b.Bind[v] = []ast.Node{s2}
+
+	if !a.Join(b) {
+		t.Fatal("join reported no change")
+	}
+	if a.Res[s1] != stateLive|stateReleased {
+		t.Errorf("Res[s1] = %b, want union of Live|Released", a.Res[s1])
+	}
+	if len(a.Bind[v]) != 2 {
+		t.Errorf("Bind[v] = %v, want both sites", a.Bind[v])
+	}
+	if a.Bind[v][0].Pos() > a.Bind[v][1].Pos() {
+		t.Error("Bind sites not sorted by position")
+	}
+	// Idempotence: joining the same facts again changes nothing.
+	if a.Join(b) {
+		t.Error("second identical join reported a change")
+	}
+}
+
+func TestNilComparison(t *testing.T) {
+	info := &types.Info{Types: map[ast.Expr]types.TypeAndValue{}}
+	for _, tc := range []struct {
+		src  string
+		name string
+		op   token.Token
+		ok   bool
+	}{
+		{"err != nil", "err", token.NEQ, true},
+		{"err == nil", "err", token.EQL, true},
+		{"nil != mr", "mr", token.NEQ, true},
+		{"(err) != (nil)", "err", token.NEQ, true},
+		{"a < b", "", 0, false},
+		{"a != b", "", 0, false},
+	} {
+		body := parseBody(t, "_ = "+tc.src)
+		expr := body.List[0].(*ast.AssignStmt).Rhs[0]
+		id, op, ok := nilComparison(info, expr)
+		if ok != tc.ok {
+			t.Errorf("%s: ok = %v, want %v", tc.src, ok, tc.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if id.Name != tc.name || op != tc.op {
+			t.Errorf("%s: got (%s, %v), want (%s, %v)", tc.src, id.Name, op, tc.name, tc.op)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package mrleak seeds memory-region lifecycle violations on a local
+// stand-in for the dcfa verbs: registrations that never reach DeregMR,
+// double deregistration, and use after dereg, plus the loop and
+// early-return shapes the rule must not flag.
+package mrleak
+
+type Proc struct{}
+
+type MR struct {
+	LKey uint32
+	Addr uint64
+}
+
+type PD struct{}
+
+type Verbs struct{}
+
+func (v *Verbs) RegMR(p *Proc, pd *PD, addr uint64, n int) (*MR, error) { return &MR{}, nil }
+func (v *Verbs) RegMRBuffer(p *Proc, pd *PD, b []byte) (*MR, error)     { return &MR{}, nil }
+func (v *Verbs) DeregMR(p *Proc, mr *MR) error                          { return nil }
+
+type holder struct{ mr *MR }
+
+func cond() bool     { return false }
+func sink(k uint32)  {}
+func handoff(mr *MR) {}
+
+// LeakPlain registers and falls off the end without deregistering.
+// Reading mr.LKey is a field projection, not an ownership transfer.
+func LeakPlain(v *Verbs, p *Proc, pd *PD) {
+	mr, err := v.RegMR(p, pd, 0x1000, 64) // want "memory region from RegMR is not deregistered on every path"
+	if err != nil {
+		return
+	}
+	sink(mr.LKey)
+}
+
+// LeakOnEarlyReturn deregisters on the main path but leaks on the
+// early return.
+func LeakOnEarlyReturn(v *Verbs, p *Proc, pd *PD) error {
+	mr, err := v.RegMRBuffer(p, pd, make([]byte, 64)) // want "memory region from RegMRBuffer is not deregistered on every path"
+	if err != nil {
+		return err
+	}
+	if cond() {
+		return nil // leaks mr
+	}
+	return v.DeregMR(p, mr)
+}
+
+// DoubleFree deregisters the same region twice.
+func DoubleFree(v *Verbs, p *Proc, pd *PD) {
+	mr, err := v.RegMR(p, pd, 0x2000, 64)
+	if err != nil {
+		return
+	}
+	if err := v.DeregMR(p, mr); err != nil {
+		return
+	}
+	_ = v.DeregMR(p, mr) // want "memory region may already be deregistered"
+}
+
+// UseAfterDereg reads the region after deregistering it.
+func UseAfterDereg(v *Verbs, p *Proc, pd *PD) {
+	mr, err := v.RegMR(p, pd, 0x3000, 64)
+	if err != nil {
+		return
+	}
+	if err := v.DeregMR(p, mr); err != nil {
+		return
+	}
+	sink(mr.LKey) // want "use of memory region after DeregMR"
+}
+
+// Discarded throws the registration away: it can never be freed.
+func Discarded(v *Verbs, p *Proc, pd *PD) {
+	_, err := v.RegMR(p, pd, 0x4000, 64) // want "result of RegMR discarded"
+	_ = err
+}
+
+// Suppressed carries an ignore directive: no finding.
+func Suppressed(v *Verbs, p *Proc, pd *PD) {
+	//simlint:ignore mrleak region intentionally pinned for the process lifetime
+	mr, err := v.RegMR(p, pd, 0x5000, 64)
+	if err != nil {
+		return
+	}
+	sink(mr.LKey)
+}
+
+// Balanced deregisters on every path: not flagged.
+func Balanced(v *Verbs, p *Proc, pd *PD) error {
+	mr, err := v.RegMR(p, pd, 0x6000, 64)
+	if err != nil {
+		return err
+	}
+	sink(mr.LKey)
+	return v.DeregMR(p, mr)
+}
+
+// DeferredDereg releases via defer: not flagged.
+func DeferredDereg(v *Verbs, p *Proc, pd *PD) error {
+	mr, err := v.RegMR(p, pd, 0x7000, 64)
+	if err != nil {
+		return err
+	}
+	defer v.DeregMR(p, mr)
+	sink(mr.LKey)
+	if cond() {
+		return nil
+	}
+	sink(uint32(mr.Addr))
+	return nil
+}
+
+// LoopReregistration registers and deregisters fresh each iteration:
+// the back edge must not smear last iteration's release into this
+// iteration's registration.
+func LoopReregistration(v *Verbs, p *Proc, pd *PD) error {
+	for i := 0; i < 8; i++ {
+		mr, err := v.RegMR(p, pd, uint64(i)*0x1000, 64)
+		if err != nil {
+			return err
+		}
+		sink(mr.LKey)
+		if err := v.DeregMR(p, mr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EarlyReturnAfterRelease releases before the early return and again
+// on the fall-through: the paths are disjoint, so neither is a double
+// free and neither leaks.
+func EarlyReturnAfterRelease(v *Verbs, p *Proc, pd *PD) error {
+	mr, err := v.RegMR(p, pd, 0x8000, 64)
+	if err != nil {
+		return err
+	}
+	if cond() {
+		return v.DeregMR(p, mr)
+	}
+	sink(mr.LKey)
+	return v.DeregMR(p, mr)
+}
+
+// EscapesToStruct transfers ownership into a longer-lived holder: the
+// function no longer owes the dereg.
+func EscapesToStruct(v *Verbs, p *Proc, pd *PD) (*holder, error) {
+	mr, err := v.RegMR(p, pd, 0x9000, 64)
+	if err != nil {
+		return nil, err
+	}
+	return &holder{mr: mr}, nil
+}
+
+// EscapesByReturn hands the region to the caller.
+func EscapesByReturn(v *Verbs, p *Proc, pd *PD) (*MR, error) {
+	mr, err := v.RegMR(p, pd, 0xa000, 64)
+	if err != nil {
+		return nil, err
+	}
+	return mr, nil
+}
+
+// EscapesByCall passes the handle itself to another owner.
+func EscapesByCall(v *Verbs, p *Proc, pd *PD) {
+	mr, err := v.RegMR(p, pd, 0xb000, 64)
+	if err != nil {
+		return
+	}
+	handoff(mr)
+}

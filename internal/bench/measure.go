@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"repro/internal/baseline"
@@ -60,6 +61,12 @@ func RawOneWay(plat *perfmodel.Platform, srcKind, dstKind machine.DomainKind, n,
 			}
 			total += p.Now() - start
 			cqA.WaitPoll(p, 1)
+		}
+		if err := ctxA.DeregMR(p, smr); err != nil {
+			panic(err)
+		}
+		if err := ctxB.DeregMR(p, dmr); err != nil {
+			panic(err)
 		}
 	})
 	if err := eng.Run(); err != nil {
@@ -138,7 +145,8 @@ func NonblockingExchangeTimes(plat *perfmodel.Platform, m Mode, sizes []int, ite
 				}
 				rq, err := r.Irecv(p, other, si, core.Whole(rb))
 				if err != nil {
-					return err
+					// Drain the already-posted send before bailing out.
+					return errors.Join(err, r.WaitAll(p, sq))
 				}
 				if err := r.WaitAll(p, sq, rq); err != nil {
 					return err
@@ -240,7 +248,8 @@ func CommOnlyHostOffload(plat *perfmodel.Platform, sizes []int, iters int) []sim
 				}
 				rq, err := r.Irecv(p, other, si, core.Whole(hostRecv))
 				if err != nil {
-					return err
+					// Drain the already-posted send before bailing out.
+					return errors.Join(err, r.WaitAll(p, sq))
 				}
 				if err := r.WaitAll(p, sq, rq); err != nil {
 					return err

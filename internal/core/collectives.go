@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/sim"
@@ -36,7 +37,8 @@ func (r *Rank) Barrier(p *sim.Proc) error {
 		}
 		rreq, err := r.Irecv(p, from, tagBarrier, zero)
 		if err != nil {
-			return err
+			// Drain the already-posted send before bailing out.
+			return errors.Join(err, r.WaitAll(p, sreq))
 		}
 		if err := r.WaitAll(p, sreq, rreq); err != nil {
 			return err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -156,10 +157,12 @@ func (c *Comm) Sendrecv(p *sim.Proc, dst, stag int, sbuf Slice, src, rtag int, r
 	}
 	rq, err := c.Irecv(p, src, rtag, rbuf)
 	if err != nil {
-		return Status{}, err
+		// Drain the already-posted send before bailing out.
+		return Status{}, errors.Join(err, c.r.WaitAll(p, sq))
 	}
 	if _, err := c.r.Wait(p, sq); err != nil {
-		return Status{}, err
+		// Drain the already-posted receive before bailing out.
+		return Status{}, errors.Join(err, c.r.WaitAll(p, rq))
 	}
 	st, err := c.r.Wait(p, rq)
 	return c.localStatus(st), err
@@ -191,7 +194,8 @@ func (c *Comm) Barrier(p *sim.Proc) error {
 		}
 		rq, err := c.Irecv(p, from, ctagBarrier, zero)
 		if err != nil {
-			return err
+			// Drain the already-posted send before bailing out.
+			return errors.Join(err, c.r.WaitAll(p, sq))
 		}
 		if err := c.r.WaitAll(p, sq, rq); err != nil {
 			return err

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"repro/internal/ib"
@@ -921,10 +922,12 @@ func (r *Rank) Sendrecv(p *sim.Proc, dst, stag int, sbuf Slice, src, rtag int, r
 	}
 	rreq, err := r.Irecv(p, src, rtag, rbuf)
 	if err != nil {
-		return Status{}, err
+		// Drain the already-posted send before bailing out.
+		return Status{}, errors.Join(err, r.WaitAll(p, sreq))
 	}
 	if _, err := r.Wait(p, sreq); err != nil {
-		return Status{}, err
+		// Drain the already-posted receive before bailing out.
+		return Status{}, errors.Join(err, r.WaitAll(p, rreq))
 	}
 	return r.Wait(p, rreq)
 }
