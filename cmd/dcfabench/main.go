@@ -7,6 +7,14 @@
 //	dcfabench -fig 9          # one figure (5, 7, 8, 9, 10, 11, 12)
 //	dcfabench -table 1        # one table (1, 2, 3)
 //	dcfabench -fig 12 -stencil-iters 50
+//
+// With -metrics every world the run builds reports into one telemetry
+// registry, and a summary (per-protocol message counts, MR-cache hit
+// rate, RDMA bytes per direction pair, delegated-command round trips,
+// latency histograms) is printed after the figures. With -tracefile the
+// run's message-lifecycle spans are written as Chrome trace-event JSON,
+// viewable at https://ui.perfetto.dev. Both are deterministic: the same
+// invocation produces bit-identical output.
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/metrics"
 	"repro/internal/perfmodel"
 )
 
@@ -25,9 +34,37 @@ func main() {
 	ablation := flag.String("ablation", "", "ablation study: threshold, eager, mrcache, ringdepth, pack, collectives, all")
 	stencilIters := flag.Int("stencil-iters", bench.StencilIters, "stencil iterations per configuration")
 	calibration := flag.String("calibration", "", "JSON file overriding the default platform calibration")
+	showMetrics := flag.Bool("metrics", false, "print the telemetry summary after the run")
+	traceFile := flag.String("tracefile", "", "write the run's spans as Chrome trace-event JSON to this file")
 	flag.Parse()
 
 	bench.StencilIters = *stencilIters
+	if *showMetrics || *traceFile != "" {
+		bench.Metrics = metrics.New()
+	}
+	// finish emits the telemetry the run accumulated.
+	finish := func() {
+		if reg := bench.Metrics; reg != nil {
+			if *showMetrics {
+				fmt.Println()
+				reg.WriteSummary(os.Stdout)
+			}
+			if *traceFile != "" {
+				f, err := os.Create(*traceFile)
+				if err == nil {
+					if err = reg.WriteChromeTrace(f); err == nil {
+						err = f.Close()
+					} else {
+						f.Close()
+					}
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "dcfabench:", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
 	plat := perfmodel.Default()
 	if *calibration != "" {
 		data, err := os.ReadFile(*calibration)
@@ -49,6 +86,7 @@ func main() {
 		for _, f := range bench.AllFigures(plat) {
 			f.Render(out)
 		}
+		finish()
 		return
 	}
 	switch *ablation {
@@ -109,4 +147,5 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	finish()
 }

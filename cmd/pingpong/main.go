@@ -3,9 +3,19 @@
 // -trace it also dumps the protocol timeline of a single 64 KiB
 // exchange (which §IV-B3 protocol ran, when the handshake crossed).
 //
+// With -tracefile it first runs a fixed protocol-showcase workload that
+// takes every §IV-B3 path (eager, sender-first, receiver-first,
+// simultaneous rendezvous, plus an offload-staged send) and writes its
+// message-lifecycle spans as Chrome trace-event JSON — open the file at
+// https://ui.perfetto.dev to see ranks, daemons, HCAs and PCIe engines
+// as parallel tracks on the virtual-time axis. With -metrics it prints
+// the telemetry summary (protocol counts, MR-cache hit rate, RDMA bytes
+// per direction pair, latency histograms) after the sweep.
+//
 // Usage:
 //
 //	pingpong -mode dcfa|dcfa-nooffload|host|intel-phi [-iters 10] [-trace]
+//	pingpong -mode dcfampi -tracefile out.json [-metrics]
 package main
 
 import (
@@ -16,6 +26,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/perfmodel"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -48,19 +59,42 @@ func dumpTrace(plat *perfmodel.Platform) {
 	fmt.Println()
 }
 
+// writeShowcaseTrace runs the protocol showcase and writes its spans as
+// Chrome trace-event JSON to path.
+func writeShowcaseTrace(plat *perfmodel.Platform, path string) {
+	reg := metrics.New()
+	if _, err := bench.ProtocolShowcase(plat, reg); err != nil {
+		fmt.Fprintln(os.Stderr, "pingpong: showcase run:", err)
+		os.Exit(1)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pingpong:", err)
+		os.Exit(1)
+	}
+	if err := reg.WriteChromeTrace(f); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pingpong:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote protocol-showcase timeline to %s (open at https://ui.perfetto.dev)\n\n", path)
+}
+
 func main() {
-	mode := flag.String("mode", "dcfa", "execution mode: dcfa, dcfa-nooffload, host, intel-phi")
+	mode := flag.String("mode", "dcfa", "execution mode: dcfa (alias dcfampi), dcfa-nooffload, host, intel-phi")
 	iters := flag.Int("iters", 10, "iterations per size")
 	showTrace := flag.Bool("trace", false, "dump the protocol timeline of one 64 KiB transfer first")
+	showMetrics := flag.Bool("metrics", false, "print the telemetry summary after the sweep")
+	traceFile := flag.String("tracefile", "", "write a Chrome trace-event JSON timeline of the protocol showcase to this file")
 	flag.Parse()
-
-	if *showTrace {
-		dumpTrace(perfmodel.Default())
-	}
 
 	var m bench.Mode
 	switch *mode {
-	case "dcfa":
+	case "dcfa", "dcfampi":
 		m = bench.ModeDCFA
 	case "dcfa-nooffload":
 		m = bench.ModeDCFABase
@@ -74,11 +108,25 @@ func main() {
 	}
 
 	plat := perfmodel.Default()
+	if *showTrace {
+		dumpTrace(plat)
+	}
+	if *traceFile != "" {
+		writeShowcaseTrace(plat, *traceFile)
+	}
+	if *showMetrics {
+		bench.Metrics = metrics.New()
+	}
+
 	rtts := bench.BlockingPingPongRTTs(plat, m, bench.MsgSizes, *iters)
 	fmt.Printf("blocking ping-pong, mode=%s (%d iterations per size)\n", m, *iters)
 	fmt.Printf("%10s %14s %12s\n", "bytes", "RTT", "GB/s")
 	for i, n := range bench.MsgSizes {
 		bw := float64(n) / (float64(rtts[i]/2) / float64(sim.Second)) / 1e9
 		fmt.Printf("%10d %14v %12.3f\n", n, rtts[i], bw)
+	}
+	if bench.Metrics != nil {
+		fmt.Println()
+		bench.Metrics.WriteSummary(os.Stdout)
 	}
 }

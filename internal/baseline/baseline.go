@@ -97,10 +97,12 @@ func PhiMPIWorld(c *cluster.Cluster, ranks int) *core.World {
 	cfg.Offload = false
 	cfg.EagerMax = c.Plat.ProxyEagerMax
 	cfg.EagerSlots = 4
+	cfg.Metrics = c.Metrics
 	envs := make([]core.Env, ranks)
 	for i := 0; i < ranks; i++ {
 		ni := c.NodeFor(i)
 		mic, _ := dcfa.New(c.Eng, c.Plat, c.Nodes[ni], c.HCAs[ni], c.Buses[ni])
+		mic.SetMetrics(c.Metrics)
 		envs[i] = core.Env{V: ProxyVerbs{V: mic}, Node: c.Nodes[ni]}
 	}
 	return core.NewWorld(c.Eng, c.Plat, cfg, envs)
@@ -117,6 +119,7 @@ func SymmetricWorld(c *cluster.Cluster, ranks int) *core.World {
 	cfg.Offload = false
 	cfg.EagerMax = c.Plat.ProxyEagerMax
 	cfg.EagerSlots = 4
+	cfg.Metrics = c.Metrics
 	envs := make([]core.Env, ranks)
 	for i := 0; i < ranks; i++ {
 		ni := c.NodeFor(i / 2)
@@ -127,6 +130,7 @@ func SymmetricWorld(c *cluster.Cluster, ranks int) *core.World {
 			}
 		} else {
 			mic, _ := dcfa.New(c.Eng, c.Plat, c.Nodes[ni], c.HCAs[ni], c.Buses[ni])
+			mic.SetMetrics(c.Metrics)
 			envs[i] = core.Env{V: ProxyVerbs{V: mic}, Node: c.Nodes[ni]}
 		}
 	}

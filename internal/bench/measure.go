@@ -10,9 +10,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/ib"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/perfmodel"
 	"repro/internal/sim"
 )
+
+// Metrics, when non-nil, is installed on every cluster and fabric the
+// sweeps build, so a whole figure run reports into one registry.
+var Metrics *metrics.Registry
 
 // RawOneWay measures the one-way time of an n-byte raw RDMA write from
 // a buffer in srcKind memory on node 0 to dstKind memory on node 1
@@ -20,6 +25,7 @@ import (
 func RawOneWay(plat *perfmodel.Platform, srcKind, dstKind machine.DomainKind, n, iters int) sim.Duration {
 	eng := sim.NewEngine()
 	fab := ib.NewFabric(eng, plat)
+	fab.Metrics = Metrics
 	n0, n1 := machine.NewNode(0), machine.NewNode(1)
 	h0, h1 := fab.AttachHCA(n0), fab.AttachHCA(n1)
 	ctxA := h0.Open(srcKind)
@@ -107,6 +113,7 @@ func (m Mode) String() string {
 // buildWorld constructs a fresh 2-node world for the mode.
 func buildWorld(plat *perfmodel.Platform, m Mode, ranks int) *core.World {
 	c := cluster.New(plat, ranks)
+	c.SetMetrics(Metrics)
 	switch m {
 	case ModeDCFA:
 		return c.DCFAWorld(ranks, true)
@@ -224,6 +231,7 @@ func CommOnlyDCFA(plat *perfmodel.Platform, sizes []int, iters int) []sim.Durati
 func CommOnlyHostOffload(plat *perfmodel.Platform, sizes []int, iters int) []sim.Duration {
 	out := make([]sim.Duration, len(sizes))
 	c := cluster.New(plat, 2)
+	c.SetMetrics(Metrics)
 	w, devs := baseline.HostOffloadWorld(c, 2)
 	err := w.Run(func(r *core.Rank) error {
 		p := r.Proc()

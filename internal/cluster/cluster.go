@@ -17,6 +17,7 @@ import (
 	"repro/internal/dcfa"
 	"repro/internal/ib"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/pcie"
 	"repro/internal/perfmodel"
 	"repro/internal/sim"
@@ -30,6 +31,10 @@ type Cluster struct {
 	Fabric *ib.Fabric
 	HCAs   []*ib.HCA
 	Buses  []*pcie.Bus
+
+	// Metrics is the telemetry registry shared by every layer of this
+	// cluster (nil = disabled); install it with SetMetrics.
+	Metrics *metrics.Registry
 }
 
 // New builds an n-node cluster on a fresh engine.
@@ -48,6 +53,18 @@ func New(plat *perfmodel.Platform, n int) *Cluster {
 	return c
 }
 
+// SetMetrics installs one telemetry registry across the cluster's
+// fabric and PCIe complexes; worlds built afterwards (DCFAWorld,
+// HostWorld, DCFAEnvs) inherit it down to every rank and DCFA daemon.
+// Call it before building worlds so QP creation picks up the handles.
+func (c *Cluster) SetMetrics(reg *metrics.Registry) {
+	c.Metrics = reg
+	c.Fabric.Metrics = reg
+	for _, b := range c.Buses {
+		b.Metrics = reg
+	}
+}
+
 // NodeFor maps rank i onto a node round-robin (the paper runs one rank
 // per node).
 func (c *Cluster) NodeFor(rank int) int { return rank % len(c.Nodes) }
@@ -59,6 +76,7 @@ func (c *Cluster) DCFAEnvs(ranks int) []core.Env {
 	for i := 0; i < ranks; i++ {
 		ni := c.NodeFor(i)
 		mic, _ := dcfa.New(c.Eng, c.Plat, c.Nodes[ni], c.HCAs[ni], c.Buses[ni])
+		mic.SetMetrics(c.Metrics)
 		envs[i] = core.Env{V: core.DCFAVerbs{V: mic}, Node: c.Nodes[ni]}
 	}
 	return envs
@@ -82,6 +100,7 @@ func (c *Cluster) HostEnvs(ranks int) []core.Env {
 func (c *Cluster) DCFAWorld(ranks int, offload bool) *core.World {
 	cfg := core.ConfigFromPlatform(c.Plat)
 	cfg.Offload = offload
+	cfg.Metrics = c.Metrics
 	return core.NewWorld(c.Eng, c.Plat, cfg, c.DCFAEnvs(ranks))
 }
 
@@ -89,6 +108,7 @@ func (c *Cluster) DCFAWorld(ranks int, offload bool) *core.World {
 func (c *Cluster) HostWorld(ranks int) *core.World {
 	cfg := core.ConfigFromPlatform(c.Plat)
 	cfg.Offload = false
+	cfg.Metrics = c.Metrics
 	return core.NewWorld(c.Eng, c.Plat, cfg, c.HostEnvs(ranks))
 }
 

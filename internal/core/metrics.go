@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Resolved-protocol kinds, recorded per message endpoint as counters
+// (proto.<kind>) and as span kinds in the Perfetto export. They mirror
+// §IV-B3: eager, sender-first rendezvous, receiver-first rendezvous,
+// simultaneous send/receive rendezvous, plus loopback.
+const (
+	KindEager     = "eager"
+	KindSenderRzv = "sender-rzv"
+	KindRecvRzv   = "recv-rzv"
+	KindSimulRzv  = "simultaneous-rzv"
+	KindSelf      = "self"
+)
+
+// rankMetrics holds one rank's telemetry handles. The zero value (no
+// registry installed) is fully inert: every handle is nil and every
+// record is a nil-check no-op, so un-instrumented runs pay nothing.
+type rankMetrics struct {
+	reg   *metrics.Registry
+	actor string
+
+	protoEager  *metrics.Counter
+	protoSender *metrics.Counter
+	protoRecv   *metrics.Counter
+	protoSimul  *metrics.Counter
+	protoSelf   *metrics.Counter
+	mispredicts *metrics.Counter
+	anyLocks    *metrics.Counter
+	offStaged   *metrics.Counter
+	offFallback *metrics.Counter
+
+	sendLat  *metrics.Histogram
+	recvLat  *metrics.Histogram
+	matchLat *metrics.Histogram
+	rndvRTT  *metrics.Histogram
+}
+
+func newRankMetrics(reg *metrics.Registry, id int) rankMetrics {
+	if reg == nil {
+		return rankMetrics{}
+	}
+	actor := fmt.Sprintf("rank%d", id)
+	return rankMetrics{
+		reg:   reg,
+		actor: actor,
+
+		protoEager:  reg.Counter(actor, "proto.eager"),
+		protoSender: reg.Counter(actor, "proto.sender-rzv"),
+		protoRecv:   reg.Counter(actor, "proto.recv-rzv"),
+		protoSimul:  reg.Counter(actor, "proto.simultaneous-rzv"),
+		protoSelf:   reg.Counter(actor, "proto.self"),
+		mispredicts: reg.Counter(actor, "proto.mispredicts"),
+		anyLocks:    reg.Counter(actor, "any-source.locks"),
+		offStaged:   reg.Counter(actor, "offload.staged-bytes"),
+		offFallback: reg.Counter(actor, "offload.fallbacks"),
+
+		sendLat:  reg.Histogram(actor, "send.latency", metrics.TimeBuckets),
+		recvLat:  reg.Histogram(actor, "recv.latency", metrics.TimeBuckets),
+		matchLat: reg.Histogram(actor, "match.latency", metrics.TimeBuckets),
+		rndvRTT:  reg.Histogram(actor, "rndv.rtt", metrics.TimeBuckets),
+	}
+}
+
+// span opens a message-lifecycle span on this rank's track (nil when
+// telemetry is off).
+func (m *rankMetrics) span(t sim.Time, name string) *metrics.Span {
+	return m.reg.Begin(t, m.actor, name)
+}
+
+// resolve classifies a request's protocol: it bumps the per-kind
+// counter and stamps the lifecycle span. Each request resolves exactly
+// once (the call sites are the protocol-decision points).
+func (m *rankMetrics) resolve(req *Request, kind string) {
+	switch kind {
+	case KindEager:
+		m.protoEager.Inc()
+	case KindSenderRzv:
+		m.protoSender.Inc()
+	case KindRecvRzv:
+		m.protoRecv.Inc()
+	case KindSimulRzv:
+		m.protoSimul.Inc()
+	case KindSelf:
+		m.protoSelf.Inc()
+	}
+	req.span.SetKind(kind)
+}

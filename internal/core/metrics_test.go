@@ -1,0 +1,127 @@
+package core_test
+
+// Telemetry must be a pure observer: enabling the metrics registry may
+// not change the event schedule, the event count, or a single virtual
+// timestamp. These tests run the same workload with metrics on and off
+// and require bit-identical fingerprints.
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/perfmodel"
+	"repro/internal/sim"
+)
+
+// instrumentedWorkload runs the 4-rank mixed workload (eager and
+// rendezvous ring passes, nonblocking pair, collectives) with the given
+// registry installed — nil means telemetry disabled.
+func instrumentedWorkload(t *testing.T, reg *metrics.Registry) (uint64, int64, sim.Time) {
+	t.Helper()
+	const n = 4
+	c := cluster.New(perfmodel.Default(), n)
+	c.SetMetrics(reg)
+	w := c.DCFAWorld(n, true)
+	err := w.Run(func(r *core.Rank) error {
+		p := r.Proc()
+		other := (r.ID() + 1) % n
+		left := (r.ID() - 1 + n) % n
+
+		for _, sz := range []int{512, 64 << 10} {
+			sb, rb := r.Mem(sz), r.Mem(sz)
+			if _, err := r.Sendrecv(p, other, sz, core.Whole(sb), left, sz, core.Whole(rb)); err != nil {
+				return err
+			}
+		}
+
+		buf := r.Mem(8 << 10)
+		q, err := r.Isend(p, other, 9, core.Whole(buf))
+		if err != nil {
+			return err
+		}
+		in := r.Mem(8 << 10)
+		q2, err := r.Irecv(p, left, 9, core.Whole(in))
+		if err != nil {
+			return err
+		}
+		p.Sleep(3 * sim.Microsecond)
+		if err := r.WaitAll(p, q, q2); err != nil {
+			return err
+		}
+
+		v := r.Mem(8)
+		core.PutF64s(v.Data, []float64{float64(r.ID())})
+		if err := r.Allreduce(p, core.Whole(v), core.OpSumF64); err != nil {
+			return err
+		}
+		return r.Barrier(p)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Eng.Fingerprint(), c.Eng.EventsRun(), c.Eng.Now()
+}
+
+// TestMetricsDoNotPerturbSchedule requires that a metrics-enabled run
+// and a disabled run of the same workload dispatch the exact same event
+// sequence and finish at the same virtual time.
+func TestMetricsDoNotPerturbSchedule(t *testing.T) {
+	offFP, offN, offT := instrumentedWorkload(t, nil)
+	reg := metrics.New()
+	onFP, onN, onT := instrumentedWorkload(t, reg)
+	if offFP != onFP {
+		t.Errorf("metrics changed the event order: fingerprint %#x (off) vs %#x (on)", offFP, onFP)
+	}
+	if offN != onN {
+		t.Errorf("metrics changed the event count: %d (off) vs %d (on)", offN, onN)
+	}
+	if offT != onT {
+		t.Errorf("metrics changed the final virtual time: %v (off) vs %v (on)", offT, onT)
+	}
+	if reg.OpenSpans() != 0 {
+		t.Errorf("%d spans left open after a clean run", reg.OpenSpans())
+	}
+	// The instrumented run saw real traffic: every rank classified at
+	// least one eager and one rendezvous message.
+	for rank := 0; rank < 4; rank++ {
+		actor := []string{"rank0", "rank1", "rank2", "rank3"}[rank]
+		eager := reg.Counter(actor, "proto.eager").Value()
+		rzv := reg.Counter(actor, "proto.sender-rzv").Value() +
+			reg.Counter(actor, "proto.recv-rzv").Value() +
+			reg.Counter(actor, "proto.simultaneous-rzv").Value()
+		if eager == 0 || rzv == 0 {
+			t.Errorf("%s: expected both eager and rendezvous traffic, got eager=%d rendezvous=%d",
+				actor, eager, rzv)
+		}
+	}
+}
+
+// TestMetricsCountAnySourceLocks checks the ANY_SOURCE serialization
+// counter against a workload with one wildcard receive.
+func TestMetricsCountAnySourceLocks(t *testing.T) {
+	reg := metrics.New()
+	c := cluster.New(perfmodel.Default(), 2)
+	c.SetMetrics(reg)
+	w := c.DCFAWorld(2, true)
+	err := w.Run(func(r *core.Rank) error {
+		p := r.Proc()
+		buf := r.Mem(8)
+		if r.ID() == 0 {
+			_, err := r.Recv(p, core.AnySource, 1, core.Whole(buf))
+			return err
+		}
+		p.Sleep(50 * sim.Microsecond)
+		return r.Send(p, 0, 1, core.Whole(buf))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("rank0", "any-source.locks").Value(); got != 1 {
+		t.Errorf("any-source.locks = %d, want 1", got)
+	}
+	if got := reg.Counter("rank1", "any-source.locks").Value(); got != 0 {
+		t.Errorf("rank1 any-source.locks = %d, want 0", got)
+	}
+}

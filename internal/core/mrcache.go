@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/ib"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -30,6 +31,12 @@ type MRCache struct {
 	Misses int64
 	// Evictions counts deregistrations forced by capacity.
 	Evictions int64
+
+	// Telemetry handles (nil when metrics are disabled; see instrument).
+	hitsC      *metrics.Counter
+	missesC    *metrics.Counter
+	evictionsC *metrics.Counter
+	pinnedB    *metrics.Gauge
 }
 
 type mrEntry struct {
@@ -45,6 +52,15 @@ func NewMRCache(v Verbs, pd *ib.PD, capacity int) *MRCache {
 	return &MRCache{v: v, pd: pd, cap: capacity, lru: list.New(), entries: make(map[*ib.MR]*list.Element)}
 }
 
+// instrument attaches telemetry counters under the given actor. A nil
+// registry hands out nil handles, so recording stays a nil-check no-op.
+func (c *MRCache) instrument(reg *metrics.Registry, actor string) {
+	c.hitsC = reg.Counter(actor, "mrcache.hits")
+	c.missesC = reg.Counter(actor, "mrcache.misses")
+	c.evictionsC = reg.Counter(actor, "mrcache.evictions")
+	c.pinnedB = reg.Gauge(actor, "mrcache.pinned-bytes")
+}
+
 // Get returns a registered MR covering [addr, addr+n) in dom, reusing a
 // cached registration when one covers the range ("the memory region hit
 // will be reused, otherwise a new memory region will be registered").
@@ -56,15 +72,21 @@ func (c *MRCache) Get(p *sim.Proc, dom *machine.Domain, addr uint64, n int) (*ib
 		if mr.Dom == dom && addr >= mr.Addr && addr+uint64(n) <= mr.Addr+uint64(mr.Len) {
 			c.lru.MoveToFront(e)
 			c.Hits++
+			c.hitsC.Inc()
+			if ent.refs == 0 {
+				c.pinnedB.Add(int64(mr.Len))
+			}
 			ent.refs++
 			return mr, nil
 		}
 	}
 	c.Misses++
+	c.missesC.Inc()
 	mr, err := c.v.RegMR(p, c.pd, dom, addr, n)
 	if err != nil {
 		return nil, err
 	}
+	c.pinnedB.Add(int64(mr.Len))
 	e := c.lru.PushFront(&mrEntry{mr: mr, refs: 1})
 	c.entries[mr] = e
 	if err := c.evictExcess(p); err != nil {
@@ -85,6 +107,9 @@ func (c *MRCache) Release(p *sim.Proc, mr *ib.MR) {
 		panic("core: MR cache release without matching Get")
 	}
 	ent.refs--
+	if ent.refs == 0 {
+		c.pinnedB.Add(-int64(mr.Len))
+	}
 	if err := c.evictExcess(p); err != nil {
 		panic(err)
 	}
@@ -108,6 +133,7 @@ func (c *MRCache) evictExcess(p *sim.Proc) error {
 		c.lru.Remove(victim)
 		delete(c.entries, mr)
 		c.Evictions++
+		c.evictionsC.Inc()
 		if err := c.v.DeregMR(p, mr); err != nil {
 			return err
 		}

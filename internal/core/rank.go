@@ -93,6 +93,10 @@ type Rank struct {
 	// ids (Split is collective, so every member sees the same count).
 	splitSeq int
 
+	// m holds telemetry handles; its zero value (metrics disabled)
+	// makes every record a nil-check no-op.
+	m rankMetrics
+
 	Stats Stats
 }
 
@@ -139,6 +143,8 @@ func (r *Rank) setup(p *sim.Proc) error {
 	r.pd = r.v.AllocPD(p)
 	r.cq = r.v.CreateCQ(p, 1<<16)
 	r.mrCache = NewMRCache(r.v, r.pd, cfg.MRCacheCap)
+	r.m = newRankMetrics(cfg.Metrics, r.id)
+	r.mrCache.instrument(cfg.Metrics, r.m.actor)
 	n := r.w.Size()
 	r.peers = make([]*peerState, n)
 	r.sendSeq = make([]uint64, n)
@@ -275,22 +281,29 @@ func (r *Rank) Isend(p *sim.Proc, dst, tag int, s Slice) (*Request, error) {
 	if dst < 0 || dst >= r.w.Size() {
 		return nil, ErrBadRank
 	}
+	req := &Request{r: r, isSend: true, peer: dst, tag: tag, slice: s, startT: p.Now()}
+	if r.m.reg != nil {
+		req.span = r.m.span(req.startT, "send")
+		req.span.AttrInt("peer", int64(dst)).AttrInt("bytes", int64(s.N))
+	}
 	p.Sleep(r.w.Plat.MPIPerMsg(r.v.Loc()))
 	r.Stats.MsgsSent++
 	r.Stats.BytesSent += int64(s.N)
-	req := &Request{r: r, isSend: true, peer: dst, tag: tag, slice: s}
 	if dst == r.id {
+		r.m.resolve(req, KindSelf)
 		r.selfSend(p, req)
 		return req, nil
 	}
 	req.seq = r.sendSeq[dst]
 	r.sendSeq[dst]++
 	req.hasSeq = true
+	req.span.AttrInt("seq", int64(req.seq))
 	// Drain arrived packets first: an RTR for this very sequence id may
 	// already be waiting (receiver-first), which changes the protocol.
 	r.progress(p)
 	if s.N <= r.w.Cfg.EagerMax {
 		r.Stats.EagerSends++
+		r.m.resolve(req, KindEager)
 		r.trySendEager(p, req)
 		return req, nil
 	}
@@ -304,6 +317,7 @@ func (r *Rank) trySendEager(p *sim.Proc, req *Request) {
 	// id guarantees it belonged to this send only.
 	if _, ok := r.earlyRTR[req.peer][req.seq]; ok {
 		delete(r.earlyRTR[req.peer], req.seq)
+		r.m.mispredicts.Inc()
 		r.trace("mispredict-rtr-drop", "from=%d seq=%d (pre-posted)", req.peer, req.seq)
 	}
 	ps := r.peers[req.peer]
@@ -332,16 +346,22 @@ func (r *Rank) startRendezvousSend(p *sim.Proc, req *Request) error {
 		if reg := r.arena.alloc(s.N); reg != nil {
 			// sync_offload_mr: stage the latest data into the host
 			// bounce buffer through the DMA engine before any send.
-			if err := r.arena.sync(p, reg, s.Bytes()); err != nil {
+			ss := req.span.Child(p.Now(), "offload-sync")
+			err := r.arena.sync(p, reg, s.Bytes())
+			ss.AttrInt("bytes", int64(s.N))
+			ss.End(p.Now())
+			if err != nil {
 				return err
 			}
 			req.offReg = reg
 			req.advAddr = reg.addr()
 			req.advKey = reg.rkey()
 			r.Stats.OffloadedSends++
+			r.m.offStaged.Add(int64(s.N))
 			r.trace("offload-sync", "to=%d seq=%d n=%d staged", req.peer, req.seq, s.N)
 		} else {
 			useOffload = false
+			r.m.offFallback.Inc()
 		}
 	}
 	if !useOffload {
@@ -396,6 +416,10 @@ func (r *Rank) rndvWrite(p *sim.Proc, req *Request, rtr header) error {
 		Signaled: true,
 	}
 	req.state = stWriting
+	r.m.resolve(req, KindRecvRzv)
+	if r.m.reg != nil {
+		req.xferSpan = req.span.Child(p.Now(), "rdma-write").AttrInt("bytes", int64(req.slice.N))
+	}
 	r.trace("rdma-write", "to=%d seq=%d n=%d", req.peer, req.seq, req.slice.N)
 	return r.v.PostSend(p, r.peers[req.peer].qp, wr)
 }
@@ -419,8 +443,13 @@ func (r *Rank) Irecv(p *sim.Proc, src, tag int, s Slice) (*Request, error) {
 	if src != AnySource && (src < 0 || src >= r.w.Size()) {
 		return nil, ErrBadRank
 	}
-	req := &Request{r: r, peer: src, tag: tag, anyTag: tag == AnyTag, slice: s}
+	req := &Request{r: r, peer: src, tag: tag, anyTag: tag == AnyTag, slice: s, startT: p.Now()}
+	if r.m.reg != nil {
+		req.span = r.m.span(req.startT, "recv")
+		req.span.AttrInt("src", int64(src)).AttrInt("bytes", int64(s.N))
+	}
 	if src == r.id {
+		r.m.resolve(req, KindSelf)
 		r.selfRecv(p, req)
 		return req, nil
 	}
@@ -432,6 +461,7 @@ func (r *Rank) Irecv(p *sim.Proc, src, tag int, s Slice) (*Request, error) {
 		// all later receives until it finds its match.
 		if r.anyActive == nil {
 			r.anyActive = req
+			r.m.anyLocks.Inc()
 			r.matchAnyAgainstUnexpected(p)
 		} else {
 			r.deferred = append(r.deferred, req)
@@ -454,6 +484,7 @@ func (r *Rank) bindRecv(p *sim.Proc, req *Request, src int) {
 	req.seq = r.recvSeq[src]
 	r.recvSeq[src]++
 	req.hasSeq = true
+	req.span.AttrInt("seq", int64(req.seq))
 	if a, ok := r.unexpected[src][req.seq]; ok {
 		delete(r.unexpected[src], req.seq)
 		r.matchArrival(p, req, a)
@@ -497,12 +528,14 @@ func (r *Rank) matchArrival(p *sim.Proc, req *Request, a *arrival) {
 		req.complete(p, ErrTagMismatch)
 		return
 	}
+	r.m.matchLat.ObserveDuration(p.Now() - req.startT)
 	switch a.h.kind {
 	case pktEager:
 		if a.h.payload > req.slice.N {
 			req.complete(p, ErrTruncate)
 			return
 		}
+		r.m.resolve(req, KindEager)
 		copy(req.slice.Bytes(), a.data)
 		p.Sleep(r.w.Plat.CopyCost(r.v.Loc(), a.h.payload))
 		req.status = Status{Source: int(a.h.src), Tag: int(a.h.tag), Len: a.h.payload}
@@ -517,6 +550,9 @@ func (r *Rank) matchArrival(p *sim.Proc, req *Request, a *arrival) {
 // startRead runs the sender-first protocol's receiver half: RDMA read
 // from the advertised buffer, then DONE.
 func (r *Rank) startRead(p *sim.Proc, req *Request, rts header) {
+	// An RTR already sent for this receive means both sides started
+	// the handshake at once: the simultaneous send/receive rendezvous.
+	simul := req.state == stRTRWait
 	if rts.rsize > req.slice.N {
 		// Sender-rendezvous / receiver-eager mis-prediction: the send is
 		// larger than the receive; the receiver issues an MPI error. A
@@ -544,6 +580,14 @@ func (r *Rank) startRead(p *sim.Proc, req *Request, rts header) {
 	}
 	req.state = stReading
 	req.seq = rts.seq
+	if simul {
+		r.m.resolve(req, KindSimulRzv)
+	} else {
+		r.m.resolve(req, KindSenderRzv)
+	}
+	if r.m.reg != nil {
+		req.xferSpan = req.span.Child(p.Now(), "rdma-read").AttrInt("bytes", int64(rts.rsize))
+	}
 	r.trace("rdma-read", "from=%d seq=%d n=%d", rts.src, rts.seq, rts.rsize)
 	if err := r.v.PostSend(p, r.peers[int(rts.src)].qp, wr); err != nil {
 		req.complete(p, err)
@@ -587,6 +631,7 @@ func (r *Rank) drainDeferred(p *sim.Proc) {
 		r.deferred = r.deferred[1:]
 		if req.peer == AnySource {
 			r.anyActive = req
+			r.m.anyLocks.Inc()
 			r.matchAnyAgainstUnexpected(p)
 			return
 		}
@@ -746,6 +791,7 @@ func (r *Rank) handlePacket(p *sim.Proc, src int, h header, payload []byte) {
 				// receiver recognizes it on the eager packet, copies the
 				// data and completes; its earlier RTR will be dropped by
 				// the sender thanks to the sequence id.
+				r.m.mispredicts.Inc()
 				r.matchArrival(p, req, &arrival{h: h, data: payload})
 				return
 			}
@@ -781,10 +827,13 @@ func (r *Rank) handlePacket(p *sim.Proc, src int, h header, payload []byte) {
 			case stRTSSent:
 				// Simultaneous send/receive rendezvous: the sender
 				// disregards the RTR and waits for the receiver's read.
+				req.simul = true
+				r.m.resolve(req, KindSimulRzv)
 				r.trace("simultaneous-rtr-drop", "from=%d seq=%d", src, h.seq)
 			case stEagerSent, stEagerQueued, stDone:
 				// Sender-eager mis-prediction: drop the RTR; the
 				// sequence id guarantees it belonged to this send only.
+				r.m.mispredicts.Inc()
 				r.trace("mispredict-rtr-drop", "from=%d seq=%d", src, h.seq)
 			default:
 				if err := r.rndvWrite(p, req, h); err != nil {
@@ -799,11 +848,20 @@ func (r *Rank) handlePacket(p *sim.Proc, src int, h header, payload []byte) {
 	case pktDone:
 		if req, ok := r.sendsBySeq[src][h.seq]; ok {
 			delete(r.sendsBySeq[src], h.seq)
+			// The DONE closes the rendezvous round trip begun at the
+			// RTS; a dropped RTR already classified it simultaneous.
+			if !req.simul {
+				r.m.resolve(req, KindSenderRzv)
+			}
+			r.m.rndvRTT.ObserveDuration(p.Now() - req.startT)
 			req.complete(p, nil)
 			return
 		}
 		if req, ok := r.expRecv[src][h.seq]; ok {
 			delete(r.expRecv[src], h.seq)
+			// Receiver-first: the sender's write plus this DONE
+			// completed a receive that was parked in stRTRWait.
+			r.m.resolve(req, KindRecvRzv)
 			req.status = Status{Source: src, Tag: req.tag, Len: h.rsize}
 			req.complete(p, nil)
 			return
@@ -847,6 +905,7 @@ func (r *Rank) handleCQE(p *sim.Proc, e ib.CQE) {
 	case wrRndvWrite:
 		// Receiver-first write done: tell the receiver.
 		req := act.req
+		req.xferSpan.End(p.Now())
 		delete(r.sendsBySeq[req.peer], req.seq)
 		done := header{kind: pktDone, seq: req.seq, rsize: req.slice.N}
 		if err := r.ctrlSend(p, req.peer, done); err != nil {
@@ -857,6 +916,7 @@ func (r *Rank) handleCQE(p *sim.Proc, e ib.CQE) {
 	case wrRndvRead:
 		// Sender-first read done: tell the sender.
 		req := act.req
+		req.xferSpan.End(p.Now())
 		done := header{kind: pktDone, seq: req.seq, rsize: req.status.Len}
 		if err := r.ctrlSend(p, act.peer, done); err != nil {
 			req.complete(p, err)

@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/ib"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -79,6 +80,18 @@ type Request struct {
 	srcMR *ib.MR
 	// heldMRs are cache pins released at completion.
 	heldMRs []*ib.MR
+
+	// Telemetry (all nil / zero when metrics are disabled).
+	// span is the message-lifecycle span from post to completion;
+	// xferSpan the in-flight RDMA read/write child.
+	span     *metrics.Span
+	xferSpan *metrics.Span
+	// startT is when the operation was posted, for latency histograms.
+	startT sim.Time
+	// simul marks a send resolved as simultaneous rendezvous (the RTR
+	// was dropped in state stRTSSent), so the later DONE does not
+	// re-classify it as sender-first.
+	simul bool
 }
 
 // Done reports completion (poll without progress; use Rank.Test to also
@@ -107,6 +120,19 @@ func (q *Request) complete(p *sim.Proc, err error) {
 		q.r.mrCache.Release(p, mr)
 	}
 	q.heldMRs = nil
+	if m := &q.r.m; m.reg != nil {
+		now := p.Now()
+		q.xferSpan.End(now)
+		if err != nil {
+			q.span.Attr("error", err.Error())
+		}
+		q.span.End(now)
+		if q.isSend {
+			m.sendLat.ObserveDuration(now - q.startT)
+		} else {
+			m.recvLat.ObserveDuration(now - q.startT)
+		}
+	}
 }
 
 // arrival is a packet that reached the rank before its matching receive

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/perfmodel"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -37,6 +38,11 @@ type Config struct {
 	// Trace, when non-nil, records protocol events on the virtual
 	// timeline (protocol selection, handshakes, credits).
 	Trace *trace.Recorder
+	// Metrics, when non-nil, records per-rank counters, latency
+	// histograms and message-lifecycle spans. Instrumentation is
+	// passive and virtual-time-only: enabling it must not change the
+	// engine's event sequence (see internal/metrics).
+	Metrics *metrics.Registry
 }
 
 // ConfigFromPlatform derives the paper-tuned configuration.

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/ib"
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/pcie"
 	"repro/internal/perfmodel"
 	"repro/internal/scif"
@@ -39,6 +40,30 @@ const (
 	CmdRegOffloadMR
 	CmdDeregOffloadMR
 )
+
+// cmdName maps a command kind to its telemetry name.
+func cmdName(kind int) string {
+	switch kind {
+	case CmdOpenDev:
+		return "open-dev"
+	case CmdAllocPD:
+		return "alloc-pd"
+	case CmdCreateCQ:
+		return "create-cq"
+	case CmdCreateQP:
+		return "create-qp"
+	case CmdRegMR:
+		return "reg-mr"
+	case CmdDeregMR:
+		return "dereg-mr"
+	case CmdRegOffloadMR:
+		return "reg-offload-mr"
+	case CmdDeregOffloadMR:
+		return "dereg-offload-mr"
+	default:
+		return "unknown"
+	}
+}
 
 type regMRReq struct {
 	dom  *machine.Domain
@@ -94,6 +119,10 @@ type HostDaemon struct {
 
 	// Requests counts delegated commands served.
 	Requests int64
+
+	// Telemetry (nil / "" when metrics are disabled).
+	metrics *metrics.Registry
+	actor   string
 }
 
 // serve is the daemon main loop.
@@ -102,6 +131,9 @@ func (d *HostDaemon) serve(p *sim.Proc) {
 	for {
 		msg := d.ep.Recv(p)
 		d.Requests++
+		if d.metrics != nil {
+			d.metrics.Counter(d.actor, "served."+cmdName(msg.Kind)).Inc()
+		}
 		switch msg.Kind {
 		case CmdOpenDev, CmdAllocPD, CmdCreateCQ, CmdCreateQP:
 			// Host-side resource creation work; the objects themselves
@@ -188,6 +220,24 @@ type MicVerbs struct {
 
 	// DelegatedCalls counts operations that crossed to the host.
 	DelegatedCalls int64
+
+	// Telemetry (nil / "" when metrics are disabled).
+	metrics *metrics.Registry
+	actor   string
+}
+
+// SetMetrics installs (or removes, with nil) the telemetry registry on
+// both the co-processor verbs interface and its host daemon. Each
+// delegated command records a count, a round-trip latency histogram and
+// a span on the "dcfa/node<N>" track; the daemon counts commands served
+// on "dcfad/node<N>".
+func (v *MicVerbs) SetMetrics(reg *metrics.Registry) {
+	v.metrics = reg
+	v.daemon.metrics = reg
+	if reg != nil {
+		v.actor = fmt.Sprintf("dcfa/node%d", v.Node.ID)
+		v.daemon.actor = fmt.Sprintf("dcfad/node%d", v.Node.ID)
+	}
 }
 
 // New wires up DCFA on one node: it spawns the host delegation daemon
@@ -215,7 +265,18 @@ func (v *MicVerbs) Context() *ib.Context { return v.ctx }
 // call performs one delegated command round trip.
 func (v *MicVerbs) call(p *sim.Proc, kind int, payload any) scif.Msg {
 	v.DelegatedCalls++
-	return v.ep.Call(p, kind, payload)
+	if v.metrics == nil {
+		return v.ep.Call(p, kind, payload)
+	}
+	name := cmdName(kind)
+	start := p.Now()
+	sp := v.metrics.Begin(start, v.actor, "cmd."+name)
+	resp := v.ep.Call(p, kind, payload)
+	now := p.Now()
+	sp.End(now)
+	v.metrics.Counter(v.actor, "cmd."+name).Inc()
+	v.metrics.Histogram(v.actor, "cmd-rtt."+name, metrics.TimeBuckets).ObserveDuration(now - start)
+	return resp
 }
 
 // OpenDevice performs the delegated device/context setup.

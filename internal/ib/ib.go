@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/perfmodel"
 	"repro/internal/sim"
 )
@@ -24,6 +25,12 @@ type Fabric struct {
 	Eng  *sim.Engine
 	Plat *perfmodel.Platform
 	hcas []*HCA
+
+	// Metrics, when non-nil, records per-QP work-request counts, RDMA
+	// bytes per direction pair (source memory kind -> destination
+	// memory kind) and wire-transfer spans, each HCA on its own
+	// "hca<LID>" track. Install it before QPs are created.
+	Metrics *metrics.Registry
 }
 
 // NewFabric creates an empty subnet.
@@ -43,6 +50,7 @@ func (f *Fabric) AttachHCA(n *machine.Node) *HCA {
 		nextKey:  0x1000,
 		Doorbell: sim.NewSignal(f.Eng),
 	}
+	h.actor = fmt.Sprintf("hca%d", h.LID)
 	h.egress = sim.NewLink(f.Eng, fmt.Sprintf("%s/ib-egress", n.Host.Name), plat(f).IBLatency, plat(f).IBBandwidth)
 	f.hcas = append(f.hcas, h)
 	return h
@@ -82,6 +90,9 @@ type HCA struct {
 	BytesOut int64
 	WRs      int64
 	RNRWaits int64
+
+	// actor is this adapter's telemetry track name ("hca<LID>").
+	actor string
 }
 
 // Fabric returns the owning subnet.

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -42,6 +44,11 @@ type QP struct {
 	// Stats.
 	PostedSends int64
 	PostedRecvs int64
+
+	// Telemetry handles, created with the QP when Fabric.Metrics is
+	// installed (nil otherwise; recording through them is a no-op).
+	postedC    *metrics.Counter
+	completedC *metrics.Counter
 }
 
 type inbound struct {
@@ -57,6 +64,11 @@ func (c *Context) CreateQP(pd *PD, sendCQ, recvCQ *CQ) *QP {
 	h.nextQPN++
 	qp := &QP{ctx: c, QPN: h.nextQPN, PD: pd, SendCQ: sendCQ, RecvCQ: recvCQ, State: QPReset}
 	h.qps[qp.QPN] = qp
+	if reg := h.fab.Metrics; reg != nil {
+		name := fmt.Sprintf("qp%#x", qp.QPN)
+		qp.postedC = reg.Counter(h.actor, name+".posted")
+		qp.completedC = reg.Counter(h.actor, name+".completed")
+	}
 	return qp
 }
 
@@ -112,6 +124,7 @@ func (qp *QP) PostRecv(p *sim.Proc, wr *RecvWR) error {
 	}
 	p.Sleep(qp.ctx.HCA.fab.Plat.PostCost(qp.ctx.Loc))
 	qp.PostedRecvs++
+	qp.postedC.Inc()
 	if len(qp.pending) > 0 {
 		in := qp.pending[0]
 		qp.pending = qp.pending[1:]
@@ -159,27 +172,32 @@ func (qp *QP) deliver(in *inbound, wr *RecvWR) {
 }
 
 // gather snapshots the local SGL into one contiguous payload, returning
-// also the slowest source-domain DMA read rate across elements.
-func (qp *QP) gather(sgl []SGE) ([]byte, float64, error) {
+// also the slowest source-domain DMA read rate across elements and the
+// memory kind of the first element (the telemetry source direction).
+func (qp *QP) gather(sgl []SGE) ([]byte, float64, machine.DomainKind, error) {
 	h := qp.ctx.HCA
 	plat := h.fab.Plat
 	rate := plat.HCAReadHost
+	srcKind := machine.HostMem
 	total := 0
 	for _, sge := range sgl {
 		total += sge.Len
 	}
 	buf := make([]byte, 0, total)
-	for _, sge := range sgl {
+	for i, sge := range sgl {
 		src, mr, err := h.lookupMR(sge.LKey, sge.Addr, sge.Len)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, srcKind, err
+		}
+		if i == 0 {
+			srcKind = mr.Dom.Kind
 		}
 		if r := plat.HCARead(mr.Dom.Kind); r < rate {
 			rate = r
 		}
 		buf = append(buf, src...)
 	}
-	return buf, rate, nil
+	return buf, rate, srcKind, nil
 }
 
 func minRate(a, b float64) float64 {
@@ -210,13 +228,17 @@ func (qp *QP) PostSend(p *sim.Proc, wr *SendWR) error {
 	rem := qp.remote
 	p.Sleep(plat.PostCost(qp.ctx.Loc))
 	qp.PostedSends++
+	qp.postedC.Inc()
 	h.WRs++
 
 	switch wr.Opcode {
 	case OpSend, OpSendImm:
-		payload, readRate, err := qp.gather(wr.SGL)
+		payload, readRate, _, err := qp.gather(wr.SGL)
 		if err != nil {
 			return fmt.Errorf("ib: post send: %w", err)
+		}
+		if reg := h.fab.Metrics; reg != nil {
+			reg.Counter(h.actor, "send.bytes").Add(int64(len(payload)))
 		}
 		rate := qp.capRate(minRate(plat.IBBandwidth, minRate(readRate, plat.HCAWriteHost)))
 		arrive := h.egress.ReserveRate(len(payload), rate)
@@ -241,7 +263,7 @@ func (qp *QP) PostSend(p *sim.Proc, wr *SendWR) error {
 		return nil
 
 	case OpRDMAWrite, OpRDMAWriteImm:
-		payload, readRate, err := qp.gather(wr.SGL)
+		payload, readRate, srcKind, err := qp.gather(wr.SGL)
 		if err != nil {
 			return fmt.Errorf("ib: post send: %w", err)
 		}
@@ -249,13 +271,23 @@ func (qp *QP) PostSend(p *sim.Proc, wr *SendWR) error {
 		// Peek the destination domain for the rate; re-validate keys at
 		// arrival so a concurrent dereg still faults.
 		writeRate := plat.HCAWriteHost
+		dstKind := machine.HostMem
 		if _, mr, err := rem.ctx.HCA.lookupMR(wr.Remote.RKey, wr.Remote.Addr, len(payload)); err == nil {
 			writeRate = plat.HCAWrite(mr.Dom.Kind)
+			dstKind = mr.Dom.Kind
+		}
+		var wsp *metrics.Span
+		if reg := h.fab.Metrics; reg != nil {
+			pair := srcKind.String() + "->" + dstKind.String()
+			reg.Counter(h.actor, "rdma-write.bytes."+pair).Add(int64(len(payload)))
+			wsp = reg.Begin(eng.Now(), h.actor, "wire.rdma-write").
+				Attr("pair", pair).AttrInt("bytes", int64(len(payload)))
 		}
 		rate := qp.capRate(minRate(plat.IBBandwidth, minRate(readRate, writeRate)))
 		arrive := h.egress.ReserveRate(len(payload), rate)
 		h.BytesOut += int64(len(payload))
 		eng.At(arrive, func() {
+			wsp.End(eng.Now())
 			dst, _, err := rem.ctx.HCA.lookupMR(wr.Remote.RKey, wr.Remote.Addr, len(payload))
 			if err != nil {
 				if wr.Signaled {
@@ -294,25 +326,39 @@ func (qp *QP) PostSend(p *sim.Proc, wr *SendWR) error {
 		}
 		// Validate local scatter list now.
 		writeRate := plat.HCAWriteHost
-		for _, sge := range wr.SGL {
+		dstKind := machine.HostMem
+		for i, sge := range wr.SGL {
 			_, mr, err := h.lookupMR(sge.LKey, sge.Addr, sge.Len)
 			if err != nil {
 				return fmt.Errorf("ib: post send (read): %w", err)
+			}
+			if i == 0 {
+				dstKind = mr.Dom.Kind
 			}
 			if r := plat.HCAWrite(mr.Dom.Kind); r < writeRate {
 				writeRate = r
 			}
 		}
 		eng := h.fab.Eng
+		var wsp *metrics.Span
+		if reg := h.fab.Metrics; reg != nil {
+			wsp = reg.Begin(eng.Now(), h.actor, "wire.rdma-read").AttrInt("bytes", int64(total))
+		}
 		reqArrive := eng.Now() + plat.IBLatency
 		eng.At(reqArrive, func() {
 			src, mr, err := rem.ctx.HCA.lookupMR(wr.Remote.RKey, wr.Remote.Addr, total)
 			if err != nil {
+				wsp.End(eng.Now())
 				eng.At(eng.Now()+plat.IBLatency, func() {
 					qp.SendCQ.push(CQE{WRID: wr.WRID, Status: StatusRemAccessErr, Opcode: wr.Opcode, QPN: qp.QPN})
 					qp.SetError()
 				})
 				return
+			}
+			if reg := h.fab.Metrics; reg != nil {
+				pair := mr.Dom.Kind.String() + "->" + dstKind.String()
+				reg.Counter(h.actor, "rdma-read.bytes."+pair).Add(int64(total))
+				wsp.Attr("pair", pair)
 			}
 			rate := qp.capRate(minRate(plat.IBBandwidth, minRate(plat.HCARead(mr.Dom.Kind), writeRate)))
 			// Responder streams the data back over its own egress.
@@ -321,6 +367,7 @@ func (qp *QP) PostSend(p *sim.Proc, wr *SendWR) error {
 			back := rem.ctx.HCA.egress.ReserveRate(total, rate)
 			rem.ctx.HCA.BytesOut += int64(total)
 			eng.At(back, func() {
+				wsp.End(eng.Now())
 				remb := payload
 				for _, sge := range wr.SGL {
 					dst, _, err := h.lookupMR(sge.LKey, sge.Addr, sge.Len)

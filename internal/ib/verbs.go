@@ -93,6 +93,11 @@ func (q *CQ) push(e CQE) {
 		q.Overflows++
 		panic(fmt.Sprintf("ib: CQ overflow (depth %d): upper layer is not polling", q.Depth))
 	}
+	if h := q.ctx.HCA; h.fab.Metrics != nil {
+		if qp, ok := h.qps[e.QPN]; ok {
+			qp.completedC.Inc()
+		}
+	}
 	q.entries = append(q.entries, e)
 	q.Notify.Broadcast()
 	q.ctx.HCA.Doorbell.Broadcast()

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// The Chrome trace-event format (loadable by Perfetto and
+// chrome://tracing): a JSON object with a traceEvents array. Complete
+// spans become "ph":"X" duration events; spans never ended become
+// "ph":"i" instant events so they stay visible. Each actor (rank,
+// daemon, HCA, PCIe complex) is its own process track, named via
+// "ph":"M" metadata events. Timestamps are virtual microseconds.
+
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports every span as Chrome trace-event JSON.
+// Output is deterministic: actors are assigned pids in sorted order and
+// events are emitted in span-begin order. (encoding/json writes map
+// keys sorted, so the args objects are stable too.) A nil registry
+// writes an empty trace.
+func (r *Registry) WriteChromeTrace(w io.Writer) error {
+	tr := chromeTrace{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ns"}
+	spans := r.Spans()
+
+	// Assign one pid per actor, sorted for stability.
+	actorSet := make(map[string]bool)
+	for _, s := range spans {
+		actorSet[s.Actor] = true
+	}
+	actors := make([]string, 0, len(actorSet))
+	for a := range actorSet {
+		actors = append(actors, a)
+	}
+	sort.Strings(actors)
+	pids := make(map[string]int, len(actors))
+	for i, a := range actors {
+		pid := i + 1
+		pids[a] = pid
+		tr.TraceEvents = append(tr.TraceEvents,
+			traceEvent{Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+				Args: map[string]string{"name": a}},
+			traceEvent{Name: "process_sort_index", Ph: "M", Pid: pid, Tid: 0,
+				Args: map[string]string{"sort_index": strconv.Itoa(pid)}},
+		)
+	}
+
+	usec := func(ns int64) float64 { return float64(ns) / 1000 }
+	for _, s := range spans {
+		args := make(map[string]string, len(s.Attrs)+2)
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Val
+		}
+		args["span_id"] = strconv.FormatUint(s.ID, 10)
+		if s.Parent != 0 {
+			args["parent"] = strconv.FormatUint(s.Parent, 10)
+		}
+		ev := traceEvent{
+			Name: s.Name,
+			Cat:  s.Kind,
+			Ts:   usec(int64(s.Start)),
+			Pid:  pids[s.Actor],
+			Tid:  1,
+			Args: args,
+		}
+		if s.Ended {
+			ev.Ph = "X"
+			ev.Dur = usec(int64(s.Finish - s.Start))
+		} else {
+			ev.Ph = "i"
+			ev.S = "t"
+		}
+		tr.TraceEvents = append(tr.TraceEvents, ev)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}

@@ -14,7 +14,10 @@
 package pcie
 
 import (
+	"fmt"
+
 	"repro/internal/machine"
+	"repro/internal/metrics"
 	"repro/internal/perfmodel"
 	"repro/internal/sim"
 )
@@ -35,16 +38,23 @@ type Bus struct {
 	DMABytes    int64
 	OffloadOps  int64
 	OffloadByte int64
+
+	// Metrics, when non-nil, records transfer counts, bytes, engine
+	// busy time (wire occupancy, for utilization) and transfer spans
+	// on the "pcie/node<N>" track.
+	Metrics *metrics.Registry
+	actor   string
 }
 
 // Attach builds the PCIe complex for node n.
 func Attach(eng *sim.Engine, plat *perfmodel.Platform, n *machine.Node) *Bus {
 	return &Bus{
-		Eng:  eng,
-		Plat: plat,
-		Node: n,
-		dma:  sim.NewLink(eng, n.Host.Name+"/dma-engine", plat.DMAEngineLatency, plat.DMAEngineBandwidth),
-		off:  sim.NewLink(eng, n.Host.Name+"/coi", plat.OffloadTransferOverhead, plat.OffloadBandwidth),
+		Eng:   eng,
+		Plat:  plat,
+		Node:  n,
+		dma:   sim.NewLink(eng, n.Host.Name+"/dma-engine", plat.DMAEngineLatency, plat.DMAEngineBandwidth),
+		off:   sim.NewLink(eng, n.Host.Name+"/coi", plat.OffloadTransferOverhead, plat.OffloadBandwidth),
+		actor: fmt.Sprintf("pcie/node%d", n.ID),
 	}
 }
 
@@ -57,10 +67,18 @@ func (b *Bus) StartDMA(dst, src []byte) *sim.Event {
 		panic("pcie: DMA length mismatch")
 	}
 	done := sim.NewEvent(b.Eng)
+	var sp *metrics.Span
+	if reg := b.Metrics; reg != nil {
+		reg.Counter(b.actor, "dma.copies").Inc()
+		reg.Counter(b.actor, "dma.bytes").Add(int64(len(src)))
+		reg.Counter(b.actor, "dma.busy-ns").Add(int64(b.dma.OccupancyFor(len(src))))
+		sp = reg.Begin(b.Eng.Now(), b.actor, "dma-copy").AttrInt("bytes", int64(len(src)))
+	}
 	arrive := b.dma.Reserve(len(src))
 	b.DMACopies++
 	b.DMABytes += int64(len(src))
 	b.Eng.At(arrive, func() {
+		sp.End(b.Eng.Now())
 		copy(dst, src)
 		done.Fire()
 	})
@@ -81,10 +99,18 @@ func (b *Bus) StartOffloadTransfer(dst, src []byte) *sim.Event {
 		panic("pcie: offload transfer length mismatch")
 	}
 	done := sim.NewEvent(b.Eng)
+	var sp *metrics.Span
+	if reg := b.Metrics; reg != nil {
+		reg.Counter(b.actor, "coi.ops").Inc()
+		reg.Counter(b.actor, "coi.bytes").Add(int64(len(src)))
+		reg.Counter(b.actor, "coi.busy-ns").Add(int64(b.off.OccupancyFor(len(src))))
+		sp = reg.Begin(b.Eng.Now(), b.actor, "coi-transfer").AttrInt("bytes", int64(len(src)))
+	}
 	arrive := b.off.Reserve(len(src))
 	b.OffloadOps++
 	b.OffloadByte += int64(len(src))
 	b.Eng.At(arrive, func() {
+		sp.End(b.Eng.Now())
 		copy(dst, src)
 		done.Fire()
 	})

@@ -26,13 +26,19 @@ func (e Event) String() string {
 }
 
 // Recorder accumulates events in order. The zero value records
-// unboundedly; set Cap to bound memory.
+// unboundedly; set Cap to bound memory. Bounded mode is a ring buffer:
+// once full, each append overwrites the oldest entry in place, so Log
+// is O(1) regardless of Cap.
 type Recorder struct {
-	Events []Event
 	// Cap bounds retained events (0 = unbounded); older entries are
 	// dropped.
 	Cap     int
 	Dropped int64
+
+	buf   []Event        // ring storage; oldest entry at start
+	start int            // index of the oldest retained event
+	n     int            // retained events
+	kinds map[string]int // retained events per kind, for O(1) Count
 }
 
 // New returns a recorder bounded to cap events.
@@ -43,38 +49,109 @@ func (r *Recorder) Log(t sim.Time, actor, kind, format string, args ...any) {
 	if r == nil {
 		return
 	}
-	if r.Cap > 0 && len(r.Events) >= r.Cap {
-		copy(r.Events, r.Events[1:])
-		r.Events = r.Events[:len(r.Events)-1]
-		r.Dropped++
+	if r.kinds == nil {
+		r.kinds = make(map[string]int)
 	}
-	r.Events = append(r.Events, Event{T: t, Actor: actor, Kind: kind, Msg: fmt.Sprintf(format, args...)})
+	e := Event{T: t, Actor: actor, Kind: kind, Msg: fmt.Sprintf(format, args...)}
+	if r.Cap > 0 && r.n == r.Cap && len(r.buf) == r.Cap {
+		// Steady state: the ring is full, overwrite the oldest slot.
+		r.forget(r.buf[r.start].Kind)
+		r.buf[r.start] = e
+		r.start = (r.start + 1) % len(r.buf)
+		r.Dropped++
+	} else {
+		// Still filling, or Cap changed since the last append:
+		// restore the linear layout, trim to the new bound, append.
+		r.linearize()
+		if r.Cap > 0 && r.n >= r.Cap {
+			drop := r.n - (r.Cap - 1)
+			for i := 0; i < drop; i++ {
+				r.forget(r.buf[i].Kind)
+			}
+			copy(r.buf, r.buf[drop:r.n])
+			r.buf = r.buf[:r.n-drop]
+			r.n -= drop
+			r.Dropped += int64(drop)
+		}
+		r.buf = append(r.buf, e)
+		r.n++
+	}
+	r.kinds[kind]++
 }
 
-// Count returns how many events of the given kind were retained.
+// forget decrements the retained count for kind.
+func (r *Recorder) forget(kind string) {
+	r.kinds[kind]--
+	if r.kinds[kind] == 0 {
+		delete(r.kinds, kind)
+	}
+}
+
+// linearize rotates the ring so the oldest event sits at index 0 and
+// buf[:n] is the retained window in order.
+func (r *Recorder) linearize() {
+	if r.start == 0 {
+		r.buf = r.buf[:r.n]
+		return
+	}
+	out := make([]Event, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	r.buf, r.start = out, 0
+}
+
+// Len returns how many events are retained.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return r.n
+}
+
+// Events returns the retained events oldest-first, as a copy.
+func (r *Recorder) Events() []Event {
+	if r == nil || r.n == 0 {
+		return nil
+	}
+	out := make([]Event, r.n)
+	for i := range out {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// each calls f on every retained event, oldest first.
+func (r *Recorder) each(f func(Event) bool) {
+	for i := 0; i < r.n; i++ {
+		if !f(r.buf[(r.start+i)%len(r.buf)]) {
+			return
+		}
+	}
+}
+
+// Count returns how many events of the given kind were retained. O(1).
 func (r *Recorder) Count(kind string) int {
 	if r == nil {
 		return 0
 	}
-	n := 0
-	for _, e := range r.Events {
-		if e.Kind == kind {
-			n++
-		}
-	}
-	return n
+	return r.kinds[kind]
 }
 
 // Find returns the first retained event of the kind, if any.
 func (r *Recorder) Find(kind string) (Event, bool) {
-	if r != nil {
-		for _, e := range r.Events {
+	var found Event
+	ok := false
+	if r != nil && r.kinds[kind] > 0 {
+		r.each(func(e Event) bool {
 			if e.Kind == kind {
-				return e, true
+				found, ok = e, true
+				return false
 			}
-		}
+			return true
+		})
 	}
-	return Event{}, false
+	return found, ok
 }
 
 // Dump writes the timeline.
@@ -82,30 +159,33 @@ func (r *Recorder) Dump(w io.Writer) {
 	if r == nil {
 		return
 	}
-	for _, e := range r.Events {
+	r.each(func(e Event) bool {
 		fmt.Fprintln(w, e)
-	}
+		return true
+	})
 	if r.Dropped > 0 {
 		fmt.Fprintf(w, "(%d earlier events dropped)\n", r.Dropped)
 	}
 }
 
-// Summary aggregates counts per kind.
+// Summary aggregates counts per kind, in order of first appearance
+// among retained events.
 func (r *Recorder) Summary() string {
 	if r == nil {
 		return ""
 	}
-	counts := map[string]int{}
+	seen := map[string]bool{}
 	var order []string
-	for _, e := range r.Events {
-		if counts[e.Kind] == 0 {
+	r.each(func(e Event) bool {
+		if !seen[e.Kind] {
+			seen[e.Kind] = true
 			order = append(order, e.Kind)
 		}
-		counts[e.Kind]++
-	}
+		return true
+	})
 	parts := make([]string, 0, len(order))
 	for _, k := range order {
-		parts = append(parts, fmt.Sprintf("%s=%d", k, counts[k]))
+		parts = append(parts, fmt.Sprintf("%s=%d", k, r.kinds[k]))
 	}
 	return strings.Join(parts, " ")
 }

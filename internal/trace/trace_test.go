@@ -12,8 +12,8 @@ func TestLogAndDump(t *testing.T) {
 	r := New(0)
 	r.Log(5*sim.Microsecond, "rank0", "eager-send", "to=%d", 1)
 	r.Log(9*sim.Microsecond, "rank1", "eager-recv", "from=%d", 0)
-	if len(r.Events) != 2 {
-		t.Fatalf("events %d", len(r.Events))
+	if r.Len() != 2 || len(r.Events()) != 2 {
+		t.Fatalf("events %d", r.Len())
 	}
 	var buf bytes.Buffer
 	r.Dump(&buf)
@@ -30,13 +30,69 @@ func TestCapDropsOldest(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		r.Log(sim.Time(i), "a", "k", "%d", i)
 	}
-	if len(r.Events) != 3 {
-		t.Fatalf("retained %d", len(r.Events))
+	ev := r.Events()
+	if len(ev) != 3 {
+		t.Fatalf("retained %d", len(ev))
 	}
-	if r.Events[0].Msg != "7" || r.Events[2].Msg != "9" {
-		t.Fatalf("wrong retained window: %v", r.Events)
+	if ev[0].Msg != "7" || ev[1].Msg != "8" || ev[2].Msg != "9" {
+		t.Fatalf("wrong retained window: %v", ev)
 	}
 	if r.Dropped != 7 {
+		t.Fatalf("dropped %d", r.Dropped)
+	}
+	var buf bytes.Buffer
+	r.Dump(&buf)
+	if !strings.Contains(buf.String(), "(7 earlier events dropped)") {
+		t.Fatalf("dump missing drop note:\n%s", buf.String())
+	}
+}
+
+func TestCapOverflowKindAccounting(t *testing.T) {
+	r := New(4)
+	kinds := []string{"a", "b", "a", "c", "a", "b"} // retained: c a b + one a
+	for i, k := range kinds {
+		r.Log(sim.Time(i), "x", k, "%d", i)
+	}
+	// Retained window is events 2..5: a c a b.
+	if got := r.Count("a"); got != 2 {
+		t.Fatalf("Count(a)=%d", got)
+	}
+	if got := r.Count("b"); got != 1 {
+		t.Fatalf("Count(b)=%d", got)
+	}
+	if got := r.Count("c"); got != 1 {
+		t.Fatalf("Count(c)=%d", got)
+	}
+	if e, ok := r.Find("a"); !ok || e.Msg != "2" {
+		t.Fatalf("Find(a)=%v %v, want first retained", e, ok)
+	}
+	if r.Dropped != 2 {
+		t.Fatalf("dropped %d", r.Dropped)
+	}
+}
+
+func TestCapChangedMidRun(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10; i++ { // ring wraps
+		r.Log(sim.Time(i), "a", "k", "%d", i)
+	}
+	r.Cap = 6 // raise: ring must linearize, then keep growing
+	r.Log(10, "a", "k", "10")
+	r.Log(11, "a", "k", "11")
+	ev := r.Events()
+	if len(ev) != 6 || ev[0].Msg != "6" || ev[5].Msg != "11" {
+		t.Fatalf("after raise: %v", ev)
+	}
+	r.Cap = 2 // lower: oldest must be trimmed on next append
+	r.Log(12, "a", "k", "12")
+	ev = r.Events()
+	if len(ev) != 2 || ev[0].Msg != "11" || ev[1].Msg != "12" {
+		t.Fatalf("after lower: %v", ev)
+	}
+	if r.Count("k") != 2 {
+		t.Fatalf("Count after trims: %d", r.Count("k"))
+	}
+	if r.Dropped != 6+5 {
 		t.Fatalf("dropped %d", r.Dropped)
 	}
 }
@@ -49,6 +105,9 @@ func TestNilRecorderIsSafe(t *testing.T) {
 	}
 	if _, ok := r.Find("k"); ok {
 		t.Fatal("nil recorder found")
+	}
+	if r.Len() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder retained")
 	}
 	r.Dump(&bytes.Buffer{})
 	if r.Summary() != "" {
@@ -71,5 +130,38 @@ func TestCountFindSummary(t *testing.T) {
 	s := r.Summary()
 	if !strings.Contains(s, "x=2") || !strings.Contains(s, "y=1") {
 		t.Fatalf("summary %q", s)
+	}
+}
+
+// BenchmarkLogBounded demonstrates that appends into a full bounded
+// recorder are O(1): the per-op cost must not scale with Cap (the old
+// implementation shifted the whole retained window on every append).
+func BenchmarkLogBounded(b *testing.B) {
+	for _, cap := range []int{64, 4096, 65536} {
+		b.Run(sizeName(cap), func(b *testing.B) {
+			r := New(cap)
+			for i := 0; i < cap; i++ { // pre-fill to steady state
+				r.Log(sim.Time(i), "a", "k", "warm")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Log(sim.Time(i), "a", "k", "hot")
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return sizeName(n/(1<<10)) + "Ki"
+	default:
+		var b []byte
+		for n > 0 {
+			b = append([]byte{byte('0' + n%10)}, b...)
+			n /= 10
+		}
+		return string(b)
 	}
 }
