@@ -7,9 +7,16 @@
 //	go run ./cmd/simlint ./...
 //	go run ./cmd/simlint -rules nondet,maporder ./internal/bench
 //	go run ./cmd/simlint -json ./...
+//	go run ./cmd/simlint -baseline lint.baseline ./...
 //
 // Exit codes: 0 when clean, 1 when findings were reported, 2 on a
 // usage or load error.
+//
+// With -baseline <file>, accepted findings listed in the file are
+// subtracted before reporting. Entries match on rule, file, and
+// message — never on line numbers — so unrelated edits that shift
+// code do not invalidate the baseline. -update-baseline rewrites the
+// file from the current findings and exits clean.
 //
 // Findings print as "file:line: [rule] message", or with -json as one
 // object holding the finding list and per-rule counts for CI
@@ -29,6 +36,13 @@
 //	mrpin     MRCache.Get must be matched by Release on all paths
 //	offload   RegOffloadMR → SyncOffloadMR → post → DeregOffloadMR order
 //	reqwait   Isend/Irecv requests must reach Wait/Test/WaitAll on all paths
+//	memdomain host and mic memory domains must not mix within one registration or work request
+//
+// The four lifecycle rules are interprocedural within a package: each
+// same-package function gets an obligation summary (acquire, release,
+// advance, escape per parameter and result), so registrations released
+// by helpers, constructors that return obligations, and deferred
+// cleanup functions are all tracked across calls.
 package main
 
 import (
@@ -77,6 +91,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tests := fs.Bool("tests", true, "also lint _test.go files")
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	asJSON := fs.Bool("json", false, "emit findings as a JSON report on stdout")
+	baseline := fs.String("baseline", "", "JSON file of accepted findings to subtract (matched by rule+file+message, line-independent)")
+	updateBaseline := fs.Bool("update-baseline", false, "rewrite the -baseline file from the current findings and exit clean")
 	if err := fs.Parse(args); err != nil {
 		return exitError
 	}
@@ -119,6 +135,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 	findings, err := loader.Check(patterns, analyzers)
 	if err != nil {
 		return fail(err)
+	}
+
+	if *updateBaseline {
+		if *baseline == "" {
+			return fail(fmt.Errorf("-update-baseline requires -baseline <file>"))
+		}
+		if err := analysis.WriteBaseline(*baseline, root, findings); err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "simlint: wrote %d finding(s) to %s\n", len(findings), *baseline)
+		return exitClean
+	}
+	if *baseline != "" {
+		b, err := analysis.LoadBaseline(*baseline)
+		if err != nil {
+			return fail(err)
+		}
+		findings = b.Filter(root, findings)
 	}
 
 	if *asJSON {

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -33,6 +35,127 @@ func TestRunBadFlagIsUsageError(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-nosuchflag"}, &out, &errb); code != exitError {
 		t.Errorf("run(-nosuchflag) = %d, want %d", code, exitError)
+	}
+}
+
+// chdir switches into dir for the duration of the test.
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+}
+
+// leakyModule writes a scratch module whose single file leaks one
+// memory region (mrleak fires on any non-test package by name-based
+// classification), and returns its directory.
+func leakyModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module scratch\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := `package scratch
+
+type Proc struct{}
+type PD struct{}
+type MR struct{}
+type Verbs struct{}
+
+func (v *Verbs) RegMR(p *Proc, pd *PD, addr uint64, n int) (*MR, error) { return &MR{}, nil }
+func (v *Verbs) DeregMR(p *Proc, mr *MR) error                          { return nil }
+
+func Leak(v *Verbs, p *Proc, pd *PD) {
+	mr, err := v.RegMR(p, pd, 0x1000, 64)
+	if err != nil {
+		return
+	}
+	_ = mr
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "scratch.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestRunBaselineLifecycle drives the baseline flags end to end:
+// findings fail the run, -update-baseline accepts them, -baseline
+// suppresses them even after line shifts, and a new finding of the
+// same kind still fails.
+func TestRunBaselineLifecycle(t *testing.T) {
+	dir := leakyModule(t)
+	chdir(t, dir)
+	bl := filepath.Join(dir, "lint.baseline")
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errb); code != exitFindings {
+		t.Fatalf("dirty module = %d, want %d (stderr: %s)", code, exitFindings, errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-baseline", bl, "-update-baseline", "./..."}, &out, &errb); code != exitClean {
+		t.Fatalf("-update-baseline = %d, want %d (stderr: %s)", code, exitClean, errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-baseline", bl, "./..."}, &out, &errb); code != exitClean {
+		t.Fatalf("baselined run = %d, want %d (stdout: %s)", code, exitClean, out.String())
+	}
+
+	// Shift every line down: the baseline must still absorb the finding.
+	src, err := os.ReadFile(filepath.Join(dir, "scratch.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted := strings.Replace(string(src), "package scratch\n", "package scratch\n\n// shifted\n// shifted\n", 1)
+	if err := os.WriteFile(filepath.Join(dir, "scratch.go"), []byte(shifted), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-baseline", bl, "./..."}, &out, &errb); code != exitClean {
+		t.Fatalf("line-shifted baselined run = %d, want %d (stdout: %s)", code, exitClean, out.String())
+	}
+
+	// A second leak of the same shape is NOT absorbed (multiset).
+	extra := shifted + `
+func LeakAgain(v *Verbs, p *Proc, pd *PD) {
+	mr, err := v.RegMR(p, pd, 0x2000, 64)
+	if err != nil {
+		return
+	}
+	_ = mr
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "scratch.go"), []byte(extra), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-baseline", bl, "./..."}, &out, &errb); code != exitFindings {
+		t.Fatalf("new finding past baseline = %d, want %d (stdout: %s)", code, exitFindings, out.String())
+	}
+	if !strings.Contains(out.String(), "mrleak") {
+		t.Errorf("surviving finding not reported: %s", out.String())
+	}
+}
+
+// TestRunUpdateBaselineRequiresPath pins the usage error.
+func TestRunUpdateBaselineRequiresPath(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-update-baseline", "../../internal/sim"}, &out, &errb); code != exitError {
+		t.Errorf("run(-update-baseline without -baseline) = %d, want %d", code, exitError)
+	}
+	if !strings.Contains(errb.String(), "-baseline") {
+		t.Errorf("stderr does not explain the missing flag: %s", errb.String())
 	}
 }
 

@@ -56,7 +56,7 @@ type Analyzer struct {
 
 // All returns every analyzer in the suite, in report order.
 func All() []*Analyzer {
-	return []*Analyzer{Nondet, MapOrder, RawGo, ErrCheck, FloatSum, MRLeak, MRPin, Offload, ReqWait}
+	return []*Analyzer{Nondet, MapOrder, RawGo, ErrCheck, FloatSum, MRLeak, MRPin, Offload, ReqWait, Memdomain}
 }
 
 // ByName returns the analyzers whose names appear in the comma-
@@ -93,6 +93,10 @@ type Pass struct {
 	findings []Finding
 	// suppress maps filename -> line -> rules ignored on that line.
 	suppress map[string]map[int][]string
+	// callgraph and summaries cache the interprocedural layer across
+	// the rules that share it (built lazily, once per pass).
+	callgraph *CallGraph
+	summaries map[string]*SummarySet
 }
 
 // NewPass assembles a pass and indexes its suppression comments.

@@ -11,7 +11,7 @@ import (
 )
 
 // ruleDirs pairs each analyzer with its testdata corpus.
-var ruleDirs = []*Analyzer{Nondet, MapOrder, RawGo, ErrCheck, FloatSum, MRLeak, MRPin, Offload, ReqWait}
+var ruleDirs = []*Analyzer{Nondet, MapOrder, RawGo, ErrCheck, FloatSum, MRLeak, MRPin, Offload, ReqWait, Memdomain}
 
 // loadTestdata type-checks testdata/src/<rule> as a synthetic package
 // outside the module, which every analyzer treats as in scope.
@@ -101,6 +101,79 @@ func TestGolden(t *testing.T) {
 	}
 }
 
+// lifecycleAnalyzers are the four protocol rules that share the
+// interprocedural summary layer.
+var lifecycleAnalyzers = []*Analyzer{MRLeak, MRPin, Offload, ReqWait}
+
+// TestInterprocedural runs all four lifecycle rules pooled over the
+// shared cross-function corpus (helper-acquire, helper-release,
+// constructor-returns-obligation, deferred cleanup through a helper)
+// and requires an exact match: every annotated line fires, and nothing
+// else does — the zero-false-positive half is what proves the
+// summaries replace the old "any call escapes everything" rule.
+func TestInterprocedural(t *testing.T) {
+	_, pass := loadTestdata(t, "interp")
+	findings := pass.Run(lifecycleAnalyzers)
+	wants := wantComments(pass)
+
+	matched := map[string]bool{}
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", filepath.Base(f.Pos.Filename), f.Pos.Line)
+		subs, ok := wants[key]
+		if !ok {
+			t.Errorf("unexpected finding at %s: %v", key, f)
+			continue
+		}
+		found := false
+		for _, sub := range subs {
+			if strings.Contains(f.Message, sub) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("finding at %s does not match any want %q: %s", key, subs, f.Message)
+		}
+		matched[key] = true
+	}
+	for key := range wants {
+		if !matched[key] {
+			t.Errorf("no finding at annotated line %s", key)
+		}
+	}
+}
+
+// TestSummaryDumpDeterministic loads the interprocedural corpus twice
+// through independent loaders and requires byte-identical summary
+// dumps for every rule — the cache must not depend on map iteration
+// order or pointer identity.
+func TestSummaryDumpDeterministic(t *testing.T) {
+	dump := func() string {
+		_, pass := loadTestdata(t, "interp")
+		var b strings.Builder
+		for _, spec := range lifecycleSpecs() {
+			b.WriteString("== " + spec.rule + "\n")
+			b.WriteString(pass.summariesFor(spec).Dump())
+		}
+		return b.String()
+	}
+	d1, d2 := dump(), dump()
+	if d1 != d2 {
+		t.Errorf("summary dumps differ between loads:\n--- first\n%s\n--- second\n%s", d1, d2)
+	}
+	// Spot-check the classifications the corpus is built around.
+	for _, want := range []string{
+		"interp.closeMR (borrow,borrow,release) -> ()",
+		"interp.newMR (borrow,borrow,borrow) -> (acquire,-)",
+		"interp.newMRIndirect (borrow,borrow,borrow) -> (acquire,-)",
+		"interp.pass (borrow) -> (p0)",
+		"interp.condClose (borrow,borrow,escape,borrow) -> ()",
+	} {
+		if !strings.Contains(d1, want) {
+			t.Errorf("summary dump missing %q\ndump:\n%s", want, d1)
+		}
+	}
+}
+
 // TestExactlyOneAnalyzer verifies the corpus seeds are disjoint: on
 // every annotated line, only the corpus's own analyzer fires.
 func TestExactlyOneAnalyzer(t *testing.T) {
@@ -172,14 +245,20 @@ func TestEveryRuleHasCorpus(t *testing.T) {
 	for _, a := range ruleDirs {
 		inRuleDirs[a.Name] = true
 	}
+	// The shared interprocedural corpus is not tied to a single rule
+	// but is a completeness requirement like the per-rule directories.
+	names := []string{"interp"}
 	for _, a := range All() {
 		if !inRuleDirs[a.Name] {
 			t.Errorf("rule %q is registered but missing from ruleDirs", a.Name)
 		}
-		dir := filepath.Join("testdata", "src", a.Name)
+		names = append(names, a.Name)
+	}
+	for _, name := range names {
+		dir := filepath.Join("testdata", "src", name)
 		entries, err := os.ReadDir(dir)
 		if err != nil {
-			t.Errorf("rule %q has no corpus directory %s: %v", a.Name, dir, err)
+			t.Errorf("corpus %q has no directory %s: %v", name, dir, err)
 			continue
 		}
 		goFiles := 0
@@ -238,6 +317,30 @@ func TestExpandPatterns(t *testing.T) {
 	for p, seen := range want {
 		if !seen {
 			t.Errorf("expected package %s in expansion, got %v", p, paths)
+		}
+	}
+}
+
+// BenchmarkAnalyzePackage measures a full load + analyze cycle of the
+// interprocedural corpus under every rule. The call-graph and summary
+// layer dominates; this keeps its cost visible in CI.
+func BenchmarkAnalyzePackage(b *testing.B) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		l, err := NewLoader(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkg, err := l.LoadDir(filepath.Join("testdata", "src", "interp"), "interp")
+		if err != nil {
+			b.Fatal(err)
+		}
+		pass := NewPass(l.Fset, pkg.Path, l.ModulePath, pkg.Files, pkg.Types, pkg.Info)
+		if got := pass.Run(All()); len(got) == 0 {
+			b.Fatal("expected findings in the interp corpus")
 		}
 	}
 }

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A BaselineEntry identifies one accepted finding. Line numbers are
+// deliberately absent: a baseline must survive unrelated edits that
+// shift code up or down, so findings match on the (file, rule,
+// message) triple alone. Files are stored slash-separated and relative
+// to the module root so the baseline is portable across checkouts.
+type BaselineEntry struct {
+	File    string `json:"file"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// A Baseline is a multiset of accepted findings: two identical entries
+// absorb at most two occurrences, so fixing one of two equal findings
+// in a file still surfaces nothing, but introducing a third does.
+type Baseline struct {
+	counts map[BaselineEntry]int
+}
+
+// LoadBaseline reads a baseline file (a JSON array of entries).
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	b := &Baseline{counts: map[BaselineEntry]int{}}
+	for _, e := range entries {
+		b.counts[e]++
+	}
+	return b, nil
+}
+
+// baselineEntry projects a finding onto its baseline key, relativizing
+// the filename against the module root when it lies underneath it.
+func baselineEntry(root string, f Finding) BaselineEntry {
+	file := f.Pos.Filename
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = filepath.ToSlash(rel)
+		}
+	}
+	return BaselineEntry{File: file, Rule: f.Rule, Message: f.Message}
+}
+
+// Filter returns the findings the baseline does not absorb, preserving
+// their order. Each baseline entry absorbs as many occurrences as it
+// appears in the file.
+func (b *Baseline) Filter(root string, findings []Finding) []Finding {
+	remaining := make(map[BaselineEntry]int, len(b.counts))
+	for k, n := range b.counts {
+		remaining[k] = n
+	}
+	out := findings[:0:0]
+	for _, f := range findings {
+		k := baselineEntry(root, f)
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// WriteBaseline writes the findings as a baseline file, sorted so the
+// output is deterministic and diffs stay minimal.
+func WriteBaseline(path, root string, findings []Finding) error {
+	entries := make([]BaselineEntry, 0, len(findings))
+	for _, f := range findings {
+		entries = append(entries, baselineEntry(root, f))
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func fakeFinding(file string, line int, rule, msg string) Finding {
+	return Finding{
+		Pos:     token.Position{Filename: file, Line: line},
+		Rule:    rule,
+		Message: msg,
+	}
+}
+
+// TestBaselineRoundTrip writes a baseline from findings and verifies
+// the loaded baseline absorbs exactly those findings, independent of
+// line numbers.
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lint.baseline")
+	root := filepath.Join(dir, "repo")
+
+	findings := []Finding{
+		fakeFinding(filepath.Join(root, "a", "a.go"), 10, "mrleak", "leaked"),
+		fakeFinding(filepath.Join(root, "b", "b.go"), 20, "nondet", "time.Now"),
+	}
+	if err := WriteBaseline(path, root, findings); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same findings on different lines: all absorbed.
+	moved := []Finding{
+		fakeFinding(filepath.Join(root, "a", "a.go"), 99, "mrleak", "leaked"),
+		fakeFinding(filepath.Join(root, "b", "b.go"), 1, "nondet", "time.Now"),
+	}
+	if got := b.Filter(root, moved); len(got) != 0 {
+		t.Errorf("baseline did not absorb line-shifted findings: %v", got)
+	}
+
+	// A new finding in a baselined file still surfaces.
+	fresh := fakeFinding(filepath.Join(root, "a", "a.go"), 5, "mrleak", "other message")
+	if got := b.Filter(root, []Finding{fresh}); len(got) != 1 {
+		t.Errorf("baseline absorbed a finding with a different message: %v", got)
+	}
+}
+
+// TestBaselineMultiset verifies counting semantics: N accepted copies
+// absorb at most N occurrences.
+func TestBaselineMultiset(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lint.baseline")
+	root := dir
+
+	two := []Finding{
+		fakeFinding(filepath.Join(root, "x.go"), 1, "mrleak", "leaked"),
+		fakeFinding(filepath.Join(root, "x.go"), 2, "mrleak", "leaked"),
+	}
+	if err := WriteBaseline(path, root, two); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	three := append(two, fakeFinding(filepath.Join(root, "x.go"), 3, "mrleak", "leaked"))
+	got := b.Filter(root, three)
+	if len(got) != 1 {
+		t.Fatalf("2-entry baseline against 3 findings: got %d surviving, want 1", len(got))
+	}
+	if got[0].Pos.Line != 3 {
+		t.Errorf("survivor should be the last occurrence, got line %d", got[0].Pos.Line)
+	}
+}
+
+// TestBaselineDeterministicWrite pins byte-identical output for
+// identical findings regardless of input order.
+func TestBaselineDeterministicWrite(t *testing.T) {
+	dir := t.TempDir()
+	root := dir
+	fs := []Finding{
+		fakeFinding(filepath.Join(root, "b.go"), 2, "nondet", "m2"),
+		fakeFinding(filepath.Join(root, "a.go"), 1, "mrleak", "m1"),
+		fakeFinding(filepath.Join(root, "a.go"), 9, "errcheck", "m0"),
+	}
+	p1 := filepath.Join(dir, "one.baseline")
+	p2 := filepath.Join(dir, "two.baseline")
+	if err := WriteBaseline(p1, root, fs); err != nil {
+		t.Fatal(err)
+	}
+	reversed := []Finding{fs[2], fs[0], fs[1]}
+	if err := WriteBaseline(p2, root, reversed); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := os.ReadFile(p1)
+	b2, _ := os.ReadFile(p2)
+	if string(b1) != string(b2) {
+		t.Errorf("baseline bytes depend on finding order:\n%s\nvs\n%s", b1, b2)
+	}
+}
+
+// TestBaselineOutsideRootKeepsAbsolutePath: findings outside the
+// module root keep their absolute filename rather than a ../ path.
+func TestBaselineOutsideRootKeepsAbsolutePath(t *testing.T) {
+	e := baselineEntry("/srv/repo", fakeFinding("/tmp/elsewhere/x.go", 1, "r", "m"))
+	if e.File != "/tmp/elsewhere/x.go" {
+		t.Errorf("outside-root file mangled to %q", e.File)
+	}
+	e = baselineEntry("/srv/repo", fakeFinding("/srv/repo/pkg/x.go", 1, "r", "m"))
+	if e.File != "pkg/x.go" {
+		t.Errorf("inside-root file not relativized: %q", e.File)
+	}
+}

@@ -70,6 +70,39 @@ func (r *ImplicitReturn) Pos() token.Pos { return r.Body.Rbrace }
 // End returns the position just past the closing brace.
 func (r *ImplicitReturn) End() token.Pos { return r.Body.Rbrace + 1 }
 
+// DeferRun marks the execution of one deferred call at function exit.
+// The builder appends DeferRun nodes — most recently registered defer
+// first, matching Go's LIFO order — to the exit block and after every
+// terminating call (deferred functions run during a panic unwind too).
+// Whether a given defer was actually registered on the path reaching
+// the exit is a dataflow fact, not a CFG fact: analyses gate the node's
+// effect on state armed at the corresponding *ast.DeferStmt.
+type DeferRun struct {
+	// Defer is the registering statement; Pos/End delegate to it so
+	// reports point at the defer site.
+	Defer *ast.DeferStmt
+}
+
+// Pos returns the position of the registering defer statement.
+func (d *DeferRun) Pos() token.Pos { return d.Defer.Pos() }
+
+// End returns the end of the registering defer statement.
+func (d *DeferRun) End() token.Pos { return d.Defer.End() }
+
+// ExitCheck anchors end-of-function obligation checks. It is the last
+// node of the exit block, after every DeferRun, so leak checks observe
+// the state left behind by deferred cleanups.
+type ExitCheck struct {
+	// Body is the function body; Pos/End point at its closing brace.
+	Body *ast.BlockStmt
+}
+
+// Pos returns the position of the body's closing brace.
+func (c *ExitCheck) Pos() token.Pos { return c.Body.Rbrace }
+
+// End returns the position just past the closing brace.
+func (c *ExitCheck) End() token.Pos { return c.Body.Rbrace + 1 }
+
 // NewCFG builds the control-flow graph of one function body.
 func NewCFG(body *ast.BlockStmt) *CFG {
 	b := &cfgBuilder{cfg: &CFG{}, labels: map[string]*Block{}}
@@ -81,6 +114,12 @@ func NewCFG(body *ast.BlockStmt) *CFG {
 		b.add(&ImplicitReturn{Body: body})
 	}
 	b.edge(b.cfg.Exit)
+	// The exit epilogue: deferred calls run on every exiting path (LIFO),
+	// then the obligation check anchors after them.
+	for i := len(b.defers) - 1; i >= 0; i-- {
+		b.cfg.Exit.Nodes = append(b.cfg.Exit.Nodes, &DeferRun{Defer: b.defers[i]})
+	}
+	b.cfg.Exit.Nodes = append(b.cfg.Exit.Nodes, &ExitCheck{Body: body})
 	return b.cfg
 }
 
@@ -101,6 +140,10 @@ type cfgBuilder struct {
 	continues    []target
 	fallthroughs []*Block // innermost switch's next-case body (or nil)
 	labels       map[string]*Block
+	// defers lists the function's defer statements in registration
+	// order; NewCFG replays them in reverse on the exit block and after
+	// terminating calls.
+	defers []*ast.DeferStmt
 }
 
 // block allocates a new empty block.
@@ -220,12 +263,20 @@ func (b *cfgBuilder) stmt(s ast.Stmt) {
 	case *ast.ExprStmt:
 		b.add(s)
 		if terminatingCall(s.X) {
+			// Deferred calls run during the panic unwind: replay the
+			// defers registered so far (LIFO) before pruning the path.
+			for i := len(b.defers) - 1; i >= 0; i-- {
+				b.add(&DeferRun{Defer: b.defers[i]})
+			}
 			b.cur = nil
 		}
+	case *ast.DeferStmt:
+		b.add(s)
+		b.defers = append(b.defers, s)
 	case *ast.EmptyStmt:
 		// nothing
 	default:
-		// Assign, Decl, IncDec, Send, Go, Defer: straight-line.
+		// Assign, Decl, IncDec, Send, Go: straight-line.
 		b.add(s)
 	}
 }

@@ -32,7 +32,7 @@ if c {
 }
 b()`)
 	want := `b0?[1n] -> b2 b3
-b1E[0n]
+b1E[1n]
 b2[1n] -> b3
 b3[2n] -> b1
 `
@@ -50,7 +50,7 @@ if a && b {
 }
 y()`)
 	want := `b0?[1n] -> b4 b3
-b1E[0n]
+b1E[1n]
 b2[1n] -> b3
 b3[2n] -> b1
 b4?[1n] -> b2 b3
@@ -102,7 +102,7 @@ done()`)
 	// the implicit return; the labeled break block b11 jumps straight to
 	// it, bypassing both loop heads.
 	want := `b0[0n] -> b2
-b1E[0n]
+b1E[1n]
 b2[1n] -> b3
 b3?[1n] -> b4 b5
 b4[1n] -> b7
@@ -313,6 +313,97 @@ func reachesExit(c *CFG, b *Block) bool {
 		return false
 	}
 	return walk(b)
+}
+
+// TestCFGExitEpilogue verifies the exit block runs deferred calls in
+// LIFO order and ends with the obligation-check anchor.
+func TestCFGExitEpilogue(t *testing.T) {
+	c := NewCFG(parseBody(t, `
+defer a()
+defer b()
+if cond {
+	return
+}
+x()`))
+	nodes := c.Exit.Nodes
+	if len(nodes) != 3 {
+		t.Fatalf("exit block has %d nodes, want 2 DeferRun + 1 ExitCheck: %v", len(nodes), nodes)
+	}
+	for i, wantName := range []string{"b", "a"} {
+		dr, ok := nodes[i].(*DeferRun)
+		if !ok {
+			t.Fatalf("exit node %d is %T, want *DeferRun", i, nodes[i])
+		}
+		call := dr.Defer.Call
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != wantName {
+			t.Errorf("exit DeferRun %d runs %v, want %s() (LIFO order)", i, call.Fun, wantName)
+		}
+	}
+	if _, ok := nodes[2].(*ExitCheck); !ok {
+		t.Errorf("last exit node is %T, want *ExitCheck", nodes[2])
+	}
+}
+
+// TestCFGExitCheckAlwaysPresent: even without defers, the exit block
+// anchors the obligation check.
+func TestCFGExitCheckAlwaysPresent(t *testing.T) {
+	c := NewCFG(parseBody(t, `x()`))
+	if len(c.Exit.Nodes) != 1 {
+		t.Fatalf("exit block has %d nodes, want 1", len(c.Exit.Nodes))
+	}
+	if _, ok := c.Exit.Nodes[0].(*ExitCheck); !ok {
+		t.Errorf("exit node is %T, want *ExitCheck", c.Exit.Nodes[0])
+	}
+}
+
+// TestCFGDeferRunsOnPanicPath: deferred calls execute during a panic
+// unwind, so the terminating block replays registered defers before the
+// path is pruned.
+func TestCFGDeferRunsOnPanicPath(t *testing.T) {
+	c := NewCFG(parseBody(t, `
+defer a()
+if bad {
+	panic("boom")
+}
+x()`))
+	found := false
+	for _, b := range c.Blocks {
+		for i, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok || !terminatingCall(es.X) {
+				continue
+			}
+			if len(b.Succs) != 0 {
+				t.Errorf("panic block b%d has successors", b.Index)
+			}
+			rest := b.Nodes[i+1:]
+			if len(rest) != 1 {
+				t.Fatalf("panic block has %d nodes after the call, want 1 DeferRun", len(rest))
+			}
+			if _, ok := rest[0].(*DeferRun); !ok {
+				t.Errorf("node after panic is %T, want *DeferRun", rest[0])
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("panic block not found")
+	}
+}
+
+// TestCFGDeferNotCollectedFromNestedLiteral: a defer inside a nested
+// function literal belongs to that literal's CFG, not the outer one.
+func TestCFGDeferNotCollectedFromNestedLiteral(t *testing.T) {
+	c := NewCFG(parseBody(t, `
+f := func() {
+	defer inner()
+}
+f()`))
+	for _, n := range c.Exit.Nodes {
+		if _, ok := n.(*DeferRun); ok {
+			t.Error("outer exit block runs a defer registered inside a nested function literal")
+		}
+	}
 }
 
 // TestCFGStringMarksExit pins the debug-dump format the goldens above

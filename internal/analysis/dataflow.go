@@ -142,13 +142,21 @@ type FlowProblem interface {
 	Refine(cond ast.Expr, branch bool, f *Facts)
 }
 
-// Solve runs the forward worklist iteration to fixpoint and then
-// replays each reachable block once in report mode. It returns the
-// converged in-facts per block (indexed like c.Blocks, nil for
-// unreachable blocks) so tests can inspect convergence directly.
+// Solve runs the forward worklist iteration to fixpoint starting from
+// empty entry facts and then replays each reachable block once in
+// report mode. It returns the converged in-facts per block (indexed
+// like c.Blocks, nil for unreachable blocks) so tests can inspect
+// convergence directly.
 func Solve(c *CFG, p FlowProblem) []*Facts {
+	return SolveInit(c, p, NewFacts())
+}
+
+// SolveInit is Solve with caller-provided entry facts — the hook
+// interprocedural summary computation uses to seed parameters as
+// pre-tracked resources.
+func SolveInit(c *CFG, p FlowProblem, entry *Facts) []*Facts {
 	in := make([]*Facts, len(c.Blocks))
-	in[c.Entry.Index] = NewFacts()
+	in[c.Entry.Index] = entry
 
 	// FIFO worklist with membership dedup: deterministic because block
 	// successor order is deterministic.

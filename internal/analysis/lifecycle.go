@@ -33,13 +33,25 @@ import (
 
 // Lifecycle states. Live and Unsynced mark pending obligations;
 // Released arms use-after-release checks; Deferred means a `defer
-// <release>(x)` will discharge the obligation at every exit.
+// <release>(x)` registered on this path will discharge the obligation
+// when the exit block's DeferRun executes; Escaped means ownership left
+// the function's view (stored, captured, passed to an owning callee) —
+// the site stays in the fact map as a tombstone so interprocedural
+// summaries can observe the escape, but carries no obligation and is
+// exempt from use/double-release checks.
 const (
 	stateLive State = 1 << iota
 	stateUnsynced
 	stateReleased
 	stateDeferred
+	stateEscaped
 )
+
+// actionable reports whether checks still apply to a site: once it
+// escapes, the function no longer owns the protocol obligations.
+func actionable(st State) bool {
+	return st&stateEscaped == 0
+}
 
 // verb classifies what a call does to a protocol's resource.
 type verb int
@@ -90,6 +102,12 @@ type lifecycleSpec struct {
 	orderMsg   string
 }
 
+// lifecycleSpecs returns the four protocol-rule specs in report order,
+// for the pooled interprocedural corpus and the summary-dump tests.
+func lifecycleSpecs() []*lifecycleSpec {
+	return []*lifecycleSpec{mrleakSpec, mrpinSpec, offloadSpec, reqwaitSpec}
+}
+
 // notTestPackage keeps the lifecycle rules off _test.go passes: tests
 // tear whole simulated machines down at once and intentionally
 // exercise double-free and wrong-order error paths.
@@ -100,6 +118,7 @@ func notTestPackage(p *Pass) bool {
 // runLifecycle analyzes every function declaration and function
 // literal in the pass against one protocol spec.
 func runLifecycle(p *Pass, spec *lifecycleSpec) {
+	sums := p.summariesFor(spec)
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			var body *ast.BlockStmt
@@ -109,8 +128,10 @@ func runLifecycle(p *Pass, spec *lifecycleSpec) {
 			case *ast.FuncLit:
 				body = fn.Body
 			}
-			if body != nil && mentionsCreate(spec, body) {
-				lf := &lifecycleFlow{p: p, spec: spec, reported: map[reportKey]bool{}}
+			// Prescreen: run only where a creation verb appears directly
+			// or a helper constructor (per its summary) can acquire.
+			if body != nil && (mentionsCreate(spec, body) || sums.mentionsAcquirer(p, body)) {
+				lf := &lifecycleFlow{p: p, spec: spec, reported: map[reportKey]bool{}, sums: sums}
 				Solve(NewCFG(body), lf)
 			}
 			return true
@@ -149,9 +170,20 @@ type lifecycleFlow struct {
 	p        *Pass
 	spec     *lifecycleSpec
 	reported map[reportKey]bool
+	// sums holds the package's interprocedural summaries for this spec;
+	// call sites consult it before falling back to the conservative
+	// everything-escapes rule.
+	sums *SummarySet
+	// sum, when non-nil, marks summary-computation mode: the flow runs
+	// silently (no findings) and records what the function does to its
+	// parameters and results.
+	sum *summaryRecorder
 }
 
 func (lf *lifecycleFlow) reportOnce(pos token.Pos, kind byte, format string, args ...any) {
+	if lf.sum != nil {
+		return // summary mode is observational: never report
+	}
 	k := reportKey{pos, kind}
 	if lf.reported[k] {
 		return
@@ -227,11 +259,16 @@ func namedTypeName(t types.Type) string {
 	return ""
 }
 
-// callName returns the selector name of a creating call site.
+// callName returns the called name of a creating call site — the
+// selector for method/package calls, the identifier for local helper
+// constructors.
 func callName(site ast.Node) string {
 	if call, ok := site.(*ast.CallExpr); ok {
-		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
-			return sel.Sel.Name
+		switch fun := unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			return fun.Sel.Name
+		case *ast.Ident:
+			return fun.Name
 		}
 	}
 	return "create"
@@ -278,22 +315,52 @@ func (lf *lifecycleFlow) Transfer(n ast.Node, f *Facts, report bool) {
 	case *ast.ExprStmt:
 		lf.scanExpr(n.X, f, report)
 	case *ast.ReturnStmt:
-		for _, e := range n.Results {
+		for i, e := range n.Results {
 			lf.scanExpr(e, f, report)
-			// Returning a protocol verb's own result (`return
-			// v.SyncOffloadMR(p, omr, ...)`) hands the caller an error
-			// value, not the resource: the obligation stays here.
-			if call, ok := unparen(e).(*ast.CallExpr); ok && lf.classify(call) != verbNone {
-				continue
+			if call, ok := unparen(e).(*ast.CallExpr); ok {
+				// Returning a protocol verb's own result (`return
+				// v.SyncOffloadMR(p, omr, ...)`) hands the caller an error
+				// value, not the resource: the obligation stays here.
+				if v := lf.classify(call); v != verbNone {
+					if lf.sum != nil && report && v == verbCreate {
+						lf.sum.recordAcquire(i, lf.initState())
+					}
+					continue
+				}
+				// A summarized callee in return position: call() above
+				// already applied its effects, and its result effects
+				// propagate into this function's own summary.
+				if sum := lf.sums.forCall(lf.p, call); sum != nil {
+					if lf.sum != nil && report {
+						lf.sum.recordCallReturn(lf, i, len(n.Results), call, sum, f)
+					}
+					continue
+				}
+			}
+			if lf.sum != nil {
+				// Observation mode: keep returned locals live so the exit
+				// facts classify them (pass-through vs. acquisition).
+				if id, ok := unparen(e).(*ast.Ident); ok {
+					if report {
+						lf.sum.recordReturnIdent(lf, i, id, f)
+					}
+					continue
+				}
 			}
 			lf.escapeIdents(e, f)
 		}
-		if report {
-			lf.leakCheck(f)
-		}
 	case *ImplicitReturn:
+		// Leak checking happens at the exit block's ExitCheck, after
+		// deferred cleanups have run.
+	case *DeferRun:
+		lf.deferRun(n, f)
+	case *ExitCheck:
 		if report {
-			lf.leakCheck(f)
+			if lf.sum != nil {
+				lf.sum.captureExit(f)
+			} else {
+				lf.leakCheck(f)
+			}
 		}
 	case *ast.DeferStmt:
 		lf.deferStmt(n, f, report)
@@ -342,12 +409,28 @@ func (lf *lifecycleFlow) rangeHead(n *ast.RangeStmt, f *Facts, report bool) {
 func (lf *lifecycleFlow) assign(lhs, rhs []ast.Expr, f *Facts, report bool) {
 	// Creation: lhs... := create(...)
 	if len(rhs) == 1 {
-		if call, ok := unparen(rhs[0]).(*ast.CallExpr); ok && lf.classify(call) == verbCreate {
-			for _, a := range call.Args {
-				lf.scanExpr(a, f, report)
+		if call, ok := unparen(rhs[0]).(*ast.CallExpr); ok {
+			if lf.classify(call) == verbCreate {
+				for _, a := range call.Args {
+					lf.scanExpr(a, f, report)
+				}
+				lf.bindCreate(lhs, call, f, report)
+				return
 			}
-			lf.bindCreate(lhs, call, f, report)
-			return
+			// A summarized callee whose results carry tracked state: a
+			// helper constructor acquires a fresh obligation here, a
+			// wrapper passes a parameter's resource through to the LHS.
+			if sum := lf.sums.forCall(lf.p, call); sum != nil && sum.binds() {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					lf.scanExpr(sel.X, f, report)
+				}
+				for _, a := range call.Args {
+					lf.scanExpr(a, f, report)
+				}
+				lf.applySummaryCall(call, sum, f, report)
+				lf.bindSummaryResults(lhs, call, sum, f, report)
+				return
+			}
 		}
 	}
 	bound := make([]bool, len(lhs))
@@ -472,9 +555,90 @@ func (lf *lifecycleFlow) bindCreate(lhs []ast.Expr, call *ast.CallExpr, f *Facts
 	}
 }
 
-// deferStmt handles deferred calls: a deferred release discharges the
-// obligation at every subsequent exit; any other deferred call that
-// mentions a tracked value is treated as an owning cleanup (escape).
+// bindSummaryResults binds the results of a summarized call to the
+// assignment's targets: an acquiring result starts tracking the call
+// site with the summary's obligation state (discarding it to `_` is a
+// finding, as with a direct creation), and a pass-through result
+// aliases the LHS to the argument's existing sites.
+func (lf *lifecycleFlow) bindSummaryResults(lhs []ast.Expr, call *ast.CallExpr, sum *FuncSummary, f *Facts, report bool) {
+	// Invalidate pairings through any overwritten error variable first.
+	for _, l := range lhs {
+		if lid, ok := l.(*ast.Ident); ok && lid.Name != "_" {
+			if lobj := lf.p.objOf(lid); lobj != nil {
+				for site, eobj := range f.Pair {
+					if eobj == lobj {
+						f.Pair[site] = nil
+					}
+				}
+			}
+		}
+	}
+	acquired := false
+	for r := 0; r < len(lhs) && r < len(sum.Results); r++ {
+		re := sum.Results[r]
+		lid, ok := lhs[r].(*ast.Ident)
+		if !ok {
+			// Stored straight into a field/element: ownership escapes
+			// immediately — nothing to track, nothing leaked here.
+			continue
+		}
+		if lid.Name == "_" {
+			if re.Acquires != 0 && report {
+				lf.reportOnce(call.Pos(), 'd', lf.spec.discardMsg, callName(call))
+			}
+			continue
+		}
+		lobj := lf.p.objOf(lid)
+		if lobj == nil {
+			continue
+		}
+		var sites []ast.Node
+		// One acquiring result per call keeps the call expression usable
+		// as the creation-site key (constructors return (*T, error)).
+		if re.Acquires != 0 && !acquired {
+			acquired = true
+			f.Res[call] = re.Acquires
+			sites = append(sites, call)
+			if len(lhs) >= 2 {
+				if eid, ok := lhs[len(lhs)-1].(*ast.Ident); ok && eid.Name != "_" && eid != lid {
+					if eobj := lf.p.objOf(eid); eobj != nil {
+						f.Pair[call] = eobj
+					}
+				}
+			}
+		}
+		for _, j := range re.FromParams {
+			if j >= len(call.Args) {
+				continue
+			}
+			if aid, ok := unparen(call.Args[j]).(*ast.Ident); ok {
+				if aobj := lf.p.objOf(aid); aobj != nil {
+					sites, _ = unionSites(sites, f.Bind[aobj])
+				}
+			}
+		}
+		if len(sites) > 0 {
+			f.Bind[lobj] = sites
+		} else {
+			delete(f.Bind, lobj)
+		}
+	}
+	// Targets past the summarized results (or untracked ones handled
+	// above) lose any stale binding.
+	for r := len(sum.Results); r < len(lhs); r++ {
+		if lid, ok := lhs[r].(*ast.Ident); ok && lid.Name != "_" {
+			if lobj := lf.p.objOf(lid); lobj != nil {
+				delete(f.Bind, lobj)
+			}
+		}
+	}
+}
+
+// deferStmt handles the registration of a deferred call: a deferred
+// release arms the Deferred state on this path (the exit block's
+// DeferRun completes the transition to Released); any other deferred
+// call that mentions a tracked value is treated as an owning cleanup
+// (escape).
 func (lf *lifecycleFlow) deferStmt(n *ast.DeferStmt, f *Facts, report bool) {
 	switch lf.classify(n.Call) {
 	case verbRelease:
@@ -482,8 +646,75 @@ func (lf *lifecycleFlow) deferStmt(n *ast.DeferStmt, f *Facts, report bool) {
 	case verbAdvance:
 		lf.advanceArgs(n.Call, f, report)
 	default:
+		// A deferred cleanup helper whose summary releases a parameter
+		// arms the Deferred state just like a direct deferred release.
+		if sum := lf.sums.forCall(lf.p, n.Call); sum != nil {
+			for i, a := range n.Call.Args {
+				id, ok := unparen(a).(*ast.Ident)
+				if !ok {
+					lf.scanExpr(a, f, report)
+					if sum.paramEffect(i) == EffEscape {
+						lf.escapeIdents(a, f)
+					}
+					continue
+				}
+				obj := lf.p.objOf(id)
+				if obj == nil {
+					continue
+				}
+				switch sum.paramEffect(i) {
+				case EffRelease:
+					for _, site := range f.Bind[obj] {
+						st, tracked := f.Res[site]
+						if !tracked || !actionable(st) {
+							continue
+						}
+						if report && (mustReleased(st) || st&stateDeferred != 0) {
+							lf.reportOnce(n.Call.Pos(), '2', "%s", lf.spec.doubleMsg)
+						}
+						f.Res[site] = st&^(stateLive|stateUnsynced) | stateDeferred
+					}
+				case EffEscape:
+					lf.escapeObj(obj, f)
+				}
+			}
+			return
+		}
 		lf.scanExpr(n.Call, f, report)
 		lf.escapeIdents(n.Call, f)
+	}
+}
+
+// deferRun executes one deferred call at an exit (or on a panic path):
+// sites armed Deferred by the registering statement complete their
+// release. Paths that never reached the defer statement carry no
+// Deferred bit and are unaffected — the gate is the dataflow fact, not
+// the CFG node.
+func (lf *lifecycleFlow) deferRun(n *DeferRun, f *Facts) {
+	call := n.Defer.Call
+	var sum *FuncSummary
+	if lf.classify(call) != verbRelease {
+		if sum = lf.sums.forCall(lf.p, call); sum == nil {
+			return
+		}
+	}
+	for i, a := range call.Args {
+		if sum != nil && sum.paramEffect(i) != EffRelease {
+			continue
+		}
+		id, ok := unparen(a).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := lf.p.objOf(id)
+		if obj == nil {
+			continue
+		}
+		for _, site := range f.Bind[obj] {
+			if st, tracked := f.Res[site]; tracked && st&stateDeferred != 0 {
+				f.Res[site] = st&^stateDeferred | stateReleased
+			}
+		}
 	}
 }
 
@@ -571,7 +802,7 @@ func (lf *lifecycleFlow) call(call *ast.CallExpr, f *Facts, report bool) {
 				continue
 			}
 			for _, site := range f.Bind[obj] {
-				if st, tracked := f.Res[site]; tracked {
+				if st, tracked := f.Res[site]; tracked && actionable(st) {
 					f.Res[site] = st &^ (stateLive | stateUnsynced)
 				}
 			}
@@ -587,7 +818,16 @@ func (lf *lifecycleFlow) call(call *ast.CallExpr, f *Facts, report bool) {
 			}
 			return
 		}
-		for _, a := range call.Args {
+		sum := lf.sums.forCall(lf.p, call)
+		for i, a := range call.Args {
+			if sum != nil && sum.paramEffect(i) == EffRelease {
+				if _, ok := unparen(a).(*ast.Ident); ok {
+					// Mirrors releaseArgs: handing a resource to a
+					// releasing helper is the release itself, not a
+					// read, so it must not double-report as a use.
+					continue
+				}
+			}
 			lf.scanExpr(a, f, report)
 		}
 		lf.checkPostCall(call, f, report)
@@ -596,8 +836,64 @@ func (lf *lifecycleFlow) call(call *ast.CallExpr, f *Facts, report bool) {
 			// ownership: the poster still owes the dereg.
 			return
 		}
+		// A same-package callee with a summary: apply its per-parameter
+		// effects instead of assuming everything escapes.
+		if sum != nil {
+			lf.applySummaryCall(call, sum, f, report)
+			return
+		}
 		for _, a := range call.Args {
 			lf.escapeIdents(a, f)
+		}
+	}
+}
+
+// applySummaryCall transfers a summarized callee's parameter effects
+// onto the caller's tracked arguments: borrows leave the obligation in
+// place, advances and releases mirror the direct verbs (including
+// double-release and use-after-release detection through the helper),
+// and escapes tombstone the sites exactly like the conservative rule.
+func (lf *lifecycleFlow) applySummaryCall(call *ast.CallExpr, sum *FuncSummary, f *Facts, report bool) {
+	for i, a := range call.Args {
+		eff := sum.paramEffect(i)
+		id, ok := unparen(a).(*ast.Ident)
+		if !ok {
+			if eff == EffEscape {
+				lf.escapeIdents(a, f)
+			}
+			continue
+		}
+		obj := lf.p.objOf(id)
+		if obj == nil {
+			continue
+		}
+		switch eff {
+		case EffBorrow:
+			// Caller keeps every obligation.
+		case EffAdvance:
+			for _, site := range f.Bind[obj] {
+				st, tracked := f.Res[site]
+				if !tracked || !actionable(st) {
+					continue
+				}
+				if report && lf.spec.checkUse && mustReleased(st) {
+					lf.reportOnce(call.Pos(), 'u', "%s", lf.spec.useMsg)
+				}
+				f.Res[site] = st &^ stateUnsynced
+			}
+		case EffRelease:
+			for _, site := range f.Bind[obj] {
+				st, tracked := f.Res[site]
+				if !tracked || !actionable(st) {
+					continue
+				}
+				if report && (mustReleased(st) || st&stateDeferred != 0) {
+					lf.reportOnce(call.Pos(), '2', "%s", lf.spec.doubleMsg)
+				}
+				f.Res[site] = st&^(stateLive|stateUnsynced) | stateReleased
+			}
+		case EffEscape:
+			lf.escapeObj(obj, f)
 		}
 	}
 }
@@ -644,7 +940,7 @@ func (lf *lifecycleFlow) useIdent(id *ast.Ident, f *Facts, report bool) {
 		return
 	}
 	for _, site := range f.Bind[obj] {
-		if mustReleased(f.Res[site]) {
+		if st := f.Res[site]; actionable(st) && mustReleased(st) {
 			lf.reportOnce(id.Pos(), 'u', "%s", lf.spec.useMsg)
 			return
 		}
@@ -723,7 +1019,7 @@ func (lf *lifecycleFlow) releaseArgs(call *ast.CallExpr, f *Facts, report bool, 
 		}
 		for _, site := range f.Bind[obj] {
 			st, tracked := f.Res[site]
-			if !tracked {
+			if !tracked || !actionable(st) {
 				continue
 			}
 			if report && (mustReleased(st) || st&stateDeferred != 0) {
@@ -750,7 +1046,7 @@ func (lf *lifecycleFlow) advanceArgs(call *ast.CallExpr, f *Facts, report bool) 
 		}
 		for _, site := range f.Bind[obj] {
 			st, tracked := f.Res[site]
-			if !tracked {
+			if !tracked || !actionable(st) {
 				continue
 			}
 			if report && lf.spec.checkUse && mustReleased(st) {
@@ -761,11 +1057,13 @@ func (lf *lifecycleFlow) advanceArgs(call *ast.CallExpr, f *Facts, report bool) 
 	}
 }
 
-// escapeIdents ends tracking for every bound identifier whose handle
-// leaves the function's view through e. A field projection (mr.LKey,
-// omr.Size) hands out a copy of one field, not the tracked handle, so
-// selector bases stay tracked — the obligation to release remains
-// here.
+// escapeIdents transfers ownership out of the function's view for
+// every bound identifier whose handle leaves through e. A field
+// projection (mr.LKey, omr.Size) hands out a copy of one field, not
+// the tracked handle, so selector bases stay tracked — the obligation
+// to release remains here. Escaped sites stay in the fact map as
+// tombstones (Escaped bit, obligations cleared) so summary computation
+// can observe the escape.
 func (lf *lifecycleFlow) escapeIdents(e ast.Node, f *Facts) {
 	if e == nil {
 		return
@@ -781,15 +1079,21 @@ func (lf *lifecycleFlow) escapeIdents(e ast.Node, f *Facts) {
 		if !ok {
 			return true
 		}
-		obj := lf.p.objOf(id)
-		if obj == nil {
-			return true
-		}
-		for _, site := range f.Bind[obj] {
-			delete(f.Res, site)
-		}
+		lf.escapeObj(lf.p.objOf(id), f)
 		return true
 	})
+}
+
+// escapeObj marks every site bound to obj as escaped.
+func (lf *lifecycleFlow) escapeObj(obj types.Object, f *Facts) {
+	if obj == nil {
+		return
+	}
+	for _, site := range f.Bind[obj] {
+		if st, tracked := f.Res[site]; tracked {
+			f.Res[site] = st&^(stateLive|stateUnsynced|stateDeferred) | stateEscaped
+		}
+	}
 }
 
 // escapeFuncLit ends tracking for values captured by a closure.

@@ -1,0 +1,491 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Memdomain checks that values from the two physical memory domains —
+// Xeon host DRAM and Xeon Phi on-card GDDR5 (machine.HostMem /
+// machine.MicMem) — are not mixed within one local RDMA descriptor.
+// The paper's direct design makes posting from either domain
+// legitimate, and remote (cross-node) addresses pair with any local
+// domain; what is never right is one descriptor whose pieces name
+// different local memories: a registration whose domain argument
+// disagrees with its address, a scatter-gather entry whose address and
+// memory key come from different domains, or a work request whose
+// entries span both.
+//
+// The analysis is taint-style: allocations and fields tagged Host*/
+// Mic* seed domain bits, assignments and helper calls (through
+// per-function taint summaries computed bottom-up over the package
+// call graph) propagate them, and a finding fires only when both sides
+// of a pair are known and disjoint — unknown stays silent.
+var Memdomain = &Analyzer{
+	Name:      "memdomain",
+	Doc:       "host and mic memory domains must not mix within one registration, SGE, or work request",
+	AppliesTo: notTestPackage,
+	Run:       runMemdomain,
+}
+
+// Domain taint bits.
+const (
+	domHost uint8 = 1 << iota
+	domMic
+)
+
+func domName(bits uint8) string {
+	switch bits {
+	case domHost:
+		return "host"
+	case domMic:
+		return "mic"
+	}
+	return "mixed"
+}
+
+// exclusive reports whether the two taints name provably different
+// domains: both known, no overlap.
+func domMix(a, b uint8) bool {
+	return a != 0 && b != 0 && a&b == 0
+}
+
+// domVal is the abstract domain of one value: constant taint bits plus
+// the parameter indices whose domain flows into it (used only while
+// summarizing).
+type domVal struct {
+	bits   uint8
+	params []int
+}
+
+func (v domVal) join(o domVal) domVal {
+	out := domVal{bits: v.bits | o.bits, params: v.params}
+	for _, p := range o.params {
+		out.params = addParam(out.params, p)
+	}
+	return out
+}
+
+func addParam(list []int, p int) []int {
+	for _, x := range list {
+		if x == p {
+			return list
+		}
+	}
+	list = append(list, p)
+	sort.Ints(list)
+	return list
+}
+
+// domResult is one result position of a taint summary.
+type domResult struct {
+	bits       uint8
+	fromParams []int
+}
+
+// domSummary is a function's taint summary: the domain each result
+// carries, as constant bits plus propagated parameter domains.
+type domSummary struct {
+	results []domResult
+}
+
+func (s *domSummary) interesting() bool {
+	for _, r := range s.results {
+		if r.bits != 0 || len(r.fromParams) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// nameDomain classifies an identifier-ish name by the repo's Host*/Mic*
+// naming convention: Host, HostBuf, HostMR, HostMem are host; Mic,
+// MicBuf, MicMem are mic. The prefix must end the name or be followed
+// by an upper-case letter so unrelated words do not match.
+func nameDomain(name string) uint8 {
+	if prefixWord(name, "Host") {
+		return domHost
+	}
+	if prefixWord(name, "Mic") {
+		return domMic
+	}
+	return 0
+}
+
+func prefixWord(name, prefix string) bool {
+	if !strings.HasPrefix(name, prefix) {
+		return false
+	}
+	rest := name[len(prefix):]
+	return rest == "" || (rest[0] >= 'A' && rest[0] <= 'Z')
+}
+
+// memdomainFlow analyzes one function: objDom holds the converged
+// object taints, params maps tracked parameter objects to their index
+// while summarizing.
+type memdomainFlow struct {
+	p      *Pass
+	sums   map[*types.Func]*domSummary
+	objDom map[types.Object]domVal
+	params map[types.Object]int
+}
+
+func runMemdomain(p *Pass) {
+	g := p.CallGraph()
+	sums := map[*types.Func]*domSummary{}
+	// Bottom-up taint summaries. Recursive components keep the empty
+	// summary computed on first visit — taint through recursion is rare
+	// and staying silent is the safe direction for this rule.
+	for _, scc := range g.SCCs {
+		for _, fn := range scc {
+			sums[fn] = summarizeDomains(p, sums, fn, g.Funcs[fn])
+		}
+	}
+	for _, fn := range funcsInOrder(g) {
+		mf := &memdomainFlow{p: p, sums: sums, objDom: map[types.Object]domVal{}}
+		mf.solveObjects(g.Funcs[fn].Body)
+		mf.check(g.Funcs[fn].Body)
+	}
+}
+
+// funcsInOrder returns the call graph's functions in declaration
+// order, for deterministic report order within a file set.
+func funcsInOrder(g *CallGraph) []*types.Func {
+	fns := make([]*types.Func, 0, len(g.Funcs))
+	for fn := range g.Funcs {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+	return fns
+}
+
+// summarizeDomains computes one function's taint summary: solve the
+// body's object taints (parameters seeded with their own index), then
+// read each return statement's result expressions.
+func summarizeDomains(p *Pass, sums map[*types.Func]*domSummary, fn *types.Func, fd *ast.FuncDecl) *domSummary {
+	sig := fn.Type().(*types.Signature)
+	s := &domSummary{results: make([]domResult, sig.Results().Len())}
+	if len(s.results) == 0 {
+		return s
+	}
+	mf := &memdomainFlow{p: p, sums: sums, objDom: map[types.Object]domVal{}, params: map[types.Object]int{}}
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			idx++
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := p.Info.Defs[name]; obj != nil && name.Name != "_" {
+				mf.params[obj] = idx
+				mf.objDom[obj] = domVal{params: []int{idx}}
+			}
+			idx++
+		}
+	}
+	mf.solveObjects(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a literal's returns are not this function's
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if len(ret.Results) == len(s.results) {
+			for i, e := range ret.Results {
+				v := mf.domainOf(e)
+				s.results[i].bits |= v.bits
+				for _, pi := range v.params {
+					s.results[i].fromParams = addParam(s.results[i].fromParams, pi)
+				}
+			}
+		} else if len(ret.Results) == 1 {
+			// `return f()` spreading a multi-result callee.
+			if call, ok := unparen(ret.Results[0]).(*ast.CallExpr); ok {
+				if cs := mf.calleeSummary(call); cs != nil {
+					for i := range s.results {
+						if i < len(cs.results) {
+							v := mf.applyResult(call, cs.results[i])
+							s.results[i].bits |= v.bits
+							for _, pi := range v.params {
+								s.results[i].fromParams = addParam(s.results[i].fromParams, pi)
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// solveObjects iterates the body's assignments until the object taint
+// map stops growing (bits and param sets only grow, so this
+// terminates; the bound is a safety net).
+func (mf *memdomainFlow) solveObjects(body *ast.BlockStmt) {
+	for iter := 0; iter < 8; iter++ {
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				changed = mf.assign(n.Lhs, n.Rhs) || changed
+			case *ast.ValueSpec:
+				if len(n.Values) > 0 {
+					lhs := make([]ast.Expr, len(n.Names))
+					for i, id := range n.Names {
+						lhs[i] = id
+					}
+					changed = mf.assign(lhs, n.Values) || changed
+				}
+			case *ast.RangeStmt:
+				// Ranging over a tagged slice tags the value variable.
+				if n.Value != nil {
+					if v := mf.domainOf(n.X); v.bits != 0 || len(v.params) > 0 {
+						changed = mf.tag(n.Value, v) || changed
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			return
+		}
+	}
+}
+
+func (mf *memdomainFlow) assign(lhs, rhs []ast.Expr) bool {
+	changed := false
+	switch {
+	case len(lhs) == len(rhs):
+		for i := range lhs {
+			changed = mf.tag(lhs[i], mf.domainOf(rhs[i])) || changed
+		}
+	case len(rhs) == 1:
+		// Multi-value call: the first result goes through the source/
+		// propagator special cases, the rest through the summary.
+		if call, ok := unparen(rhs[0]).(*ast.CallExpr); ok {
+			changed = mf.tag(lhs[0], mf.domainOfCall(call)) || changed
+			if cs := mf.calleeSummary(call); cs != nil {
+				for i := 1; i < len(lhs) && i < len(cs.results); i++ {
+					changed = mf.tag(lhs[i], mf.applyResult(call, cs.results[i])) || changed
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// tag joins a taint into the object a plain identifier target names.
+func (mf *memdomainFlow) tag(target ast.Expr, v domVal) bool {
+	if v.bits == 0 && len(v.params) == 0 {
+		return false
+	}
+	id, ok := unparen(target).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	obj := mf.p.objOf(id)
+	if obj == nil {
+		return false
+	}
+	old := mf.objDom[obj]
+	merged := old.join(v)
+	if merged.bits == old.bits && len(merged.params) == len(old.params) {
+		return false
+	}
+	mf.objDom[obj] = merged
+	return true
+}
+
+// domainOf computes an expression's taint.
+func (mf *memdomainFlow) domainOf(e ast.Expr) domVal {
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return mf.objDom[mf.p.objOf(e)]
+	case *ast.SelectorExpr:
+		// A Host*/Mic* field or method names its domain outright
+		// (n.Host, omr.HostBuf, machine.MicMem); any other selector
+		// inherits its base's taint (buf.Addr, mr.LKey).
+		if bits := nameDomain(e.Sel.Name); bits != 0 {
+			return domVal{bits: bits}
+		}
+		return mf.domainOf(e.X)
+	case *ast.CallExpr:
+		return mf.domainOfCall(e)
+	case *ast.UnaryExpr:
+		return mf.domainOf(e.X)
+	case *ast.StarExpr:
+		return mf.domainOf(e.X)
+	case *ast.IndexExpr:
+		return mf.domainOf(e.X)
+	case *ast.SliceExpr:
+		return mf.domainOf(e.X)
+	case *ast.CompositeLit:
+		var v domVal
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v = v.join(mf.domainOf(kv.Value))
+			} else {
+				v = v.join(mf.domainOf(el))
+			}
+		}
+		return v
+	}
+	return domVal{}
+}
+
+// domainOfCall handles the known taint sources and propagators:
+// Domain.Alloc and HCA.Open carry their receiver's or argument's
+// domain, RegMR/RegMRBuffer tag the MR from the registered memory, and
+// same-package callees answer through their summaries.
+func (mf *memdomainFlow) domainOfCall(call *ast.CallExpr) domVal {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Alloc":
+			return mf.domainOf(sel.X)
+		case "Open", "Domain":
+			if len(call.Args) >= 1 {
+				return mf.domainOf(call.Args[len(call.Args)-1])
+			}
+		case "RegMRBuffer":
+			if len(call.Args) >= 3 {
+				return mf.domainOf(call.Args[2])
+			}
+		case "RegMR":
+			if len(call.Args) >= 4 {
+				return mf.domainOf(call.Args[2]).join(mf.domainOf(call.Args[3]))
+			}
+		}
+	}
+	if cs := mf.calleeSummary(call); cs != nil && len(cs.results) > 0 {
+		return mf.applyResult(call, cs.results[0])
+	}
+	return domVal{}
+}
+
+func (mf *memdomainFlow) calleeSummary(call *ast.CallExpr) *domSummary {
+	fn := mf.p.calledFunc(call)
+	if fn == nil {
+		return nil
+	}
+	return mf.sums[fn]
+}
+
+// applyResult instantiates one summary result at a call site: constant
+// bits pass through, parameter-propagated domains are read from the
+// actual arguments.
+func (mf *memdomainFlow) applyResult(call *ast.CallExpr, r domResult) domVal {
+	v := domVal{bits: r.bits}
+	for _, j := range r.fromParams {
+		if j < len(call.Args) {
+			v = v.join(mf.domainOf(call.Args[j]))
+		}
+	}
+	return v
+}
+
+// check walks the solved body and reports domain mixes inside
+// registration calls, scatter-gather entries, and work requests.
+func (mf *memdomainFlow) check(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			mf.checkRegMR(n)
+		case *ast.CompositeLit:
+			switch mf.litTypeName(n) {
+			case "SGE":
+				mf.checkSGE(n)
+			case "SendWR", "RecvWR":
+				mf.checkWR(n)
+			}
+		}
+		return true
+	})
+}
+
+func (mf *memdomainFlow) litTypeName(lit *ast.CompositeLit) string {
+	tv, ok := mf.p.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	return namedTypeName(tv.Type)
+}
+
+// checkRegMR flags RegMR(p, pd, dom, addr, n) whose domain argument
+// provably disagrees with its address argument.
+func (mf *memdomainFlow) checkRegMR(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "RegMR" || len(call.Args) < 4 {
+		return
+	}
+	dom := mf.domainOf(call.Args[2]).bits
+	addr := mf.domainOf(call.Args[3]).bits
+	if domMix(dom, addr) {
+		mf.p.Reportf(call.Pos(),
+			"memory region registered with %s-domain descriptor but %s-domain address: one RegMR must stay within one memory domain",
+			domName(dom), domName(addr))
+	}
+}
+
+// checkSGE flags a scatter-gather entry whose address and memory key
+// come from different domains — the LKey would not cover the address
+// it is paired with.
+func (mf *memdomainFlow) checkSGE(lit *ast.CompositeLit) {
+	var addr, key uint8
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		k, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch k.Name {
+		case "Addr":
+			addr = mf.domainOf(kv.Value).bits
+		case "LKey":
+			key = mf.domainOf(kv.Value).bits
+		}
+	}
+	if domMix(addr, key) {
+		mf.p.Reportf(lit.Pos(),
+			"scatter-gather entry pairs a %s-domain address with a %s-domain memory key: register and post within one domain",
+			domName(addr), domName(key))
+	}
+}
+
+// checkWR flags a work request whose scatter-gather entries span both
+// local domains. The Remote side is exempt: pairing a local buffer
+// with a remote node's address is the whole point of RDMA.
+func (mf *memdomainFlow) checkWR(lit *ast.CompositeLit) {
+	var seen uint8
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		k, ok := kv.Key.(*ast.Ident)
+		if !ok || k.Name != "SGL" {
+			continue
+		}
+		sgl, ok := unparen(kv.Value).(*ast.CompositeLit)
+		if !ok {
+			continue
+		}
+		for _, entry := range sgl.Elts {
+			v := mf.domainOf(entry)
+			if v.bits == domHost || v.bits == domMic {
+				seen |= v.bits
+			}
+		}
+	}
+	if seen == domHost|domMic {
+		mf.p.Reportf(lit.Pos(),
+			"work request mixes host-domain and mic-domain scatter-gather entries: split it per domain")
+	}
+}

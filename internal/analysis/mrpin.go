@@ -5,22 +5,22 @@ package analysis
 // Get pins the cache entry against eviction; an unbalanced pin
 // permanently shrinks the evictable portion of the cache, and an
 // unbalanced Release panics at runtime.
+var mrpinSpec = &lifecycleSpec{
+	rule:         "mrpin",
+	what:         "pinned MR",
+	resultType:   "MR",
+	createNames:  map[string]bool{"Get": true},
+	createRecv:   "MRCache",
+	releaseNames: map[string]bool{"Release": true},
+	releaseRecv:  "MRCache",
+	leakMsg:      "pinned MR from MRCache.%s is not released on every path: unbalanced pins permanently shrink the cache",
+	discardMsg:   "result of MRCache.%s discarded: the pinned MR can never be released",
+	doubleMsg:    "pinned MR may already be released: an unbalanced MRCache.Release panics",
+}
+
 var MRPin = &Analyzer{
 	Name:      "mrpin",
 	Doc:       "every MRCache.Get must be matched by MRCache.Release on all paths",
 	AppliesTo: notTestPackage,
-	Run: func(p *Pass) {
-		runLifecycle(p, &lifecycleSpec{
-			rule:         "mrpin",
-			what:         "pinned MR",
-			resultType:   "MR",
-			createNames:  map[string]bool{"Get": true},
-			createRecv:   "MRCache",
-			releaseNames: map[string]bool{"Release": true},
-			releaseRecv:  "MRCache",
-			leakMsg:      "pinned MR from MRCache.%s is not released on every path: unbalanced pins permanently shrink the cache",
-			discardMsg:   "result of MRCache.%s discarded: the pinned MR can never be released",
-			doubleMsg:    "pinned MR may already be released: an unbalanced MRCache.Release panics",
-		})
-	},
+	Run:       func(p *Pass) { runLifecycle(p, mrpinSpec) },
 }

@@ -5,27 +5,27 @@ package analysis
 // from an offload MR before its host mirror is synced transfers stale
 // bytes; using one after deregistration touches freed card memory; and
 // a leaked offload MR holds both host and card buffers forever.
+var offloadSpec = &lifecycleSpec{
+	rule:          "offload",
+	what:          "offload MR",
+	resultType:    "OffloadMR",
+	createNames:   map[string]bool{"RegOffloadMR": true},
+	advanceNames:  map[string]bool{"SyncOffloadMR": true},
+	releaseNames:  map[string]bool{"DeregOffloadMR": true},
+	trackUnsynced: true,
+	postPrefix:    "Post",
+	orderFields:   map[string]bool{"HostBuf": true, "HostMR": true},
+	checkUse:      true,
+	leakMsg:       "offload MR from %s is not deregistered on every path: call DeregOffloadMR before returning",
+	discardMsg:    "result of %s discarded: the offload MR can never be deregistered",
+	useMsg:        "use of offload MR after DeregOffloadMR",
+	doubleMsg:     "offload MR may already be deregistered: double DeregOffloadMR",
+	orderMsg:      "offload MR posted or read before SyncOffloadMR: the host mirror may hold stale data",
+}
+
 var Offload = &Analyzer{
 	Name:      "offload",
 	Doc:       "offload MRs follow RegOffloadMR → SyncOffloadMR → post → DeregOffloadMR; no post before sync, no use after dereg, no leak",
 	AppliesTo: notTestPackage,
-	Run: func(p *Pass) {
-		runLifecycle(p, &lifecycleSpec{
-			rule:          "offload",
-			what:          "offload MR",
-			resultType:    "OffloadMR",
-			createNames:   map[string]bool{"RegOffloadMR": true},
-			advanceNames:  map[string]bool{"SyncOffloadMR": true},
-			releaseNames:  map[string]bool{"DeregOffloadMR": true},
-			trackUnsynced: true,
-			postPrefix:    "Post",
-			orderFields:   map[string]bool{"HostBuf": true, "HostMR": true},
-			checkUse:      true,
-			leakMsg:       "offload MR from %s is not deregistered on every path: call DeregOffloadMR before returning",
-			discardMsg:    "result of %s discarded: the offload MR can never be deregistered",
-			useMsg:        "use of offload MR after DeregOffloadMR",
-			doubleMsg:     "offload MR may already be deregistered: double DeregOffloadMR",
-			orderMsg:      "offload MR posted or read before SyncOffloadMR: the host mirror may hold stale data",
-		})
-	},
+	Run:       func(p *Pass) { runLifecycle(p, offloadSpec) },
 }

@@ -5,21 +5,21 @@ package analysis
 // to a caller that will) on every path. An uncompleted request leaks
 // its pinned buffers and, for Irecv, silently drops the message its
 // sender believes was delivered.
+var reqwaitSpec = &lifecycleSpec{
+	rule:         "reqwait",
+	what:         "request",
+	resultType:   "Request",
+	createNames:  map[string]bool{"Isend": true, "Irecv": true},
+	releaseNames: map[string]bool{"Wait": true, "WaitAll": true},
+	testNames:    map[string]bool{"Test": true},
+	leakMsg:      "request from %s is not completed on every path: call Wait, WaitAll, or Test before returning",
+	discardMsg:   "request from %s discarded: the nonblocking operation can never be completed",
+	doubleMsg:    "request may already be completed: waiting twice on the same request",
+}
+
 var ReqWait = &Analyzer{
 	Name:      "reqwait",
 	Doc:       "every Isend/Irecv request must reach Wait/Test/WaitAll on all paths",
 	AppliesTo: notTestPackage,
-	Run: func(p *Pass) {
-		runLifecycle(p, &lifecycleSpec{
-			rule:         "reqwait",
-			what:         "request",
-			resultType:   "Request",
-			createNames:  map[string]bool{"Isend": true, "Irecv": true},
-			releaseNames: map[string]bool{"Wait": true, "WaitAll": true},
-			testNames:    map[string]bool{"Test": true},
-			leakMsg:      "request from %s is not completed on every path: call Wait, WaitAll, or Test before returning",
-			discardMsg:   "request from %s discarded: the nonblocking operation can never be completed",
-			doubleMsg:    "request may already be completed: waiting twice on the same request",
-		})
-	},
+	Run:       func(p *Pass) { runLifecycle(p, reqwaitSpec) },
 }

@@ -1,0 +1,528 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file computes per-function obligation summaries for the
+// lifecycle rules. A summary records what a function does to each
+// tracked parameter (borrows it, advances its protocol, releases it,
+// or takes ownership) and what each result carries back (a fresh
+// obligation, or a parameter's resource passed through). The dataflow
+// engine consults summaries at call sites in place of the conservative
+// "any unknown call escapes everything" rule, so acquire/release
+// protocols split across helpers, constructors, and cleanup functions
+// are still checked end to end.
+//
+// Summaries are computed bottom-up over the package call graph's
+// strongly connected components: by the time a function is summarized,
+// everything it calls (outside its own component) already has a
+// summary. Recursive components start conservative (everything
+// escapes) and re-summarize to a bounded fixpoint, reverting to
+// conservative if they fail to stabilize.
+
+// ParamEffect describes what a callee does to one parameter's tracked
+// resource.
+type ParamEffect uint8
+
+const (
+	// EffBorrow: the callee only reads the resource; the caller keeps
+	// every obligation.
+	EffBorrow ParamEffect = iota
+	// EffAdvance: the callee advances the protocol (offload sync),
+	// clearing the Unsynced obligation.
+	EffAdvance
+	// EffRelease: the callee discharges the release obligation on every
+	// path (DeregMR behind a helper, deferred cleanup, ...).
+	EffRelease
+	// EffEscape: the callee stores, captures, or conditionally releases
+	// the resource — ownership leaves the caller's view.
+	EffEscape
+)
+
+func (e ParamEffect) String() string {
+	switch e {
+	case EffBorrow:
+		return "borrow"
+	case EffAdvance:
+		return "advance"
+	case EffRelease:
+		return "release"
+	case EffEscape:
+		return "escape"
+	}
+	return "?"
+}
+
+// ResultEffect describes what one result position hands the caller.
+type ResultEffect struct {
+	// Acquires, when nonzero, is the obligation state a fresh resource
+	// returned here starts in (a constructor's summary).
+	Acquires State
+	// FromParams lists parameter indices whose resource may be passed
+	// through to this result (an identity or wrapper function).
+	FromParams []int
+}
+
+func (r ResultEffect) String() string {
+	var parts []string
+	if r.Acquires != 0 {
+		s := "acquire"
+		if r.Acquires&stateUnsynced != 0 {
+			s += "+unsynced"
+		}
+		parts = append(parts, s)
+	}
+	for _, j := range r.FromParams {
+		parts = append(parts, fmt.Sprintf("p%d", j))
+	}
+	if len(parts) == 0 {
+		return "-"
+	}
+	return strings.Join(parts, "|")
+}
+
+// FuncSummary is one function's obligation summary under one rule.
+type FuncSummary struct {
+	Params  []ParamEffect
+	Results []ResultEffect
+}
+
+func (s *FuncSummary) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, e := range s.Params {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(e.String())
+	}
+	b.WriteString(") -> (")
+	for i, r := range s.Results {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(r.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// paramEffect returns the effect on the i-th argument, mapping excess
+// arguments onto the final (variadic) parameter.
+func (s *FuncSummary) paramEffect(i int) ParamEffect {
+	if i < len(s.Params) {
+		return s.Params[i]
+	}
+	if n := len(s.Params); n > 0 {
+		return s.Params[n-1]
+	}
+	return EffBorrow
+}
+
+// interesting reports whether the summary differs from the neutral
+// all-borrow summary — i.e. call sites need to consult it.
+func (s *FuncSummary) interesting() bool {
+	for _, e := range s.Params {
+		if e != EffBorrow {
+			return true
+		}
+	}
+	return s.binds()
+}
+
+// binds reports whether any result carries tracked state back to the
+// caller (a fresh obligation or a passed-through parameter).
+func (s *FuncSummary) binds() bool {
+	for _, r := range s.Results {
+		if r.Acquires != 0 || len(r.FromParams) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *FuncSummary) equal(o *FuncSummary) bool {
+	if len(s.Params) != len(o.Params) || len(s.Results) != len(o.Results) {
+		return false
+	}
+	for i := range s.Params {
+		if s.Params[i] != o.Params[i] {
+			return false
+		}
+	}
+	for i := range s.Results {
+		a, b := s.Results[i], o.Results[i]
+		if a.Acquires != b.Acquires || len(a.FromParams) != len(b.FromParams) {
+			return false
+		}
+		for j := range a.FromParams {
+			if a.FromParams[j] != b.FromParams[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SummarySet holds one rule's summaries for every function declared in
+// the package.
+type SummarySet struct {
+	spec  *lifecycleSpec
+	funcs map[*types.Func]*FuncSummary
+}
+
+// forCall returns the summary of the function a call invokes directly,
+// or nil when the callee is unknown, external, or a function value —
+// the call site then falls back to the conservative escape rule.
+func (ss *SummarySet) forCall(p *Pass, call *ast.CallExpr) *FuncSummary {
+	if ss == nil {
+		return nil
+	}
+	fn := p.calledFunc(call)
+	if fn == nil {
+		return nil
+	}
+	return ss.funcs[fn]
+}
+
+// mentionsAcquirer reports whether the body calls a function whose
+// summary returns a fresh obligation — the widened prescreen that lets
+// runLifecycle analyze functions which only create resources through
+// helper constructors.
+func (ss *SummarySet) mentionsAcquirer(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sum := ss.forCall(p, call); sum != nil && sum.binds() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// Dump renders every summary deterministically (sorted by the
+// function's fully qualified name), for tests and debugging.
+func (ss *SummarySet) Dump() string {
+	names := make([]string, 0, len(ss.funcs))
+	byName := map[string]*FuncSummary{}
+	for fn, s := range ss.funcs {
+		n := fn.FullName()
+		names = append(names, n)
+		byName[n] = s
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s %s\n", n, byName[n])
+	}
+	return b.String()
+}
+
+// summariesFor returns the pass's summaries for one rule, computing
+// and caching them on first use.
+func (p *Pass) summariesFor(spec *lifecycleSpec) *SummarySet {
+	if p.summaries == nil {
+		p.summaries = map[string]*SummarySet{}
+	}
+	if ss, ok := p.summaries[spec.rule]; ok {
+		return ss
+	}
+	ss := computeSummaries(p, spec)
+	p.summaries[spec.rule] = ss
+	return ss
+}
+
+// computeSummaries walks the call graph's components bottom-up.
+func computeSummaries(p *Pass, spec *lifecycleSpec) *SummarySet {
+	g := p.CallGraph()
+	ss := &SummarySet{spec: spec, funcs: map[*types.Func]*FuncSummary{}}
+	for _, scc := range g.SCCs {
+		if len(scc) == 1 && !g.selfRecursive(scc[0]) {
+			fn := scc[0]
+			ss.funcs[fn] = summarizeFunc(p, spec, ss, fn, g.Funcs[fn])
+			continue
+		}
+		// Recursive component: start every member conservative, then
+		// re-summarize against the current summaries until a round
+		// changes nothing. The bound keeps pathological components from
+		// looping; on timeout they stay conservative.
+		for _, fn := range scc {
+			ss.funcs[fn] = conservativeSummary(fn)
+		}
+		converged := false
+		for round := 0; round < len(scc)+2 && !converged; round++ {
+			converged = true
+			for _, fn := range scc {
+				s := summarizeFunc(p, spec, ss, fn, g.Funcs[fn])
+				if !s.equal(ss.funcs[fn]) {
+					ss.funcs[fn] = s
+					converged = false
+				}
+			}
+		}
+		if !converged {
+			for _, fn := range scc {
+				ss.funcs[fn] = conservativeSummary(fn)
+			}
+		}
+	}
+	return ss
+}
+
+// conservativeSummary assumes ownership of every tracked parameter
+// transfers to the callee and nothing comes back — exactly the
+// engine's historical treatment of an unknown call.
+func conservativeSummary(fn *types.Func) *FuncSummary {
+	sig := fn.Type().(*types.Signature)
+	s := &FuncSummary{
+		Params:  make([]ParamEffect, sig.Params().Len()),
+		Results: make([]ResultEffect, sig.Results().Len()),
+	}
+	for i := range s.Params {
+		s.Params[i] = EffEscape
+	}
+	return s
+}
+
+func neutralSummary(sig *types.Signature) *FuncSummary {
+	return &FuncSummary{
+		Params:  make([]ParamEffect, sig.Params().Len()),
+		Results: make([]ResultEffect, sig.Results().Len()),
+	}
+}
+
+// summarizeFunc runs the lifecycle dataflow over one function in
+// observation mode: tracked parameters are seeded as pre-live
+// resources, no findings are emitted, and the recorder classifies each
+// parameter and result from the converged exit facts.
+func summarizeFunc(p *Pass, spec *lifecycleSpec, ss *SummarySet, fn *types.Func, fd *ast.FuncDecl) *FuncSummary {
+	sig := fn.Type().(*types.Signature)
+	rec := &summaryRecorder{
+		paramSite:  make([]ast.Node, sig.Params().Len()),
+		acquires:   make([]State, sig.Results().Len()),
+		fromParams: make([]map[int]bool, sig.Results().Len()),
+	}
+	entry := NewFacts()
+	seed := stateLive
+	if spec.trackUnsynced {
+		seed |= stateUnsynced
+	}
+	tracked := false
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		names := field.Names
+		if len(names) == 0 {
+			idx++ // anonymous parameter: nothing to bind
+			continue
+		}
+		for _, name := range names {
+			obj := p.Info.Defs[name]
+			if obj != nil && name.Name != "_" && namedTypeName(obj.Type()) == spec.resultType {
+				entry.Res[name] = seed
+				entry.Bind[obj] = []ast.Node{name}
+				rec.paramSite[idx] = name
+				tracked = true
+			}
+			idx++
+		}
+	}
+	// Cheap skip: a function that holds no tracked parameter, mentions
+	// no creation verb, and calls nothing with an interesting summary
+	// cannot affect this rule's obligations.
+	if !tracked && !mentionsCreate(spec, fd.Body) && !callsInteresting(p, ss, fd.Body) {
+		return neutralSummary(sig)
+	}
+	lf := &lifecycleFlow{p: p, spec: spec, reported: map[reportKey]bool{}, sums: ss, sum: rec}
+	SolveInit(NewCFG(fd.Body), lf, entry)
+	return rec.finish(spec)
+}
+
+// callsInteresting reports whether the body calls any function whose
+// current summary a call site would act on.
+func callsInteresting(p *Pass, ss *SummarySet, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sum := ss.forCall(p, call); sum != nil && sum.interesting() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// summaryRecorder observes one function's dataflow run and classifies
+// its parameters and results into a FuncSummary.
+type summaryRecorder struct {
+	// paramSite[i] is the synthetic creation site (the parameter's
+	// declaring identifier) seeded for tracked parameter i, nil for
+	// untracked parameters.
+	paramSite []ast.Node
+	// acquires[r] accumulates the obligation bits of fresh resources
+	// returned at result position r, joined over all returns.
+	acquires []State
+	// fromParams[r] collects parameter indices whose resource may flow
+	// to result position r.
+	fromParams []map[int]bool
+	// exit holds the converged facts at the function's ExitCheck;
+	// captured is false when the exit is unreachable (the function
+	// always panics or loops).
+	exit     *Facts
+	captured bool
+}
+
+func (rec *summaryRecorder) paramIndexOf(site ast.Node) int {
+	for i, s := range rec.paramSite {
+		if s != nil && s == site {
+			return i
+		}
+	}
+	return -1
+}
+
+func (rec *summaryRecorder) captureExit(f *Facts) {
+	rec.exit = f.Clone()
+	rec.captured = true
+}
+
+func (rec *summaryRecorder) recordAcquire(i int, st State) {
+	if i < len(rec.acquires) {
+		rec.acquires[i] |= st & (stateLive | stateUnsynced)
+	}
+}
+
+func (rec *summaryRecorder) addFromParam(i, j int) {
+	if i >= len(rec.fromParams) {
+		return
+	}
+	if rec.fromParams[i] == nil {
+		rec.fromParams[i] = map[int]bool{}
+	}
+	rec.fromParams[i][j] = true
+}
+
+// recordReturnIdent classifies `return x` at result position i: sites
+// bound to x that are seeded parameters become pass-throughs, live
+// creation sites become acquisitions.
+func (rec *summaryRecorder) recordReturnIdent(lf *lifecycleFlow, i int, id *ast.Ident, f *Facts) {
+	obj := lf.p.objOf(id)
+	if obj == nil {
+		return
+	}
+	for _, site := range f.Bind[obj] {
+		if j := rec.paramIndexOf(site); j >= 0 {
+			rec.addFromParam(i, j)
+			continue
+		}
+		if st := f.Res[site]; st&(stateLive|stateUnsynced) != 0 && st&stateEscaped == 0 {
+			rec.recordAcquire(i, st)
+		}
+	}
+}
+
+// recordCallReturn propagates a summarized callee's result effects
+// when its call is returned directly (`return helper(...)`). With a
+// single return expression spreading a multi-result callee, callee
+// result r maps to our result r; otherwise the callee is single-result
+// and maps to position i.
+func (rec *summaryRecorder) recordCallReturn(lf *lifecycleFlow, i, nresults int, call *ast.CallExpr, sum *FuncSummary, f *Facts) {
+	for r, re := range sum.Results {
+		target := i
+		if nresults == 1 && len(sum.Results) > 1 {
+			target = r
+		}
+		if target >= len(rec.acquires) {
+			continue
+		}
+		rec.acquires[target] |= re.Acquires
+		for _, j := range re.FromParams {
+			if j >= len(call.Args) {
+				continue
+			}
+			id, ok := unparen(call.Args[j]).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := lf.p.objOf(id)
+			if obj == nil {
+				continue
+			}
+			for _, site := range f.Bind[obj] {
+				if k := rec.paramIndexOf(site); k >= 0 {
+					rec.addFromParam(target, k)
+				} else if st := f.Res[site]; st&(stateLive|stateUnsynced) != 0 {
+					rec.recordAcquire(target, st)
+				}
+			}
+		}
+	}
+}
+
+// finish classifies the converged facts into the summary. Precedence
+// per parameter: escape beats release beats advance beats borrow, and
+// a resource released on only some paths escapes (the caller can
+// neither rely on the release nor release again safely).
+func (rec *summaryRecorder) finish(spec *lifecycleSpec) *FuncSummary {
+	s := &FuncSummary{
+		Params:  make([]ParamEffect, len(rec.paramSite)),
+		Results: make([]ResultEffect, len(rec.acquires)),
+	}
+	if !rec.captured {
+		// The exit is unreachable: the function never returns, so the
+		// caller gets nothing back and must not rely on any effect.
+		for i, site := range rec.paramSite {
+			if site != nil {
+				s.Params[i] = EffEscape
+			}
+		}
+		return s
+	}
+	for i, site := range rec.paramSite {
+		if site == nil {
+			continue // untracked type: borrow by definition
+		}
+		st, ok := rec.exit.Res[site]
+		switch {
+		case !ok:
+			// Dropped on every path by nil refinement: no effect.
+		case st&stateEscaped != 0:
+			s.Params[i] = EffEscape
+		case st&stateReleased != 0 && st&stateLive == 0:
+			s.Params[i] = EffRelease
+		case st&stateReleased != 0:
+			s.Params[i] = EffEscape // conditional release
+		case spec.trackUnsynced && st&stateUnsynced == 0:
+			s.Params[i] = EffAdvance
+		}
+	}
+	for r := range rec.acquires {
+		s.Results[r].Acquires = rec.acquires[r]
+		if m := rec.fromParams[r]; len(m) > 0 {
+			for j := range m {
+				s.Results[r].FromParams = append(s.Results[r].FromParams, j)
+			}
+			sort.Ints(s.Results[r].FromParams)
+		}
+	}
+	return s
+}

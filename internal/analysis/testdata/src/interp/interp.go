@@ -1,0 +1,320 @@
+// Package interp seeds cross-function lifecycle shapes for all four
+// protocol rules: helpers that acquire, helpers that release,
+// constructors whose obligation travels to the caller, deferred
+// cleanup through a helper, and the borrow/escape shapes that must
+// keep their obligations in place. Every case here is invisible to a
+// purely intraprocedural engine — the findings (and the silences)
+// depend on function summaries.
+package interp
+
+type Proc struct{}
+
+type PD struct{}
+
+type MR struct {
+	LKey uint32
+	Addr uint64
+}
+
+type Verbs struct{}
+
+func (v *Verbs) RegMR(p *Proc, pd *PD, addr uint64, n int) (*MR, error) { return &MR{}, nil }
+func (v *Verbs) DeregMR(p *Proc, mr *MR) error                          { return nil }
+
+type MRCache struct{}
+
+func (c *MRCache) Get(addr uint64) (*MR, error) { return &MR{}, nil }
+func (c *MRCache) Release(mr *MR)               {}
+
+type OffloadMR struct {
+	HostBuf []byte
+	HostMR  *MR
+}
+
+func (v *Verbs) RegOffloadMR(p *Proc, n int) (*OffloadMR, error) { return &OffloadMR{}, nil }
+func (v *Verbs) SyncOffloadMR(p *Proc, omr *OffloadMR) error     { return nil }
+func (v *Verbs) DeregOffloadMR(p *Proc, omr *OffloadMR) error    { return nil }
+
+type QP struct{}
+
+func (q *QP) PostSend(p *Proc, addr uint64, k uint32) error { return nil }
+
+type Request struct{}
+
+type Rank struct{}
+
+func (r *Rank) Isend(p *Proc, to, tag int, b []byte) (*Request, error)   { return &Request{}, nil }
+func (r *Rank) Irecv(p *Proc, from, tag int, b []byte) (*Request, error) { return &Request{}, nil }
+func (r *Rank) Wait(p *Proc, q *Request) error                           { return nil }
+
+// ---- helpers the summaries must classify ----
+
+// closeMR releases its parameter on every path: summary EffRelease.
+func closeMR(v *Verbs, p *Proc, mr *MR) { _ = v.DeregMR(p, mr) }
+
+// peek only reads a field: summary EffBorrow — the caller keeps the
+// dereg obligation.
+func peek(mr *MR) uint32 { return mr.LKey }
+
+// newMR is a constructor: its result carries the dereg obligation out.
+func newMR(v *Verbs, p *Proc, pd *PD) (*MR, error) {
+	return v.RegMR(p, pd, 0x1000, 64)
+}
+
+// newMRIndirect layers constructors: the obligation still propagates.
+func newMRIndirect(v *Verbs, p *Proc, pd *PD) (*MR, error) {
+	return newMR(v, p, pd)
+}
+
+// pass returns its parameter: the caller's binding flows through.
+func pass(mr *MR) *MR { return mr }
+
+// unpin releases a cache pin behind a helper.
+func unpin(c *MRCache, mr *MR) { c.Release(mr) }
+
+// syncIt advances the offload protocol behind a helper.
+func syncIt(v *Verbs, p *Proc, omr *OffloadMR) error {
+	return v.SyncOffloadMR(p, omr)
+}
+
+// dropOff deregisters an offload MR behind a helper.
+func dropOff(v *Verbs, p *Proc, omr *OffloadMR) { _ = v.DeregOffloadMR(p, omr) }
+
+// finish completes a request behind a helper.
+func finish(r *Rank, p *Proc, q *Request) { _ = r.Wait(p, q) }
+
+// sendAsync is a request constructor.
+func sendAsync(r *Rank, p *Proc, b []byte) (*Request, error) {
+	return r.Isend(p, 1, 1, b)
+}
+
+// condClose releases only on one path: summary EffEscape — callers can
+// neither count on the release nor safely release again, so both
+// caller shapes below stay quiet.
+func condClose(v *Verbs, p *Proc, mr *MR, really bool) {
+	if really {
+		_ = v.DeregMR(p, mr)
+	}
+}
+
+// closeRec releases through self-recursion: the bounded component
+// fixpoint keeps it conservative (escape), so callers stay quiet.
+func closeRec(v *Verbs, p *Proc, mr *MR, n int) {
+	if n == 0 {
+		_ = v.DeregMR(p, mr)
+		return
+	}
+	closeRec(v, p, mr, n-1)
+}
+
+// ---- mrleak through helpers ----
+
+// HelperReleaseOK: the dereg lives in closeMR; no leak.
+func HelperReleaseOK(v *Verbs, p *Proc, pd *PD) {
+	mr, err := v.RegMR(p, pd, 0x2000, 64)
+	if err != nil {
+		return
+	}
+	closeMR(v, p, mr)
+}
+
+// BorrowDoesNotDischarge: peek only borrows, so falling off the end
+// still leaks.
+func BorrowDoesNotDischarge(v *Verbs, p *Proc, pd *PD) uint32 {
+	mr, err := v.RegMR(p, pd, 0x3000, 64) // want "memory region from RegMR is not deregistered on every path"
+	if err != nil {
+		return 0
+	}
+	return peek(mr)
+}
+
+// ConstructorLeak: the obligation created inside newMR surfaces at the
+// caller's binding.
+func ConstructorLeak(v *Verbs, p *Proc, pd *PD) {
+	mr, err := newMR(v, p, pd) // want "memory region from newMR is not deregistered on every path"
+	if err != nil {
+		return
+	}
+	_ = peek(mr)
+}
+
+// ConstructorClosedOK: constructor + helper release balance out.
+func ConstructorClosedOK(v *Verbs, p *Proc, pd *PD) {
+	mr, err := newMR(v, p, pd)
+	if err != nil {
+		return
+	}
+	closeMR(v, p, mr)
+}
+
+// IndirectConstructorLeak: two constructor layers still carry the
+// obligation here.
+func IndirectConstructorLeak(v *Verbs, p *Proc, pd *PD) {
+	mr, err := newMRIndirect(v, p, pd) // want "memory region from newMRIndirect is not deregistered on every path"
+	if err != nil {
+		return
+	}
+	_ = peek(mr)
+}
+
+// ConstructorDiscard: dropping a constructor's result can never be
+// deregistered.
+func ConstructorDiscard(v *Verbs, p *Proc, pd *PD) {
+	_, _ = newMR(v, p, pd) // want "result of newMR discarded"
+}
+
+// DeferredHelperCleanupOK: deferred release through a helper counts on
+// every exit path.
+func DeferredHelperCleanupOK(v *Verbs, p *Proc, pd *PD, early bool) {
+	mr, err := newMR(v, p, pd)
+	if err != nil {
+		return
+	}
+	defer closeMR(v, p, mr)
+	if early {
+		return
+	}
+	_ = peek(mr)
+}
+
+// PassThroughOK: the wrapper hands the same region back; releasing the
+// copy releases the original binding's site.
+func PassThroughOK(v *Verbs, p *Proc, pd *PD) {
+	mr, err := v.RegMR(p, pd, 0x4000, 64)
+	if err != nil {
+		return
+	}
+	mr2 := pass(mr)
+	closeMR(v, p, mr2)
+}
+
+// DoubleHelperRelease: the helper's release is visible, so releasing
+// before it is a double dereg.
+func DoubleHelperRelease(v *Verbs, p *Proc, pd *PD) {
+	mr, err := v.RegMR(p, pd, 0x5000, 64)
+	if err != nil {
+		return
+	}
+	_ = v.DeregMR(p, mr)
+	closeMR(v, p, mr) // want "memory region may already be deregistered"
+}
+
+// ConditionalHelperQuiet: condClose summarizes as escape, so neither
+// a leak nor a double release is reported around it.
+func ConditionalHelperQuiet(v *Verbs, p *Proc, pd *PD, really bool) {
+	mr, err := v.RegMR(p, pd, 0x6000, 64)
+	if err != nil {
+		return
+	}
+	condClose(v, p, mr, really)
+}
+
+// RecursiveHelperQuiet: recursion stays conservative.
+func RecursiveHelperQuiet(v *Verbs, p *Proc, pd *PD) {
+	mr, err := v.RegMR(p, pd, 0x7000, 64)
+	if err != nil {
+		return
+	}
+	closeRec(v, p, mr, 3)
+}
+
+// ---- mrpin through helpers ----
+
+// HelperUnpinOK balances the pin through unpin.
+func HelperUnpinOK(c *MRCache, v *Verbs, p *Proc) {
+	mr, err := c.Get(0x1000)
+	if err != nil {
+		return
+	}
+	_ = peek(mr)
+	unpin(c, mr)
+}
+
+// HelperUnpinMissing leaks the pin even though a helper exists.
+func HelperUnpinMissing(c *MRCache, p *Proc) {
+	mr, err := c.Get(0x2000) // want "pinned MR from MRCache.Get is not released on every path"
+	if err != nil {
+		return
+	}
+	_ = peek(mr)
+}
+
+// DoubleHelperUnpin: the second, helper-mediated release would panic.
+func DoubleHelperUnpin(c *MRCache, p *Proc) {
+	mr, err := c.Get(0x3000)
+	if err != nil {
+		return
+	}
+	c.Release(mr)
+	unpin(c, mr) // want "pinned MR may already be released"
+}
+
+// ---- offload through helpers ----
+
+// HelperSyncAndDropOK: sync and dereg both live behind helpers.
+func HelperSyncAndDropOK(v *Verbs, p *Proc, q *QP) {
+	omr, err := v.RegOffloadMR(p, 4096)
+	if err != nil {
+		return
+	}
+	if err := syncIt(v, p, omr); err != nil {
+		dropOff(v, p, omr)
+		return
+	}
+	_ = q.PostSend(p, 0x100, omr.HostMR.LKey)
+	dropOff(v, p, omr)
+}
+
+// HelperDropMissing leaks the offload MR: syncIt only advances.
+func HelperDropMissing(v *Verbs, p *Proc, q *QP) {
+	omr, err := v.RegOffloadMR(p, 4096) // want "offload MR from RegOffloadMR is not deregistered on every path"
+	if err != nil {
+		return
+	}
+	_ = syncIt(v, p, omr)
+	_ = q.PostSend(p, 0x100, omr.HostMR.LKey)
+}
+
+// ---- reqwait through helpers ----
+
+// HelperWaitOK completes the request through finish.
+func HelperWaitOK(r *Rank, p *Proc, b []byte) {
+	q, err := r.Isend(p, 1, 1, b)
+	if err != nil {
+		return
+	}
+	finish(r, p, q)
+}
+
+// HelperWaitMissing: borrowing helpers do not complete the request.
+func HelperWaitMissing(r *Rank, p *Proc, b []byte) {
+	q, err := r.Irecv(p, 1, 1, b) // want "request from Irecv is not completed on every path"
+	if err != nil {
+		return
+	}
+	_ = q
+}
+
+// RequestConstructorLeak: the constructor's obligation lands on the
+// caller.
+func RequestConstructorLeak(r *Rank, p *Proc, b []byte) {
+	q, err := sendAsync(r, p, b) // want "request from sendAsync is not completed on every path"
+	if err != nil {
+		return
+	}
+	_ = q
+}
+
+// RequestConstructorOK: constructor plus helper completion balance.
+func RequestConstructorOK(r *Rank, p *Proc, b []byte) {
+	q, err := sendAsync(r, p, b)
+	if err != nil {
+		return
+	}
+	finish(r, p, q)
+}
+
+// RequestConstructorDiscard can never be completed.
+func RequestConstructorDiscard(r *Rank, p *Proc, b []byte) {
+	_, _ = sendAsync(r, p, b) // want "request from sendAsync discarded"
+}

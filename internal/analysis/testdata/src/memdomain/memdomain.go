@@ -1,0 +1,175 @@
+// Package memdomain seeds host/mic memory-domain mixes on local
+// stand-ins for the machine and ib types: registrations whose domain
+// and address disagree, scatter-gather entries pairing an address with
+// a foreign memory key, work requests spanning both domains, and the
+// remote and helper-mediated shapes that must stay quiet or be seen
+// through summaries.
+package memdomain
+
+type DomainKind int
+
+const (
+	HostMem DomainKind = iota
+	MicMem
+)
+
+type Domain struct{ Kind DomainKind }
+
+type Buffer struct {
+	Dom  *Domain
+	Addr uint64
+	Data []byte
+}
+
+func (d *Domain) Alloc(n int) *Buffer { return &Buffer{Dom: d} }
+
+type Node struct {
+	Host *Domain
+	Mic  *Domain
+}
+
+func (n *Node) Domain(k DomainKind) *Domain {
+	if k == HostMem {
+		return n.Host
+	}
+	return n.Mic
+}
+
+type Proc struct{}
+type PD struct{}
+
+type MR struct {
+	LKey uint32
+	RKey uint32
+	Addr uint64
+}
+
+type Context struct{}
+
+func (c *Context) RegMR(p *Proc, pd *PD, dom *Domain, addr uint64, n int) (*MR, error) {
+	return &MR{}, nil
+}
+func (c *Context) RegMRBuffer(p *Proc, pd *PD, b *Buffer) (*MR, error) { return &MR{}, nil }
+func (c *Context) DeregMR(p *Proc, mr *MR) error                       { return nil }
+
+type SGE struct {
+	Addr uint64
+	Len  int
+	LKey uint32
+}
+
+type RemoteAddr struct {
+	Addr uint64
+	RKey uint32
+}
+
+type SendWR struct {
+	SGL    []SGE
+	Remote RemoteAddr
+}
+
+type QP struct{}
+
+func (q *QP) PostSend(p *Proc, wr *SendWR) error { return nil }
+
+// MixedRegMR registers with a host-domain descriptor over a mic-domain
+// address.
+func MixedRegMR(c *Context, p *Proc, pd *PD, n *Node) {
+	hostBuf := n.Host.Alloc(64)
+	micBuf := n.Mic.Alloc(64)
+	mr, _ := c.RegMR(p, pd, hostBuf.Dom, micBuf.Addr, 64) // want "memory region registered with host-domain descriptor but mic-domain address"
+	_ = c.DeregMR(p, mr)
+}
+
+// MatchedRegMR keeps descriptor and address in one domain: quiet.
+func MatchedRegMR(c *Context, p *Proc, pd *PD, n *Node) {
+	micBuf := n.Mic.Alloc(64)
+	mr, _ := c.RegMR(p, pd, micBuf.Dom, micBuf.Addr, 64)
+	_ = c.DeregMR(p, mr)
+}
+
+// MixedSGE pairs a host buffer's address with a key registered over
+// mic memory.
+func MixedSGE(c *Context, p *Proc, pd *PD, q *QP, n *Node) {
+	hostBuf := n.Host.Alloc(64)
+	micBuf := n.Mic.Alloc(64)
+	micMR, _ := c.RegMRBuffer(p, pd, micBuf)
+	_ = q.PostSend(p, &SendWR{
+		SGL: []SGE{{Addr: hostBuf.Addr, Len: 64, LKey: micMR.LKey}}, // want "scatter-gather entry pairs a host-domain address with a mic-domain memory key"
+	})
+}
+
+// DirectMicPost posts straight from mic memory with a mic key — the
+// paper's direct path, and exactly what must stay quiet.
+func DirectMicPost(c *Context, p *Proc, pd *PD, q *QP, n *Node) {
+	micBuf := n.Mic.Alloc(64)
+	micMR, _ := c.RegMRBuffer(p, pd, micBuf)
+	_ = q.PostSend(p, &SendWR{
+		SGL: []SGE{{Addr: micBuf.Addr, Len: 64, LKey: micMR.LKey}},
+	})
+}
+
+// RemoteIsExempt pairs a local host buffer with a remote mic region:
+// cross-node pairs are the point of RDMA, not a mix.
+func RemoteIsExempt(c *Context, p *Proc, pd *PD, q *QP, n *Node, remoteMicMR *MR) {
+	hostBuf := n.Host.Alloc(64)
+	hostMR, _ := c.RegMRBuffer(p, pd, hostBuf)
+	micMR, _ := c.RegMRBuffer(p, pd, n.Mic.Alloc(64))
+	_ = q.PostSend(p, &SendWR{
+		SGL:    []SGE{{Addr: hostBuf.Addr, Len: 64, LKey: hostMR.LKey}},
+		Remote: RemoteAddr{Addr: micMR.Addr, RKey: micMR.RKey},
+	})
+}
+
+// CrossEntryWR keeps each entry internally consistent but spans both
+// domains within one work request.
+func CrossEntryWR(c *Context, p *Proc, pd *PD, q *QP, n *Node) {
+	hostBuf := n.Host.Alloc(64)
+	micBuf := n.Mic.Alloc(64)
+	hostMR, _ := c.RegMRBuffer(p, pd, hostBuf)
+	micMR, _ := c.RegMRBuffer(p, pd, micBuf)
+	_ = q.PostSend(p, &SendWR{ // want "work request mixes host-domain and mic-domain scatter-gather entries"
+		SGL: []SGE{
+			{Addr: hostBuf.Addr, Len: 64, LKey: hostMR.LKey},
+			{Addr: micBuf.Addr, Len: 64, LKey: micMR.LKey},
+		},
+	})
+}
+
+// stageHost is a helper constructor: its taint summary records that
+// the result is host memory.
+func stageHost(n *Node) *Buffer {
+	return n.Host.Alloc(4096)
+}
+
+// passBuf propagates its parameter's domain to its result.
+func passBuf(b *Buffer) *Buffer { return b }
+
+// HelperMixedSGE mixes through two helper layers: the address comes
+// from a host-staging helper (via a pass-through), the key from mic
+// memory.
+func HelperMixedSGE(c *Context, p *Proc, pd *PD, q *QP, n *Node) {
+	staged := passBuf(stageHost(n))
+	micMR, _ := c.RegMRBuffer(p, pd, n.Mic.Alloc(64))
+	_ = q.PostSend(p, &SendWR{
+		SGL: []SGE{{Addr: staged.Addr, Len: 64, LKey: micMR.LKey}}, // want "scatter-gather entry pairs a host-domain address with a mic-domain memory key"
+	})
+}
+
+// UnknownStaysQuiet: a parameter of unknown domain never fires, even
+// against a known one — only provable mixes report.
+func UnknownStaysQuiet(c *Context, p *Proc, pd *PD, q *QP, b *Buffer, n *Node) {
+	micMR, _ := c.RegMRBuffer(p, pd, n.Mic.Alloc(64))
+	_ = q.PostSend(p, &SendWR{
+		SGL: []SGE{{Addr: b.Addr, Len: 64, LKey: micMR.LKey}},
+	})
+}
+
+// SuppressedMix documents a deliberate mix with an ignore directive.
+func SuppressedMix(c *Context, p *Proc, pd *PD, n *Node) {
+	hostBuf := n.Host.Alloc(64)
+	micBuf := n.Mic.Alloc(64)
+	//simlint:ignore memdomain exercising the PCIe fallback path on purpose
+	mr, _ := c.RegMR(p, pd, hostBuf.Dom, micBuf.Addr, 64)
+	_ = c.DeregMR(p, mr)
+}
