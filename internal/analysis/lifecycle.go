@@ -202,15 +202,15 @@ func (lf *lifecycleFlow) classify(call *ast.CallExpr) verb {
 	spec := lf.spec
 	switch {
 	case spec.createNames[name]:
-		if spec.createRecv != "" && lf.recvTypeName(call) != spec.createRecv {
+		if spec.createRecv != "" && recvTypeName(lf.p, call) != spec.createRecv {
 			return verbNone
 		}
-		if lf.resultTypeName(call, 0) != spec.resultType {
+		if callResultTypeName(lf.p, call, 0) != spec.resultType {
 			return verbNone
 		}
 		return verbCreate
 	case spec.releaseNames[name]:
-		if spec.releaseRecv != "" && lf.recvTypeName(call) != spec.releaseRecv {
+		if spec.releaseRecv != "" && recvTypeName(lf.p, call) != spec.releaseRecv {
 			return verbNone
 		}
 		return verbRelease
@@ -223,25 +223,29 @@ func (lf *lifecycleFlow) classify(call *ast.CallExpr) verb {
 }
 
 // recvTypeName returns the named type of a method call's receiver, or
-// "" for package-qualified calls and unnamed receivers.
-func (lf *lifecycleFlow) recvTypeName(call *ast.CallExpr) string {
-	sel := call.Fun.(*ast.SelectorExpr)
+// "" for non-method calls, package-qualified calls, and unnamed
+// receivers.
+func recvTypeName(p *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
 	if id, ok := sel.X.(*ast.Ident); ok {
-		if _, isPkg := lf.p.Info.Uses[id].(*types.PkgName); isPkg {
+		if _, isPkg := p.Info.Uses[id].(*types.PkgName); isPkg {
 			return ""
 		}
 	}
-	tv, ok := lf.p.Info.Types[sel.X]
+	tv, ok := p.Info.Types[sel.X]
 	if !ok || tv.Type == nil {
 		return ""
 	}
 	return namedTypeName(tv.Type)
 }
 
-// resultTypeName returns the named type of the call's i-th result
+// callResultTypeName returns the named type of the call's i-th result
 // (pointers dereferenced), or "".
-func (lf *lifecycleFlow) resultTypeName(call *ast.CallExpr, i int) string {
-	sig := lf.p.calleeSignature(call)
+func callResultTypeName(p *Pass, call *ast.CallExpr, i int) string {
+	sig := p.calleeSignature(call)
 	if sig == nil || sig.Results().Len() <= i {
 		return ""
 	}
@@ -331,8 +335,16 @@ func (lf *lifecycleFlow) Transfer(n ast.Node, f *Facts, report bool) {
 				// already applied its effects, and its result effects
 				// propagate into this function's own summary.
 				if sum := lf.sums.forCall(lf.p, call); sum != nil {
-					if lf.sum != nil && report {
-						lf.sum.recordCallReturn(lf, i, len(n.Results), call, sum, f)
+					if lf.sum != nil {
+						if report {
+							lf.sum.recordCallReturn(lf, i, len(n.Results), call, sum, f)
+						}
+					} else {
+						// `return pass(mr)`: a pass-through result hands the
+						// argument's resource to the caller, so its obligation
+						// leaves with the return value. (An acquired result was
+						// never bound here — nothing to discharge for it.)
+						lf.escapePassThroughArgs(call, sum, f)
 					}
 					continue
 				}
@@ -424,7 +436,16 @@ func (lf *lifecycleFlow) assign(lhs, rhs []ast.Expr, f *Facts, report bool) {
 				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 					lf.scanExpr(sel.X, f, report)
 				}
-				for _, a := range call.Args {
+				for i, a := range call.Args {
+					if sum.paramEffect(i) == EffRelease {
+						if _, ok := unparen(a).(*ast.Ident); ok {
+							// Mirrors call(): handing a resource to a
+							// releasing helper is the release itself, not
+							// a read — applySummaryCall below reports the
+							// double release if there is one.
+							continue
+						}
+					}
 					lf.scanExpr(a, f, report)
 				}
 				lf.applySummaryCall(call, sum, f, report)
@@ -844,6 +865,20 @@ func (lf *lifecycleFlow) call(call *ast.CallExpr, f *Facts, report bool) {
 		}
 		for _, a := range call.Args {
 			lf.escapeIdents(a, f)
+		}
+	}
+}
+
+// escapePassThroughArgs marks arguments a summarized callee may pass
+// through to its results as escaped: when the call itself is returned,
+// those resources travel to the caller with the result, so the
+// obligation no longer sits on this function's binding.
+func (lf *lifecycleFlow) escapePassThroughArgs(call *ast.CallExpr, sum *FuncSummary, f *Facts) {
+	for _, re := range sum.Results {
+		for _, j := range re.FromParams {
+			if j < len(call.Args) {
+				lf.escapeIdents(call.Args[j], f)
+			}
 		}
 	}
 }

@@ -341,22 +341,33 @@ func (mf *memdomainFlow) domainOf(e ast.Expr) domVal {
 // domainOfCall handles the known taint sources and propagators:
 // Domain.Alloc and HCA.Open carry their receiver's or argument's
 // domain, RegMR/RegMRBuffer tag the MR from the registered memory, and
-// same-package callees answer through their summaries.
+// same-package callees answer through their summaries. Each source is
+// gated on its receiver's named type (or, for the registration verbs
+// whose receivers vary across verb implementations, on the MR result
+// type) so an unrelated method sharing the name cannot taint — the
+// same discipline classify() applies through createRecv/resultType. A
+// call that fails its gate falls through to the summary lookup.
 func (mf *memdomainFlow) domainOfCall(call *ast.CallExpr) domVal {
 	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 		switch sel.Sel.Name {
 		case "Alloc":
-			return mf.domainOf(sel.X)
-		case "Open", "Domain":
-			if len(call.Args) >= 1 {
+			if recvTypeName(mf.p, call) == "Domain" {
+				return mf.domainOf(sel.X)
+			}
+		case "Open":
+			if recvTypeName(mf.p, call) == "HCA" && len(call.Args) >= 1 {
+				return mf.domainOf(call.Args[len(call.Args)-1])
+			}
+		case "Domain":
+			if recvTypeName(mf.p, call) == "Node" && len(call.Args) >= 1 {
 				return mf.domainOf(call.Args[len(call.Args)-1])
 			}
 		case "RegMRBuffer":
-			if len(call.Args) >= 3 {
+			if callResultTypeName(mf.p, call, 0) == "MR" && len(call.Args) >= 3 {
 				return mf.domainOf(call.Args[2])
 			}
 		case "RegMR":
-			if len(call.Args) >= 4 {
+			if callResultTypeName(mf.p, call, 0) == "MR" && len(call.Args) >= 4 {
 				return mf.domainOf(call.Args[2]).join(mf.domainOf(call.Args[3]))
 			}
 		}

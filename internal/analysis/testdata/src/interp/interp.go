@@ -188,6 +188,40 @@ func PassThroughOK(v *Verbs, p *Proc, pd *PD) {
 	closeMR(v, p, mr2)
 }
 
+// PassThroughReturnOK: returning the wrapper's pass-through hands the
+// region to the caller with the result — ownership leaves, no leak,
+// exactly as quiet as `return mr` would be.
+func PassThroughReturnOK(v *Verbs, p *Proc, pd *PD) *MR {
+	mr, err := v.RegMR(p, pd, 0x8000, 64)
+	if err != nil {
+		return nil
+	}
+	return pass(mr)
+}
+
+// swapMR releases the old region and hands back a fresh one: summary
+// (borrow,borrow,borrow,release) -> (acquire,-).
+func swapMR(v *Verbs, p *Proc, pd *PD, old *MR) (*MR, error) {
+	_ = v.DeregMR(p, old)
+	return v.RegMR(p, pd, 0x8100, 64)
+}
+
+// SwapDoubleRelease: handing an already-released region to the
+// releasing swap helper in assignment position is exactly one
+// double-release finding — not also a use-after-release.
+func SwapDoubleRelease(v *Verbs, p *Proc, pd *PD) {
+	mr, err := v.RegMR(p, pd, 0x8200, 64)
+	if err != nil {
+		return
+	}
+	_ = v.DeregMR(p, mr)
+	mr2, err := swapMR(v, p, pd, mr) // want "memory region may already be deregistered"
+	if err != nil {
+		return
+	}
+	_ = v.DeregMR(p, mr2)
+}
+
 // DoubleHelperRelease: the helper's release is visible, so releasing
 // before it is a double dereg.
 func DoubleHelperRelease(v *Verbs, p *Proc, pd *PD) {

@@ -165,6 +165,28 @@ func UnknownStaysQuiet(c *Context, p *Proc, pd *PD, q *QP, b *Buffer, n *Node) {
 	})
 }
 
+// Pool is unrelated to the memory hierarchy: its Alloc and Open only
+// share names with the taint sources and must not act as ones.
+type Pool struct{ Base uint64 }
+
+func (pl *Pool) Alloc(n int) uint64    { return pl.Base }
+func (pl *Pool) Open(d *Domain) uint64 { return pl.Base }
+
+// UnrelatedNamesQuiet: addresses produced by Pool's same-named methods
+// carry no domain — opening the pool against a host domain must not
+// taint them — so pairing them with a known mic key stays quiet.
+func UnrelatedNamesQuiet(c *Context, p *Proc, pd *PD, q *QP, n *Node, pool *Pool) {
+	a1 := pool.Open(n.Host)
+	a2 := pool.Alloc(64)
+	micMR, _ := c.RegMRBuffer(p, pd, n.Mic.Alloc(64))
+	_ = q.PostSend(p, &SendWR{
+		SGL: []SGE{
+			{Addr: a1, Len: 64, LKey: micMR.LKey},
+			{Addr: a2, Len: 64, LKey: micMR.LKey},
+		},
+	})
+}
+
 // SuppressedMix documents a deliberate mix with an ignore directive.
 func SuppressedMix(c *Context, p *Proc, pd *PD, n *Node) {
 	hostBuf := n.Host.Alloc(64)
