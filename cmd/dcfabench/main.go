@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/perfmodel"
 )
@@ -36,11 +37,21 @@ func main() {
 	calibration := flag.String("calibration", "", "JSON file overriding the default platform calibration")
 	showMetrics := flag.Bool("metrics", false, "print the telemetry summary after the run")
 	traceFile := flag.String("tracefile", "", "write the run's spans as Chrome trace-event JSON to this file")
+	metricsJSON := flag.String("metricsjson", "", "write the telemetry snapshot as JSON to this file")
+	faultSpec := flag.String("faults", "", "deterministic fault plan, e.g. seed=7,rate=0.01 (keys: seed, rate, ib, ib-delivered, cmd, dma, dma-abort, cmd-deadline, cmd-backoff, dma-delay-time, max-retries)")
 	flag.Parse()
 
 	bench.StencilIters = *stencilIters
-	if *showMetrics || *traceFile != "" {
+	if *showMetrics || *traceFile != "" || *metricsJSON != "" {
 		bench.Metrics = metrics.New()
+	}
+	if *faultSpec != "" {
+		plan, err := faults.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcfabench:", err)
+			os.Exit(2)
+		}
+		bench.FaultPlan = plan
 	}
 	// finish emits the telemetry the run accumulated.
 	finish := func() {
@@ -53,6 +64,20 @@ func main() {
 				f, err := os.Create(*traceFile)
 				if err == nil {
 					if err = reg.WriteChromeTrace(f); err == nil {
+						err = f.Close()
+					} else {
+						f.Close()
+					}
+				}
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "dcfabench:", err)
+					os.Exit(1)
+				}
+			}
+			if *metricsJSON != "" {
+				f, err := os.Create(*metricsJSON)
+				if err == nil {
+					if err = reg.WriteJSON(f); err == nil {
 						err = f.Close()
 					} else {
 						f.Close()

@@ -36,20 +36,23 @@ type ProxyVerbs struct {
 }
 
 // Loc implements core.Verbs.
-func (x ProxyVerbs) Loc() machine.DomainKind    { return machine.MicMem }
-func (x ProxyVerbs) Domain() *machine.Domain    { return x.V.Node.Mic }
-func (x ProxyVerbs) HCA() *ib.HCA               { return x.V.HCA }
-func (x ProxyVerbs) AllocPD(p *sim.Proc) *ib.PD { return x.V.AllocPD(p) }
-func (x ProxyVerbs) CreateCQ(p *sim.Proc, depth int) *ib.CQ {
+func (x ProxyVerbs) Loc() machine.DomainKind             { return machine.MicMem }
+func (x ProxyVerbs) Domain() *machine.Domain             { return x.V.Node.Mic }
+func (x ProxyVerbs) HCA() *ib.HCA                        { return x.V.HCA }
+func (x ProxyVerbs) AllocPD(p *sim.Proc) (*ib.PD, error) { return x.V.AllocPD(p) }
+func (x ProxyVerbs) CreateCQ(p *sim.Proc, depth int) (*ib.CQ, error) {
 	return x.V.CreateCQ(p, depth)
 }
 
 // CreateQP creates the QP and caps its throughput at the proxy staging
 // rate.
-func (x ProxyVerbs) CreateQP(p *sim.Proc, pd *ib.PD, scq, rcq *ib.CQ) *ib.QP {
-	qp := x.V.CreateQP(p, pd, scq, rcq)
+func (x ProxyVerbs) CreateQP(p *sim.Proc, pd *ib.PD, scq, rcq *ib.CQ) (*ib.QP, error) {
+	qp, err := x.V.CreateQP(p, pd, scq, rcq)
+	if err != nil {
+		return nil, err
+	}
 	qp.RateCap = x.V.Plat.ProxyBandwidth
-	return qp
+	return qp, nil
 }
 
 func (x ProxyVerbs) RegMR(p *sim.Proc, pd *ib.PD, dom *machine.Domain, addr uint64, n int) (*ib.MR, error) {

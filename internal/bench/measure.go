@@ -8,6 +8,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/ib"
 	"repro/internal/machine"
 	"repro/internal/metrics"
@@ -18,6 +19,12 @@ import (
 // Metrics, when non-nil, is installed on every cluster and fabric the
 // sweeps build, so a whole figure run reports into one registry.
 var Metrics *metrics.Registry
+
+// FaultPlan, when non-nil, installs a deterministic fault injector on
+// every cluster the sweeps build (the -faults flag of cmd/dcfabench).
+// Each world gets a fresh injector from the same plan, so runs stay
+// reproducible regardless of sweep order.
+var FaultPlan *faults.Plan
 
 // RawOneWay measures the one-way time of an n-byte raw RDMA write from
 // a buffer in srcKind memory on node 0 to dstKind memory on node 1
@@ -114,6 +121,7 @@ func (m Mode) String() string {
 func buildWorld(plat *perfmodel.Platform, m Mode, ranks int) *core.World {
 	c := cluster.New(plat, ranks)
 	c.SetMetrics(Metrics)
+	c.SetFaults(FaultPlan)
 	switch m {
 	case ModeDCFA:
 		return c.DCFAWorld(ranks, true)
@@ -232,6 +240,7 @@ func CommOnlyHostOffload(plat *perfmodel.Platform, sizes []int, iters int) []sim
 	out := make([]sim.Duration, len(sizes))
 	c := cluster.New(plat, 2)
 	c.SetMetrics(Metrics)
+	c.SetFaults(FaultPlan)
 	w, devs := baseline.HostOffloadWorld(c, 2)
 	err := w.Run(func(r *core.Rank) error {
 		p := r.Proc()

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dcfa"
+	"repro/internal/faults"
 	"repro/internal/ib"
 	"repro/internal/machine"
 	"repro/internal/metrics"
@@ -35,6 +36,10 @@ type Cluster struct {
 	// Metrics is the telemetry registry shared by every layer of this
 	// cluster (nil = disabled); install it with SetMetrics.
 	Metrics *metrics.Registry
+	// Faults is the deterministic fault injector shared by the fabric,
+	// the PCIe complexes and the DCFA daemons (nil = no faults);
+	// install it with SetFaults before building worlds.
+	Faults *faults.Injector
 }
 
 // New builds an n-node cluster on a fresh engine.
@@ -65,6 +70,21 @@ func (c *Cluster) SetMetrics(reg *metrics.Registry) {
 	}
 }
 
+// SetFaults builds a deterministic injector from plan and installs it
+// across the cluster's fabric and PCIe complexes; worlds built
+// afterwards inherit it down to every rank and DCFA daemon. A nil plan
+// (or one with all-zero rates) leaves every schedule untouched. The
+// injector is returned so callers can read its tally after a run.
+func (c *Cluster) SetFaults(plan *faults.Plan) *faults.Injector {
+	inj := faults.New(c.Eng, plan)
+	c.Faults = inj
+	c.Fabric.Faults = inj
+	for _, b := range c.Buses {
+		b.Faults = inj
+	}
+	return inj
+}
+
 // NodeFor maps rank i onto a node round-robin (the paper runs one rank
 // per node).
 func (c *Cluster) NodeFor(rank int) int { return rank % len(c.Nodes) }
@@ -77,6 +97,7 @@ func (c *Cluster) DCFAEnvs(ranks int) []core.Env {
 		ni := c.NodeFor(i)
 		mic, _ := dcfa.New(c.Eng, c.Plat, c.Nodes[ni], c.HCAs[ni], c.Buses[ni])
 		mic.SetMetrics(c.Metrics)
+		mic.SetFaults(c.Faults)
 		envs[i] = core.Env{V: core.DCFAVerbs{V: mic}, Node: c.Nodes[ni]}
 	}
 	return envs
@@ -101,6 +122,7 @@ func (c *Cluster) DCFAWorld(ranks int, offload bool) *core.World {
 	cfg := core.ConfigFromPlatform(c.Plat)
 	cfg.Offload = offload
 	cfg.Metrics = c.Metrics
+	cfg.Faults = c.Faults
 	return core.NewWorld(c.Eng, c.Plat, cfg, c.DCFAEnvs(ranks))
 }
 
@@ -109,6 +131,7 @@ func (c *Cluster) HostWorld(ranks int) *core.World {
 	cfg := core.ConfigFromPlatform(c.Plat)
 	cfg.Offload = false
 	cfg.Metrics = c.Metrics
+	cfg.Faults = c.Faults
 	return core.NewWorld(c.Eng, c.Plat, cfg, c.HostEnvs(ranks))
 }
 

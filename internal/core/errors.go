@@ -1,6 +1,9 @@
 package core
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+)
 
 // Exported error conditions of the MPI layer.
 var (
@@ -17,6 +20,20 @@ var (
 	// ErrBadRank reports a source or destination outside the world.
 	ErrBadRank = errors.New("core: rank out of range")
 )
+
+// TransportError reports a work request that exhausted its replay
+// budget under a fault plan: the QP was reset and reconnected, the WR
+// reissued, and it kept failing. Unrecoverable by design — it surfaces
+// as a typed rank error instead of a deadlock.
+type TransportError struct {
+	Peer  int    // remote rank the WR targeted
+	Op    string // work-request kind ("eager", "ctrl", "rndv-write", "rndv-read")
+	Tries int    // attempts made (original post + replays)
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("core: %s transfer to rank %d failed after %d attempts", e.Op, e.Peer, e.Tries)
+}
 
 // Special rank and tag wildcards, mirroring MPI_ANY_SOURCE/MPI_ANY_TAG.
 const (

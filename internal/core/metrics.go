@@ -36,6 +36,13 @@ type rankMetrics struct {
 	offStaged   *metrics.Counter
 	offFallback *metrics.Counter
 
+	// Fault-recovery observability: WR replays after a completion
+	// error, QP reset+reconnect cycles, and replayed packets the
+	// receiver discarded by transport sequence number.
+	faultRetries   *metrics.Counter
+	qpResets       *metrics.Counter
+	replaysDeduped *metrics.Counter
+
 	sendLat  *metrics.Histogram
 	recvLat  *metrics.Histogram
 	matchLat *metrics.Histogram
@@ -60,6 +67,10 @@ func newRankMetrics(reg *metrics.Registry, id int) rankMetrics {
 		anyLocks:    reg.Counter(actor, "any-source.locks"),
 		offStaged:   reg.Counter(actor, "offload.staged-bytes"),
 		offFallback: reg.Counter(actor, "offload.fallbacks"),
+
+		faultRetries:   reg.Counter(actor, "faults.retries"),
+		qpResets:       reg.Counter(actor, "faults.qp-resets"),
+		replaysDeduped: reg.Counter(actor, "faults.replays-deduped"),
 
 		sendLat:  reg.Histogram(actor, "send.latency", metrics.TimeBuckets),
 		recvLat:  reg.Histogram(actor, "recv.latency", metrics.TimeBuckets),

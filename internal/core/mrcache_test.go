@@ -27,7 +27,7 @@ func cacheRig(t *testing.T, capacity int, fn func(p *sim.Proc, c *MRCache, dom *
 	mic, _ := dcfa.New(eng, plat, node, hca, bus)
 	v := DCFAVerbs{V: mic}
 	eng.Spawn("test", func(p *sim.Proc) {
-		pd := v.AllocPD(p)
+		pd, _ := v.AllocPD(p)
 		c := NewMRCache(v, pd, capacity)
 		fn(p, c, node.Mic)
 	})

@@ -15,9 +15,16 @@ const (
 	pktEager  byte = 1
 	pktRTS    byte = 2 // sender-first rendezvous: ready-to-send
 	pktRTR    byte = 3 // receiver-first rendezvous: ready-to-receive
-	pktDone   byte = 4 // rendezvous completion notification
+	pktDone   byte = 4 // sender-first rendezvous read finished: closes the send
 	pktCredit byte = 5 // explicit eager-ring credit return
-	pktNack   byte = 6 // rendezvous aborted (receiver issued MPI error)
+	pktNack   byte = 6 // rendezvous aborted: closes the send (receiver issued MPI error)
+	// The receiver-first protocol needs its own completion kinds: a rank
+	// can simultaneously hold a send to and a receive from the same peer
+	// under the same sequence id (the spaces are independent per
+	// direction), so a bare DONE/NACK would be ambiguous about which one
+	// it closes.
+	pktDoneW byte = 7 // receiver-first rendezvous write finished: closes the receive
+	pktNackW byte = 8 // receiver-first rendezvous aborted: closes the receive
 )
 
 // hdrSize is the fixed eager packet header; tailSize the completion
@@ -41,6 +48,10 @@ type header struct {
 	rsize int
 	// Piggybacked eager-ring credits being returned.
 	credits uint32
+	// psn is the per-directed-pair transport sequence number, counted
+	// per packet written into the peer's ring (replays reuse the
+	// original psn so the receiver can discard duplicates).
+	psn uint64
 }
 
 // encode writes h into dst (hdrSize bytes).
@@ -60,6 +71,7 @@ func (h *header) encode(dst []byte) {
 	binary.LittleEndian.PutUint32(dst[32:], h.rkey)
 	binary.LittleEndian.PutUint64(dst[36:], uint64(h.rsize))
 	binary.LittleEndian.PutUint32(dst[44:], h.credits)
+	binary.LittleEndian.PutUint64(dst[48:], h.psn)
 }
 
 // decodeHeader parses hdrSize bytes.
@@ -76,6 +88,7 @@ func decodeHeader(src []byte) header {
 		rkey:    binary.LittleEndian.Uint32(src[32:]),
 		rsize:   int(binary.LittleEndian.Uint64(src[36:])),
 		credits: binary.LittleEndian.Uint32(src[44:]),
+		psn:     binary.LittleEndian.Uint64(src[48:]),
 	}
 }
 
@@ -144,6 +157,19 @@ func (r *ring) peek() (header, []byte, bool) {
 		return header{}, nil, false
 	}
 	return h, s[hdrSize : hdrSize+h.payload], true
+}
+
+// discard clears the current slot WITHOUT advancing the cursor: used
+// to drop a replayed duplicate (psn below the next expected) that a
+// faulted-but-delivered write re-deposited. The cursor must stay put
+// because the slot is still the landing zone for the next expected
+// packet of this residue class; its credits were already applied on
+// first delivery, so no credit is returned either.
+func (r *ring) discard() {
+	s := r.slot(r.next)
+	for i := range s {
+		s[i] = 0
+	}
 }
 
 // consume clears the current slot and advances the cursor.

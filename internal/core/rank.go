@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/ib"
 	"repro/internal/machine"
+	"repro/internal/pcie"
 	"repro/internal/sim"
 )
 
@@ -32,6 +33,20 @@ type peerState struct {
 	// pendingCtrl are control packets (RTS/RTR/DONE) waiting for ring
 	// credit; drained before pendingSends.
 	pendingCtrl []header
+
+	// Transport sequence numbers for fault recovery: sendPSN numbers
+	// packets written into the peer's ring (replays keep the original
+	// number); recvPSN is the next number this side will accept —
+	// anything below it is a replayed duplicate and is discarded.
+	sendPSN uint64
+	recvPSN uint64
+	// rlid/rqpn identify the peer endpoint for QP reconnects after a
+	// fault-induced error state (captured during bootstrap).
+	rlid uint16
+	rqpn uint32
+	// postponed holds WR ids formed while the QP was errored; they are
+	// reissued in order once the QP is reconnected.
+	postponed []uint64
 }
 
 // Stats aggregates per-rank communication counters.
@@ -45,6 +60,11 @@ type Stats struct {
 	Unexpected     int64
 	SelfMsgs       int64
 	OffloadedPacks int64
+
+	// Fault-recovery counters (nonzero only under an active plan).
+	Retries        int64
+	QPResets       int64
+	ReplaysDeduped int64
 }
 
 // Rank is one MPI process.
@@ -97,6 +117,12 @@ type Rank struct {
 	// makes every record a nil-check no-op.
 	m rankMetrics
 
+	// fatal is set when transport recovery gives up on a WR that has
+	// no owning request to fail (control packets): the rank cannot
+	// guarantee protocol progress anymore, so Wait and finalize abort
+	// with this error instead of spinning.
+	fatal error
+
 	Stats Stats
 }
 
@@ -140,8 +166,13 @@ func (r *Rank) MRCacheStats() (hits, misses int64) {
 // setup builds this rank's verbs resources (phase 1 of bootstrap).
 func (r *Rank) setup(p *sim.Proc) error {
 	cfg := r.w.Cfg
-	r.pd = r.v.AllocPD(p)
-	r.cq = r.v.CreateCQ(p, 1<<16)
+	var err error
+	if r.pd, err = r.v.AllocPD(p); err != nil {
+		return err
+	}
+	if r.cq, err = r.v.CreateCQ(p, 1<<16); err != nil {
+		return err
+	}
 	r.mrCache = NewMRCache(r.v, r.pd, cfg.MRCacheCap)
 	r.m = newRankMetrics(cfg.Metrics, r.id)
 	r.mrCache.instrument(cfg.Metrics, r.m.actor)
@@ -165,8 +196,9 @@ func (r *Rank) setup(p *sim.Proc) error {
 			continue
 		}
 		ps := &peerState{}
-		ps.qp = r.v.CreateQP(p, r.pd, r.cq, r.cq)
-		var err error
+		if ps.qp, err = r.v.CreateQP(p, r.pd, r.cq, r.cq); err != nil {
+			return err
+		}
 		ps.in, err = newRing(p, r.v, r.pd, dom, cfg.EagerSlots, cfg.EagerMax)
 		if err != nil {
 			return err
@@ -195,8 +227,18 @@ func (r *Rank) connect(p *sim.Proc) error {
 		if ps == nil {
 			continue
 		}
-		other := r.w.ranks[i].peers[r.id]
-		if err := ps.qp.Connect(r.w.ranks[i].v.HCA().LID, other.qp.QPN); err != nil {
+		peer := r.w.ranks[i]
+		if len(peer.peers) <= r.id || peer.peers[r.id] == nil || peer.peers[r.id].qp == nil {
+			// The peer's setup failed (possible under CMD-channel
+			// faults); surface a typed bootstrap error, not a panic.
+			return fmt.Errorf("core: rank %d has no endpoint for rank %d (peer setup failed)", i, r.id)
+		}
+		other := peer.peers[r.id]
+		// Remember the peer endpoint so fault recovery can reconnect
+		// after a QP reset.
+		ps.rlid = peer.v.HCA().LID
+		ps.rqpn = other.qp.QPN
+		if err := ps.qp.Connect(ps.rlid, ps.rqpn); err != nil {
 			return err
 		}
 		ps.out = other.in.desc()
@@ -210,9 +252,14 @@ func (r *Rank) connect(p *sim.Proc) error {
 // behind ring flow control must still reach its peer or the peer hangs.
 func (r *Rank) finalize(p *sim.Proc) {
 	for {
+		if r.fatal != nil {
+			// Transport recovery gave up; queued packets can never be
+			// delivered and waiting would deadlock the engine.
+			return
+		}
 		pending := false
 		for _, ps := range r.peers {
-			if ps != nil && (len(ps.pendingCtrl) > 0 || len(ps.pendingSends) > 0) {
+			if ps != nil && (len(ps.pendingCtrl) > 0 || len(ps.pendingSends) > 0 || len(ps.postponed) > 0) {
 				pending = true
 				break
 			}
@@ -233,6 +280,91 @@ func (r *Rank) nextWR(a wrAction) uint64 {
 	return r.wrSeq
 }
 
+// faultsOn reports whether a fault plan with any nonzero rate is
+// installed (the recovery paths are compiled out of the hot path
+// behind this check).
+func (r *Rank) faultsOn() bool { return r.w.Cfg.Faults.Enabled() }
+
+// post issues wr on the QP toward peer dst. If the QP is not connected
+// (errored by a fault, awaiting recovery), the fully-formed WR is
+// postponed and reissued in order once recovery reconnects — without
+// this, progress handling a ring packet between the error and the CQ
+// poll could post into the errored QP and fail synchronously.
+func (r *Rank) post(p *sim.Proc, dst int, wr *ib.SendWR) error {
+	ps := r.peers[dst]
+	if ps.qp.State != ib.QPConnected {
+		ps.postponed = append(ps.postponed, wr.WRID)
+		return nil
+	}
+	return r.v.PostSend(p, ps.qp, wr)
+}
+
+// reissue (re)posts the WR identified by act: packet WRs are restored
+// from their retained byte snapshot into the staging buffer and
+// rewritten to their original ring slot (same psn, no new credit);
+// rendezvous WRs are reposted as formed, their buffers still pinned.
+func (r *Rank) reissue(p *sim.Proc, wrid uint64, act wrAction) error {
+	ps := r.peers[act.peer]
+	switch act.kind {
+	case wrEager, wrCtrl:
+		copy(ps.staging.Data[:len(act.pkt)], act.pkt)
+		wr := &ib.SendWR{
+			WRID:     wrid,
+			Opcode:   ib.OpRDMAWrite,
+			SGL:      []ib.SGE{{Addr: ps.staging.Addr, Len: len(act.pkt), LKey: ps.stagingMR.LKey}},
+			Remote:   ib.RemoteAddr{Addr: ps.out.slotAddr(act.slot), RKey: ps.out.rkey},
+			Signaled: true,
+		}
+		return r.v.PostSend(p, ps.qp, wr)
+	default:
+		return r.v.PostSend(p, ps.qp, act.wr)
+	}
+}
+
+// recoverWR handles a retry-exhaustion completion: reset and reconnect
+// the errored QP, then replay the WR until the plan's budget runs out,
+// at which point the owning request (or the rank, for control packets)
+// fails with a typed TransportError.
+func (r *Rank) recoverWR(p *sim.Proc, wrid uint64, act wrAction) {
+	ps := r.peers[act.peer]
+	if ps.qp.State == ib.QPError {
+		ps.qp.Reset()
+		if err := ps.qp.Connect(ps.rlid, ps.rqpn); err != nil {
+			r.failWR(p, act, fmt.Errorf("core: reconnect to rank %d: %w", act.peer, err))
+			return
+		}
+		r.Stats.QPResets++
+		r.m.qpResets.Inc()
+		r.trace("qp-reset", "peer=%d reconnected", act.peer)
+	}
+	act.tries++
+	if act.tries > r.w.Cfg.Faults.MaxRetries() {
+		r.failWR(p, act, &TransportError{Peer: act.peer, Op: act.kind.String(), Tries: act.tries})
+		return
+	}
+	r.wrMap[wrid] = act
+	r.Stats.Retries++
+	r.m.faultRetries.Inc()
+	r.trace("wr-replay", "peer=%d kind=%s try=%d", act.peer, act.kind, act.tries)
+	if err := r.reissue(p, wrid, act); err != nil {
+		delete(r.wrMap, wrid)
+		r.failWR(p, act, err)
+	}
+}
+
+// failWR gives up on a work request: requests complete with the error;
+// ownerless control packets poison the rank instead, because a lost
+// RTS/RTR/DONE breaks the protocol for an unknowable set of requests.
+func (r *Rank) failWR(p *sim.Proc, act wrAction, err error) {
+	if act.req != nil {
+		act.req.complete(p, err)
+		return
+	}
+	if r.fatal == nil {
+		r.fatal = err
+	}
+}
+
 // sendPacket assembles and RDMA-writes one packet into the peer's ring.
 // The caller must hold a credit (credits > 0). Consumed local slots are
 // piggybacked back as credits on every outgoing header.
@@ -246,6 +378,8 @@ func (r *Rank) sendPacket(p *sim.Proc, dst int, h header, payload []byte, act wr
 	h.payload = len(payload)
 	h.credits = uint32(ps.toReturn)
 	ps.toReturn = 0
+	h.psn = ps.sendPSN
+	ps.sendPSN++
 	s := ps.staging.Data
 	h.encode(s[:hdrSize])
 	if len(payload) > 0 {
@@ -256,6 +390,14 @@ func (r *Rank) sendPacket(p *sim.Proc, dst int, h header, payload []byte, act wr
 	binary.LittleEndian.PutUint64(s[hdrSize+len(payload):], tailMarker(h.seq))
 	slot := ps.nextSlot
 	ps.nextSlot = (ps.nextSlot + 1) % ps.out.slots
+	act.peer = dst
+	if r.faultsOn() {
+		// Retain the packet bytes: staging is reused by later sends,
+		// but a replay must rewrite exactly these bytes (same psn) to
+		// the same slot.
+		act.slot = slot
+		act.pkt = append([]byte(nil), s[:hdrSize+len(payload)+tailSize]...)
+	}
 	// Header SGE + data SGE + tail SGE, as the paper lays the packet out.
 	sgl := []ib.SGE{
 		{Addr: ps.staging.Addr, Len: hdrSize, LKey: ps.stagingMR.LKey},
@@ -271,7 +413,7 @@ func (r *Rank) sendPacket(p *sim.Proc, dst int, h header, payload []byte, act wr
 		Remote:   ib.RemoteAddr{Addr: ps.out.slotAddr(slot), RKey: ps.out.rkey},
 		Signaled: true,
 	}
-	return r.v.PostSend(p, ps.qp, wr)
+	return r.post(p, dst, wr)
 }
 
 // ---- Point-to-point API ----
@@ -350,15 +492,26 @@ func (r *Rank) startRendezvousSend(p *sim.Proc, req *Request) error {
 			err := r.arena.sync(p, reg, s.Bytes())
 			ss.AttrInt("bytes", int64(s.N))
 			ss.End(p.Now())
-			if err != nil {
+			var abort *pcie.DMAAbortError
+			switch {
+			case err == nil:
+				req.offReg = reg
+				req.advAddr = reg.addr()
+				req.advKey = reg.rkey()
+				r.Stats.OffloadedSends++
+				r.m.offStaged.Add(int64(s.N))
+				r.trace("offload-sync", "to=%d seq=%d n=%d staged", req.peer, req.seq, s.N)
+			case errors.As(err, &abort):
+				// The DMA engine aborted the staging copy: release the
+				// region and fall back to sending straight from
+				// co-processor memory.
+				r.arena.release(reg)
+				useOffload = false
+				r.m.offFallback.Inc()
+				r.trace("offload-abort", "to=%d seq=%d n=%d falling back", req.peer, req.seq, s.N)
+			default:
 				return err
 			}
-			req.offReg = reg
-			req.advAddr = reg.addr()
-			req.advKey = reg.rkey()
-			r.Stats.OffloadedSends++
-			r.m.offStaged.Add(int64(s.N))
-			r.trace("offload-sync", "to=%d seq=%d n=%d staged", req.peer, req.seq, s.N)
 		} else {
 			useOffload = false
 			r.m.offFallback.Inc()
@@ -398,7 +551,7 @@ func (r *Rank) rndvWrite(p *sim.Proc, req *Request, rtr header) error {
 		// Receiver-first truncation: abort both sides.
 		delete(r.sendsBySeq[req.peer], req.seq)
 		req.complete(p, ErrTruncate)
-		return r.ctrlSend(p, req.peer, header{kind: pktNack, seq: req.seq})
+		return r.ctrlSend(p, req.peer, header{kind: pktNackW, seq: req.seq})
 	}
 	var sgl []ib.SGE
 	if req.offReg != nil {
@@ -408,12 +561,20 @@ func (r *Rank) rndvWrite(p *sim.Proc, req *Request, rtr header) error {
 		// until this request completes.
 		sgl = []ib.SGE{{Addr: req.slice.Addr(), Len: req.slice.N, LKey: req.srcMR.LKey}}
 	}
+	wrid := r.nextWR(wrAction{kind: wrRndvWrite, req: req, peer: req.peer})
 	wr := &ib.SendWR{
-		WRID:     r.nextWR(wrAction{kind: wrRndvWrite, req: req}),
+		WRID:     wrid,
 		Opcode:   ib.OpRDMAWrite,
 		SGL:      sgl,
 		Remote:   ib.RemoteAddr{Addr: rtr.raddr, RKey: rtr.rkey},
 		Signaled: true,
+	}
+	if r.faultsOn() {
+		// Retain the WR for replay; its SGEs stay pinned until the
+		// request completes.
+		a := r.wrMap[wrid]
+		a.wr = wr
+		r.wrMap[wrid] = a
 	}
 	req.state = stWriting
 	r.m.resolve(req, KindRecvRzv)
@@ -421,7 +582,7 @@ func (r *Rank) rndvWrite(p *sim.Proc, req *Request, rtr header) error {
 		req.xferSpan = req.span.Child(p.Now(), "rdma-write").AttrInt("bytes", int64(req.slice.N))
 	}
 	r.trace("rdma-write", "to=%d seq=%d n=%d", req.peer, req.seq, req.slice.N)
-	return r.v.PostSend(p, r.peers[req.peer].qp, wr)
+	return r.post(p, req.peer, wr)
 }
 
 // ctrlSend transmits a zero-payload control packet (control packets
@@ -571,12 +732,18 @@ func (r *Rank) startRead(p *sim.Proc, req *Request, rts header) {
 	req.heldMRs = append(req.heldMRs, mr)
 	req.peer = int(rts.src)
 	req.status = Status{Source: int(rts.src), Tag: int(rts.tag), Len: rts.rsize}
+	wrid := r.nextWR(wrAction{kind: wrRndvRead, req: req, peer: int(rts.src)})
 	wr := &ib.SendWR{
-		WRID:     r.nextWR(wrAction{kind: wrRndvRead, req: req, peer: int(rts.src)}),
+		WRID:     wrid,
 		Opcode:   ib.OpRDMARead,
 		SGL:      []ib.SGE{{Addr: req.slice.Addr(), Len: rts.rsize, LKey: mr.LKey}},
 		Remote:   ib.RemoteAddr{Addr: rts.raddr, RKey: rts.rkey},
 		Signaled: true,
+	}
+	if r.faultsOn() {
+		a := r.wrMap[wrid]
+		a.wr = wr
+		r.wrMap[wrid] = a
 	}
 	req.state = stReading
 	req.seq = rts.seq
@@ -589,7 +756,7 @@ func (r *Rank) startRead(p *sim.Proc, req *Request, rts header) {
 		req.xferSpan = req.span.Child(p.Now(), "rdma-read").AttrInt("bytes", int64(rts.rsize))
 	}
 	r.trace("rdma-read", "from=%d seq=%d n=%d", rts.src, rts.seq, rts.rsize)
-	if err := r.v.PostSend(p, r.peers[int(rts.src)].qp, wr); err != nil {
+	if err := r.post(p, int(rts.src), wr); err != nil {
 		req.complete(p, err)
 	}
 }
@@ -715,6 +882,22 @@ func (r *Rank) progress(p *sim.Proc) bool {
 			if !ok {
 				break
 			}
+			if h.psn < ps.recvPSN {
+				// A replayed write whose original copy was already
+				// delivered (the fault hit after the data landed): drop
+				// it without advancing the cursor, re-applying its
+				// piggybacked credits, or returning the slot.
+				ps.in.discard()
+				r.Stats.ReplaysDeduped++
+				r.m.replaysDeduped.Inc()
+				r.trace("replay-drop", "from=%d psn=%d expect=%d", i, h.psn, ps.recvPSN)
+				did = true
+				continue
+			}
+			if h.psn > ps.recvPSN {
+				panic(fmt.Sprintf("core: rank %d: psn gap from %d: got %d want %d", r.id, i, h.psn, ps.recvPSN))
+			}
+			ps.recvPSN++
 			p.Sleep(r.w.Plat.PollCost(r.v.Loc()) + r.v.RecvOverhead(h.payload))
 			r.handlePacket(p, i, h, payload)
 			ps.in.consume()
@@ -732,6 +915,26 @@ func (r *Rank) progress(p *sim.Proc) bool {
 			r.handleCQE(p, e)
 		}
 		did = true
+	}
+	// Reissue WRs that were formed while their QP sat in the error
+	// state (between the fault and the CQE that triggers recovery);
+	// recovery has reconnected the QP by the time the CQ drains.
+	if r.faultsOn() {
+		for _, ps := range r.peers {
+			if ps == nil {
+				continue
+			}
+			for len(ps.postponed) > 0 && ps.qp.State == ib.QPConnected {
+				wrid := ps.postponed[0]
+				ps.postponed = ps.postponed[1:]
+				act := r.wrMap[wrid]
+				if err := r.reissue(p, wrid, act); err != nil {
+					delete(r.wrMap, wrid)
+					r.failWR(p, act, err)
+				}
+				did = true
+			}
+		}
 	}
 	// Retry credit-starved control packets, then eager sends.
 	for i, ps := range r.peers {
@@ -846,39 +1049,43 @@ func (r *Rank) handlePacket(p *sim.Proc, src int, h header, payload []byte) {
 		// outbound sequence space.
 		r.earlyRTR[src][h.seq] = h
 	case pktDone:
-		if req, ok := r.sendsBySeq[src][h.seq]; ok {
-			delete(r.sendsBySeq[src], h.seq)
-			// The DONE closes the rendezvous round trip begun at the
-			// RTS; a dropped RTR already classified it simultaneous.
-			if !req.simul {
-				r.m.resolve(req, KindSenderRzv)
-			}
-			r.m.rndvRTT.ObserveDuration(p.Now() - req.startT)
-			req.complete(p, nil)
-			return
+		req, ok := r.sendsBySeq[src][h.seq]
+		if !ok {
+			panic(fmt.Sprintf("core: rank %d: DONE from %d seq %d matches no send", r.id, src, h.seq))
 		}
-		if req, ok := r.expRecv[src][h.seq]; ok {
-			delete(r.expRecv[src], h.seq)
-			// Receiver-first: the sender's write plus this DONE
-			// completed a receive that was parked in stRTRWait.
-			r.m.resolve(req, KindRecvRzv)
-			req.status = Status{Source: src, Tag: req.tag, Len: h.rsize}
-			req.complete(p, nil)
-			return
+		delete(r.sendsBySeq[src], h.seq)
+		// The DONE closes the rendezvous round trip begun at the
+		// RTS; a dropped RTR already classified it simultaneous.
+		if !req.simul {
+			r.m.resolve(req, KindSenderRzv)
 		}
-		panic(fmt.Sprintf("core: rank %d: DONE from %d seq %d matches nothing", r.id, src, h.seq))
+		r.m.rndvRTT.ObserveDuration(p.Now() - req.startT)
+		req.complete(p, nil)
+	case pktDoneW:
+		// Receiver-first: the sender's write plus this DONE completed a
+		// receive that was parked in stRTRWait.
+		req, ok := r.expRecv[src][h.seq]
+		if !ok {
+			panic(fmt.Sprintf("core: rank %d: DONE-W from %d seq %d matches no receive", r.id, src, h.seq))
+		}
+		delete(r.expRecv[src], h.seq)
+		r.m.resolve(req, KindRecvRzv)
+		req.status = Status{Source: src, Tag: req.tag, Len: h.rsize}
+		req.complete(p, nil)
 	case pktNack:
-		if req, ok := r.sendsBySeq[src][h.seq]; ok {
-			delete(r.sendsBySeq[src], h.seq)
-			req.complete(p, ErrTruncate)
-			return
+		req, ok := r.sendsBySeq[src][h.seq]
+		if !ok {
+			panic(fmt.Sprintf("core: rank %d: NACK from %d seq %d matches no send", r.id, src, h.seq))
 		}
-		if req, ok := r.expRecv[src][h.seq]; ok {
-			delete(r.expRecv[src], h.seq)
-			req.complete(p, ErrTruncate)
-			return
+		delete(r.sendsBySeq[src], h.seq)
+		req.complete(p, ErrTruncate)
+	case pktNackW:
+		req, ok := r.expRecv[src][h.seq]
+		if !ok {
+			panic(fmt.Sprintf("core: rank %d: NACK-W from %d seq %d matches no receive", r.id, src, h.seq))
 		}
-		panic(fmt.Sprintf("core: rank %d: NACK from %d seq %d matches nothing", r.id, src, h.seq))
+		delete(r.expRecv[src], h.seq)
+		req.complete(p, ErrTruncate)
 	default:
 		panic(fmt.Sprintf("core: rank %d: unknown packet kind %d", r.id, h.kind))
 	}
@@ -892,6 +1099,10 @@ func (r *Rank) handleCQE(p *sim.Proc, e ib.CQE) {
 	}
 	delete(r.wrMap, e.WRID)
 	if e.Status != ib.StatusSuccess {
+		if e.Status == ib.StatusRetryExcErr && r.faultsOn() {
+			r.recoverWR(p, e.WRID, act)
+			return
+		}
 		if act.req != nil {
 			act.req.complete(p, fmt.Errorf("core: work request failed: %v", e.Status))
 		}
@@ -907,7 +1118,7 @@ func (r *Rank) handleCQE(p *sim.Proc, e ib.CQE) {
 		req := act.req
 		req.xferSpan.End(p.Now())
 		delete(r.sendsBySeq[req.peer], req.seq)
-		done := header{kind: pktDone, seq: req.seq, rsize: req.slice.N}
+		done := header{kind: pktDoneW, seq: req.seq, rsize: req.slice.N}
 		if err := r.ctrlSend(p, req.peer, done); err != nil {
 			req.complete(p, err)
 			return
@@ -929,6 +1140,12 @@ func (r *Rank) handleCQE(p *sim.Proc, e ib.CQE) {
 // Wait blocks until the request completes, driving progress.
 func (r *Rank) Wait(p *sim.Proc, req *Request) (Status, error) {
 	for !req.completed {
+		if r.fatal != nil {
+			// Transport recovery gave up on a control packet: protocol
+			// progress is no longer guaranteed, so abort instead of
+			// spinning into a deadlock.
+			return req.status, r.fatal
+		}
 		if !r.progress(p) {
 			r.v.HCA().Doorbell.Wait(p)
 		}

@@ -153,8 +153,33 @@ const (
 	wrRndvRead
 )
 
+func (k wrKind) String() string {
+	switch k {
+	case wrEager:
+		return "eager"
+	case wrCtrl:
+		return "ctrl"
+	case wrRndvWrite:
+		return "rndv-write"
+	case wrRndvRead:
+		return "rndv-read"
+	default:
+		return "unknown"
+	}
+}
+
 type wrAction struct {
 	kind wrKind
 	req  *Request
 	peer int
+
+	// Fault-recovery state, populated only when a fault plan is
+	// active. Packet WRs (eager/ctrl) retain a byte snapshot because
+	// the per-peer staging buffer is reused by later sends; rendezvous
+	// WRs retain the formed WR itself, whose SGEs point at buffers
+	// pinned until the request completes.
+	pkt   []byte     // retained header+payload+tail bytes (wrEager/wrCtrl)
+	slot  int        // remote ring slot the packet targets
+	wr    *ib.SendWR // retained WR (wrRndvWrite/wrRndvRead)
+	tries int        // replays performed for this WR
 }

@@ -32,9 +32,11 @@ type Verbs interface {
 	// HCA is the adapter used by this rank.
 	HCA() *ib.HCA
 
-	AllocPD(p *sim.Proc) *ib.PD
-	CreateCQ(p *sim.Proc, depth int) *ib.CQ
-	CreateQP(p *sim.Proc, pd *ib.PD, sendCQ, recvCQ *ib.CQ) *ib.QP
+	// Resource creation can fail on providers whose control path rides
+	// a faultable channel (the DCFA CMD protocol under fault plans).
+	AllocPD(p *sim.Proc) (*ib.PD, error)
+	CreateCQ(p *sim.Proc, depth int) (*ib.CQ, error)
+	CreateQP(p *sim.Proc, pd *ib.PD, sendCQ, recvCQ *ib.CQ) (*ib.QP, error)
 	RegMR(p *sim.Proc, pd *ib.PD, dom *machine.Domain, addr uint64, n int) (*ib.MR, error)
 	DeregMR(p *sim.Proc, mr *ib.MR) error
 
@@ -61,14 +63,14 @@ type DCFAVerbs struct {
 }
 
 // Loc implements Verbs.
-func (d DCFAVerbs) Loc() machine.DomainKind    { return machine.MicMem }
-func (d DCFAVerbs) Domain() *machine.Domain    { return d.V.Node.Mic }
-func (d DCFAVerbs) HCA() *ib.HCA               { return d.V.HCA }
-func (d DCFAVerbs) AllocPD(p *sim.Proc) *ib.PD { return d.V.AllocPD(p) }
-func (d DCFAVerbs) CreateCQ(p *sim.Proc, depth int) *ib.CQ {
+func (d DCFAVerbs) Loc() machine.DomainKind             { return machine.MicMem }
+func (d DCFAVerbs) Domain() *machine.Domain             { return d.V.Node.Mic }
+func (d DCFAVerbs) HCA() *ib.HCA                        { return d.V.HCA }
+func (d DCFAVerbs) AllocPD(p *sim.Proc) (*ib.PD, error) { return d.V.AllocPD(p) }
+func (d DCFAVerbs) CreateCQ(p *sim.Proc, depth int) (*ib.CQ, error) {
 	return d.V.CreateCQ(p, depth)
 }
-func (d DCFAVerbs) CreateQP(p *sim.Proc, pd *ib.PD, scq, rcq *ib.CQ) *ib.QP {
+func (d DCFAVerbs) CreateQP(p *sim.Proc, pd *ib.PD, scq, rcq *ib.CQ) (*ib.QP, error) {
 	return d.V.CreateQP(p, pd, scq, rcq)
 }
 func (d DCFAVerbs) RegMR(p *sim.Proc, pd *ib.PD, dom *machine.Domain, addr uint64, n int) (*ib.MR, error) {
@@ -100,15 +102,15 @@ type HostVerbs struct {
 	Node *machine.Node
 }
 
-func (h HostVerbs) Loc() machine.DomainKind    { return machine.HostMem }
-func (h HostVerbs) Domain() *machine.Domain    { return h.Node.Host }
-func (h HostVerbs) HCA() *ib.HCA               { return h.Ctx.HCA }
-func (h HostVerbs) AllocPD(p *sim.Proc) *ib.PD { return h.Ctx.AllocPD() }
-func (h HostVerbs) CreateCQ(p *sim.Proc, depth int) *ib.CQ {
-	return h.Ctx.CreateCQ(depth)
+func (h HostVerbs) Loc() machine.DomainKind             { return machine.HostMem }
+func (h HostVerbs) Domain() *machine.Domain             { return h.Node.Host }
+func (h HostVerbs) HCA() *ib.HCA                        { return h.Ctx.HCA }
+func (h HostVerbs) AllocPD(p *sim.Proc) (*ib.PD, error) { return h.Ctx.AllocPD(), nil }
+func (h HostVerbs) CreateCQ(p *sim.Proc, depth int) (*ib.CQ, error) {
+	return h.Ctx.CreateCQ(depth), nil
 }
-func (h HostVerbs) CreateQP(p *sim.Proc, pd *ib.PD, scq, rcq *ib.CQ) *ib.QP {
-	return h.Ctx.CreateQP(pd, scq, rcq)
+func (h HostVerbs) CreateQP(p *sim.Proc, pd *ib.PD, scq, rcq *ib.CQ) (*ib.QP, error) {
+	return h.Ctx.CreateQP(pd, scq, rcq), nil
 }
 func (h HostVerbs) RegMR(p *sim.Proc, pd *ib.PD, dom *machine.Domain, addr uint64, n int) (*ib.MR, error) {
 	return h.Ctx.RegMR(p, pd, dom, addr, n)

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/perfmodel"
@@ -43,6 +45,12 @@ type Config struct {
 	// passive and virtual-time-only: enabling it must not change the
 	// engine's event sequence (see internal/metrics).
 	Metrics *metrics.Registry
+	// Faults, when non-nil with nonzero rates, is the deterministic
+	// fault injector shared with the transport layers; the MPI layer
+	// consults it only for recovery policy (retry budget), never for
+	// injection decisions. A nil or zero-rate injector leaves every
+	// code path and fingerprint unchanged.
+	Faults *faults.Injector
 }
 
 // ConfigFromPlatform derives the paper-tuned configuration.
@@ -163,18 +171,26 @@ func (w *World) Launch(body func(r *Rank) error) {
 }
 
 // Run launches the ranks, runs the engine to completion and returns the
-// first error (engine errors included).
+// first error. A rank error and an engine error (e.g. the deadlock a
+// failed rank leaves behind) are joined so callers can match either
+// with errors.As.
 func (w *World) Run(body func(r *Rank) error) error {
 	w.Launch(body)
-	if err := w.Eng.Run(); err != nil {
-		return err
-	}
+	engErr := w.Eng.Run()
+	var rankErr error
 	for _, err := range w.errs {
 		if err != nil {
-			return err
+			rankErr = err
+			break
 		}
 	}
-	return nil
+	if engErr != nil && rankErr != nil {
+		return errors.Join(rankErr, engErr)
+	}
+	if engErr != nil {
+		return engErr
+	}
+	return rankErr
 }
 
 // Errs exposes the per-rank errors after Run.

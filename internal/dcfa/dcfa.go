@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"slices"
 
+	"repro/internal/faults"
 	"repro/internal/ib"
 	"repro/internal/machine"
 	"repro/internal/metrics"
@@ -63,6 +64,25 @@ func cmdName(kind int) string {
 	default:
 		return "unknown"
 	}
+}
+
+// cmdFail is the reply payload for a transiently rejected command: the
+// simulation analogue of a dropped or NAKed SCIF exchange. The client
+// retries with backoff until its deadline.
+type cmdFail struct{}
+
+// CmdTimeoutError reports that a delegated CMD-channel command did not
+// succeed within the fault plan's virtual-time deadline, including
+// retries. It is distinct from sim.DeadlockError: the rank exits with
+// a typed failure instead of hanging the engine.
+type CmdTimeoutError struct {
+	Cmd     string       // command name, e.g. "reg-mr"
+	Tries   int          // attempts made (initial call + retries)
+	Elapsed sim.Duration // virtual time spent, first attempt to give-up
+}
+
+func (e *CmdTimeoutError) Error() string {
+	return fmt.Sprintf("dcfa: cmd %s timed out after %d tries (%v)", e.Cmd, e.Tries, e.Elapsed)
 }
 
 type regMRReq struct {
@@ -119,10 +139,15 @@ type HostDaemon struct {
 
 	// Requests counts delegated commands served.
 	Requests int64
+	// Rejected counts commands transiently rejected by the fault plan.
+	Rejected int64
 
 	// Telemetry (nil / "" when metrics are disabled).
 	metrics *metrics.Registry
 	actor   string
+
+	// faults injects transient CMD-channel rejections (nil = sunny day).
+	faults *faults.Injector
 }
 
 // serve is the daemon main loop.
@@ -131,6 +156,17 @@ func (d *HostDaemon) serve(p *sim.Proc) {
 	for {
 		msg := d.ep.Recv(p)
 		d.Requests++
+		if d.faults.CmdFault() {
+			// Transient failure: reject before doing any host work. The
+			// client's retry makes this invisible to callers (modulo
+			// time) unless the deadline runs out first.
+			d.Rejected++
+			if d.metrics != nil {
+				d.metrics.Counter(d.actor, "rejected."+cmdName(msg.Kind)).Inc()
+			}
+			d.ep.Send(msg.Kind, cmdFail{})
+			continue
+		}
 		if d.metrics != nil {
 			d.metrics.Counter(d.actor, "served."+cmdName(msg.Kind)).Inc()
 		}
@@ -220,10 +256,18 @@ type MicVerbs struct {
 
 	// DelegatedCalls counts operations that crossed to the host.
 	DelegatedCalls int64
+	// CmdRetries and CmdTimeouts count the client-side recovery work:
+	// every transient rejection ends in exactly one of the two.
+	CmdRetries  int64
+	CmdTimeouts int64
 
 	// Telemetry (nil / "" when metrics are disabled).
 	metrics *metrics.Registry
 	actor   string
+
+	// faults supplies the CMD retry policy and drives the daemon's
+	// rejections (nil = sunny day).
+	faults *faults.Injector
 }
 
 // SetMetrics installs (or removes, with nil) the telemetry registry on
@@ -238,6 +282,15 @@ func (v *MicVerbs) SetMetrics(reg *metrics.Registry) {
 		v.actor = fmt.Sprintf("dcfa/node%d", v.Node.ID)
 		v.daemon.actor = fmt.Sprintf("dcfad/node%d", v.Node.ID)
 	}
+}
+
+// SetFaults installs (or removes, with nil) the fault injector on both
+// the co-processor verbs interface and its host daemon. Install it
+// before issuing commands; the client side reads its retry policy from
+// the same plan that drives the daemon's rejections.
+func (v *MicVerbs) SetFaults(inj *faults.Injector) {
+	v.faults = inj
+	v.daemon.faults = inj
 }
 
 // New wires up DCFA on one node: it spawns the host delegation daemon
@@ -262,53 +315,95 @@ func New(eng *sim.Engine, plat *perfmodel.Platform, node *machine.Node, hca *ib.
 // co-processor-side).
 func (v *MicVerbs) Context() *ib.Context { return v.ctx }
 
-// call performs one delegated command round trip.
-func (v *MicVerbs) call(p *sim.Proc, kind int, payload any) scif.Msg {
+// call performs one delegated command round trip, retrying transient
+// rejections with capped exponential backoff until the fault plan's
+// virtual-time deadline expires. The sunny-day path (no injector, no
+// rejection) is a single Call with no extra timing.
+func (v *MicVerbs) call(p *sim.Proc, kind int, payload any) (scif.Msg, error) {
 	v.DelegatedCalls++
-	if v.metrics == nil {
-		return v.ep.Call(p, kind, payload)
-	}
 	name := cmdName(kind)
 	start := p.Now()
-	sp := v.metrics.Begin(start, v.actor, "cmd."+name)
-	resp := v.ep.Call(p, kind, payload)
-	now := p.Now()
-	sp.End(now)
-	v.metrics.Counter(v.actor, "cmd."+name).Inc()
-	v.metrics.Histogram(v.actor, "cmd-rtt."+name, metrics.TimeBuckets).ObserveDuration(now - start)
-	return resp
+	var sp *metrics.Span
+	if v.metrics != nil {
+		sp = v.metrics.Begin(start, v.actor, "cmd."+name)
+	}
+	backoff, capB := v.faults.CmdBackoffBase()
+	deadline := start + v.faults.CmdDeadline()
+	tries := 0
+	for {
+		resp := v.ep.Call(p, kind, payload)
+		tries++
+		if _, rejected := resp.Payload.(cmdFail); !rejected {
+			now := p.Now()
+			if v.metrics != nil {
+				sp.End(now)
+				v.metrics.Counter(v.actor, "cmd."+name).Inc()
+				v.metrics.Histogram(v.actor, "cmd-rtt."+name, metrics.TimeBuckets).ObserveDuration(now - start)
+			}
+			return resp, nil
+		}
+		// Transient rejection: back off and retry, unless the next
+		// attempt could not even start before the deadline.
+		if p.Now()+backoff >= deadline {
+			v.CmdTimeouts++
+			if v.metrics != nil {
+				sp.End(p.Now())
+				v.metrics.Counter(v.actor, "cmd.timeouts").Inc()
+			}
+			return scif.Msg{}, &CmdTimeoutError{Cmd: name, Tries: tries, Elapsed: p.Now() - start}
+		}
+		v.CmdRetries++
+		if v.metrics != nil {
+			v.metrics.Counter(v.actor, "cmd.retries").Inc()
+		}
+		p.Sleep(backoff)
+		backoff *= 2
+		if backoff > capB {
+			backoff = capB
+		}
+	}
 }
 
 // OpenDevice performs the delegated device/context setup.
-func (v *MicVerbs) OpenDevice(p *sim.Proc) {
-	v.call(p, CmdOpenDev, nil)
+func (v *MicVerbs) OpenDevice(p *sim.Proc) error {
+	_, err := v.call(p, CmdOpenDev, nil)
+	return err
 }
 
 // AllocPD allocates a protection domain (host-assisted).
-func (v *MicVerbs) AllocPD(p *sim.Proc) *ib.PD {
-	v.call(p, CmdAllocPD, nil)
-	return v.ctx.AllocPD()
+func (v *MicVerbs) AllocPD(p *sim.Proc) (*ib.PD, error) {
+	if _, err := v.call(p, CmdAllocPD, nil); err != nil {
+		return nil, err
+	}
+	return v.ctx.AllocPD(), nil
 }
 
 // CreateCQ creates a completion queue (host-assisted structures, polled
 // directly from the co-processor).
-func (v *MicVerbs) CreateCQ(p *sim.Proc, depth int) *ib.CQ {
-	v.call(p, CmdCreateCQ, nil)
-	return v.ctx.CreateCQ(depth)
+func (v *MicVerbs) CreateCQ(p *sim.Proc, depth int) (*ib.CQ, error) {
+	if _, err := v.call(p, CmdCreateCQ, nil); err != nil {
+		return nil, err
+	}
+	return v.ctx.CreateCQ(depth), nil
 }
 
 // CreateQP creates an RC queue pair (host-assisted structures, doorbell
 // rung directly from the co-processor).
-func (v *MicVerbs) CreateQP(p *sim.Proc, pd *ib.PD, sendCQ, recvCQ *ib.CQ) *ib.QP {
-	v.call(p, CmdCreateQP, nil)
-	return v.ctx.CreateQP(pd, sendCQ, recvCQ)
+func (v *MicVerbs) CreateQP(p *sim.Proc, pd *ib.PD, sendCQ, recvCQ *ib.CQ) (*ib.QP, error) {
+	if _, err := v.call(p, CmdCreateQP, nil); err != nil {
+		return nil, err
+	}
+	return v.ctx.CreateQP(pd, sendCQ, recvCQ), nil
 }
 
 // RegMR registers co-processor memory: the CMD client translates the
 // buffer address and ships the request to the host, which maps and pins
 // the pages. This is the expensive path the paper's MR cache exists for.
 func (v *MicVerbs) RegMR(p *sim.Proc, pd *ib.PD, dom *machine.Domain, addr uint64, n int) (*ib.MR, error) {
-	resp := v.call(p, CmdRegMR, regMRReq{dom: dom, addr: addr, n: n, pd: pd})
+	resp, err := v.call(p, CmdRegMR, regMRReq{dom: dom, addr: addr, n: n, pd: pd})
+	if err != nil {
+		return nil, err
+	}
 	r := resp.Payload.(regMRResp)
 	return r.mr, r.err
 }
@@ -340,7 +435,10 @@ func (v *MicVerbs) DeregMR(p *sim.Proc, mr *ib.MR) error {
 	if handle == 0 {
 		return fmt.Errorf("dcfa: MR not delegated")
 	}
-	resp := v.call(p, CmdDeregMR, handle)
+	resp, err := v.call(p, CmdDeregMR, handle)
+	if err != nil {
+		return err
+	}
 	if err, ok := resp.Payload.(error); ok && err != nil {
 		return err
 	}
@@ -351,7 +449,10 @@ func (v *MicVerbs) DeregMR(p *sim.Proc, mr *ib.MR) error {
 // registers it on the host, and returns the region usable for later
 // sends (the paper's reg_offload_mr).
 func (v *MicVerbs) RegOffloadMR(p *sim.Proc, size int) (*OffloadMR, error) {
-	resp := v.call(p, CmdRegOffloadMR, regOffloadReq{size: size})
+	resp, err := v.call(p, CmdRegOffloadMR, regOffloadReq{size: size})
+	if err != nil {
+		return nil, err
+	}
 	r := resp.Payload.(regOffloadResp)
 	return r.omr, r.err
 }
@@ -366,7 +467,9 @@ func (v *MicVerbs) SyncOffloadMR(p *sim.Proc, omr *OffloadMR, off int, src []byt
 	if off < 0 || off+len(src) > omr.Size {
 		return fmt.Errorf("dcfa: sync range [%d,+%d) outside offload MR of %d bytes", off, len(src), omr.Size)
 	}
-	v.Bus.DMACopy(p, omr.HostBuf.Data[off:off+len(src)], src)
+	if err := v.Bus.DMACopy(p, omr.HostBuf.Data[off:off+len(src)], src); err != nil {
+		return fmt.Errorf("dcfa: sync offload MR %d: %w", omr.Handle, err)
+	}
 	omr.Syncs++
 	omr.SyncedBytes += int64(len(src))
 	return nil
@@ -376,7 +479,10 @@ func (v *MicVerbs) SyncOffloadMR(p *sim.Proc, omr *OffloadMR, off int, src []byt
 // side, deregisters the host memory region and frees the host buffer
 // (dereg_offload_mr).
 func (v *MicVerbs) DeregOffloadMR(p *sim.Proc, omr *OffloadMR) error {
-	resp := v.call(p, CmdDeregOffloadMR, omr.Handle)
+	resp, err := v.call(p, CmdDeregOffloadMR, omr.Handle)
+	if err != nil {
+		return err
+	}
 	if err, ok := resp.Payload.(error); ok && err != nil {
 		return err
 	}

@@ -39,7 +39,7 @@ func TestDelegatedRegMRCostsAndWorks(t *testing.T) {
 	buf := r.node[0].Mic.Alloc(64 << 10)
 	var elapsed sim.Duration
 	r.eng.Spawn("rank", func(p *sim.Proc) {
-		pd := r.mic[0].AllocPD(p)
+		pd, _ := r.mic[0].AllocPD(p)
 		start := p.Now()
 		mr, err := r.mic[0].RegMRBuffer(p, pd, buf)
 		if err != nil {
@@ -85,9 +85,9 @@ func TestMicToMicRDMAWriteViaDCFA(t *testing.T) {
 	r.eng.Spawn("rank1", func(p *sim.Proc) {
 		v := r.mic[1]
 		v.OpenDevice(p)
-		pd := v.AllocPD(p)
-		s[1].cq = v.CreateCQ(p, 256)
-		s[1].qp = v.CreateQP(p, pd, s[1].cq, s[1].cq)
+		pd, _ := v.AllocPD(p)
+		s[1].cq, _ = v.CreateCQ(p, 256)
+		s[1].qp, _ = v.CreateQP(p, pd, s[1].cq, s[1].cq)
 		var err error
 		s[1].mr, err = v.RegMRBuffer(p, pd, dst)
 		if err != nil {
@@ -104,9 +104,9 @@ func TestMicToMicRDMAWriteViaDCFA(t *testing.T) {
 	r.eng.Spawn("rank0", func(p *sim.Proc) {
 		v := r.mic[0]
 		v.OpenDevice(p)
-		pd := v.AllocPD(p)
-		s[0].cq = v.CreateCQ(p, 256)
-		s[0].qp = v.CreateQP(p, pd, s[0].cq, s[0].cq)
+		pd, _ := v.AllocPD(p)
+		s[0].cq, _ = v.CreateCQ(p, 256)
+		s[0].qp, _ = v.CreateQP(p, pd, s[0].cq, s[0].cq)
 		var err error
 		s[0].mr, err = v.RegMRBuffer(p, pd, src)
 		if err != nil {
@@ -223,12 +223,12 @@ func TestOffloadedSendBeatsDirectPhiSendForBulk(t *testing.T) {
 	var direct, offloaded sim.Duration
 	r.eng.Spawn("rank", func(p *sim.Proc) {
 		v0, v1 := r.mic[0], r.mic[1]
-		pd0 := v0.AllocPD(p)
-		pd1 := v1.AllocPD(p)
-		cq0 := v0.CreateCQ(p, 64)
-		cq1 := v1.CreateCQ(p, 64)
-		qp0 := v0.CreateQP(p, pd0, cq0, cq0)
-		qp1 := v1.CreateQP(p, pd1, cq1, cq1)
+		pd0, _ := v0.AllocPD(p)
+		pd1, _ := v1.AllocPD(p)
+		cq0, _ := v0.CreateCQ(p, 64)
+		cq1, _ := v1.CreateCQ(p, 64)
+		qp0, _ := v0.CreateQP(p, pd0, cq0, cq0)
+		qp1, _ := v1.CreateQP(p, pd1, cq1, cq1)
 		if err := ib.ConnectPair(qp0, qp1); err != nil {
 			t.Error(err)
 			return
@@ -290,7 +290,7 @@ func TestDeregMRRemovesDelegatedObject(t *testing.T) {
 	buf := r.node[0].Mic.Alloc(4096)
 	r.eng.Spawn("rank", func(p *sim.Proc) {
 		v := r.mic[0]
-		pd := v.AllocPD(p)
+		pd, _ := v.AllocPD(p)
 		mr, err := v.RegMRBuffer(p, pd, buf)
 		if err != nil {
 			t.Error(err)
@@ -315,7 +315,7 @@ func TestDelegatedRegMRFaultsOnBadRange(t *testing.T) {
 	r := newRig()
 	r.eng.Spawn("rank", func(p *sim.Proc) {
 		v := r.mic[0]
-		pd := v.AllocPD(p)
+		pd, _ := v.AllocPD(p)
 		if _, err := v.RegMR(p, pd, r.node[0].Mic, 0xDEAD0000, 64); err == nil {
 			t.Error("registration of unmapped range succeeded")
 		}

@@ -14,6 +14,7 @@ package ib
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/perfmodel"
@@ -31,6 +32,11 @@ type Fabric struct {
 	// memory kind) and wire-transfer spans, each HCA on its own
 	// "hca<LID>" track. Install it before QPs are created.
 	Metrics *metrics.Registry
+
+	// Faults, when non-nil, injects deterministic completion errors on
+	// posted RDMA work requests (the fault plan's "ib" layer). Nil
+	// means sunny-day behavior.
+	Faults *faults.Injector
 }
 
 // NewFabric creates an empty subnet.

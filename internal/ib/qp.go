@@ -87,6 +87,18 @@ func (qp *QP) SetError() {
 	qp.pending = nil
 }
 
+// Reset returns an errored QP to the Reset state so it can be
+// reconnected with Connect. SetError already flushed the receive
+// queue; Reset drops the remote binding so stale traffic cannot use
+// it. The QP object (and its QPN) survives, so the peer's existing
+// Connect binding to this QP remains valid across the cycle.
+func (qp *QP) Reset() {
+	qp.State = QPReset
+	qp.remote = nil
+	qp.recvQueue = nil
+	qp.pending = nil
+}
+
 // Connect transitions the QP to RTS against the remote (lid, qpn). Both
 // ends must Connect for traffic to flow; ConnectPair does both.
 func (qp *QP) Connect(lid uint16, qpn uint32) error {
@@ -286,6 +298,28 @@ func (qp *QP) PostSend(p *sim.Proc, wr *SendWR) error {
 		rate := qp.capRate(minRate(plat.IBBandwidth, minRate(readRate, writeRate)))
 		arrive := h.egress.ReserveRate(len(payload), rate)
 		h.BytesOut += int64(len(payload))
+		if fault, delivered := h.fab.Faults.IBWriteFault(); fault {
+			// Retry exhaustion: the QP errors when the wire attempt
+			// gives up. The payload may or may not have landed first —
+			// both halves of that ambiguity must be survivable, which
+			// is what the upper layer's sequence-id dedupe is for.
+			eng.At(arrive, func() {
+				wsp.End(eng.Now())
+				if delivered {
+					if dst, _, err := rem.ctx.HCA.lookupMR(wr.Remote.RKey, wr.Remote.Addr, len(payload)); err == nil {
+						copy(dst, payload)
+						rem.ctx.HCA.Doorbell.Broadcast()
+					}
+				}
+				qp.SetError()
+				if wr.Signaled {
+					eng.At(eng.Now()+plat.IBLatency, func() {
+						qp.SendCQ.push(CQE{WRID: wr.WRID, Status: StatusRetryExcErr, Opcode: wr.Opcode, QPN: qp.QPN})
+					})
+				}
+			})
+			return nil
+		}
 		eng.At(arrive, func() {
 			wsp.End(eng.Now())
 			dst, _, err := rem.ctx.HCA.lookupMR(wr.Remote.RKey, wr.Remote.Addr, len(payload))
@@ -345,6 +379,18 @@ func (qp *QP) PostSend(p *sim.Proc, wr *SendWR) error {
 			wsp = reg.Begin(eng.Now(), h.actor, "wire.rdma-read").AttrInt("bytes", int64(total))
 		}
 		reqArrive := eng.Now() + plat.IBLatency
+		if h.fab.Faults.IBReadFault() {
+			// A failed read never writes local bytes; the requester's
+			// QP errors and the WR completes with retry exhaustion.
+			eng.At(reqArrive, func() {
+				wsp.End(eng.Now())
+				qp.SetError()
+				eng.At(eng.Now()+plat.IBLatency, func() {
+					qp.SendCQ.push(CQE{WRID: wr.WRID, Status: StatusRetryExcErr, Opcode: wr.Opcode, QPN: qp.QPN})
+				})
+			})
+			return nil
+		}
 		eng.At(reqArrive, func() {
 			src, mr, err := rem.ctx.HCA.lookupMR(wr.Remote.RKey, wr.Remote.Addr, total)
 			if err != nil {

@@ -180,6 +180,10 @@ const (
 	StatusLocProtErr
 	StatusRemAccessErr
 	StatusWRFlushErr
+	// StatusRetryExcErr models RC retry exhaustion: the fabric gave up
+	// on a work request and moved the QP to the error state. Injected
+	// by a fault plan; recoverable by Reset + Connect + replay.
+	StatusRetryExcErr
 )
 
 func (s Status) String() string {
@@ -194,6 +198,8 @@ func (s Status) String() string {
 		return "REM_ACCESS_ERR"
 	case StatusWRFlushErr:
 		return "WR_FLUSH_ERR"
+	case StatusRetryExcErr:
+		return "RETRY_EXC_ERR"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}

@@ -16,11 +16,23 @@ package pcie
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/metrics"
 	"repro/internal/perfmodel"
 	"repro/internal/sim"
 )
+
+// DMAAbortError reports a DMA descriptor that the fault plan aborted:
+// no bytes were copied. Callers on the offload staging path fall back
+// to the direct (non-offloaded) send path.
+type DMAAbortError struct {
+	Bytes int
+}
+
+func (e *DMAAbortError) Error() string {
+	return fmt.Sprintf("pcie: DMA transfer of %d bytes aborted", e.Bytes)
+}
 
 // Bus is one node's PCIe complex.
 type Bus struct {
@@ -44,6 +56,10 @@ type Bus struct {
 	// on the "pcie/node<N>" track.
 	Metrics *metrics.Registry
 	actor   string
+
+	// Faults, when non-nil, can delay or abort DMA descriptors and
+	// delay COI transfers (the fault plan's "pcie" layer).
+	Faults *faults.Injector
 }
 
 // Attach builds the PCIe complex for node n.
@@ -58,15 +74,36 @@ func Attach(eng *sim.Engine, plat *perfmodel.Platform, n *machine.Node) *Bus {
 	}
 }
 
+// DMAOp is an in-flight DMA descriptor. Done fires at completion time
+// whether the copy succeeded or was aborted by a fault plan; Err is
+// valid after Done fires.
+type DMAOp struct {
+	done *sim.Event
+	err  error
+}
+
+// Done exposes the completion event.
+func (op *DMAOp) Done() *sim.Event { return op.done }
+
+// Err reports the descriptor's outcome; meaningful once Done fired.
+func (op *DMAOp) Err() error { return op.err }
+
+// Wait blocks p until the descriptor completes and returns its outcome.
+func (op *DMAOp) Wait(p *sim.Proc) error {
+	op.done.Wait(p)
+	return op.err
+}
+
 // StartDMA begins an asynchronous DMA-engine copy of len(src) bytes into
 // dst (slices must be equal length; caller resolves addresses). The
-// returned event fires when the last byte has landed; the copy itself is
-// performed at completion time.
-func (b *Bus) StartDMA(dst, src []byte) *sim.Event {
+// returned op completes when the last byte has landed; the copy itself
+// is performed at completion time. Under a fault plan the descriptor
+// may complete late or abort with DMAAbortError (no bytes copied).
+func (b *Bus) StartDMA(dst, src []byte) *DMAOp {
 	if len(dst) != len(src) {
 		panic("pcie: DMA length mismatch")
 	}
-	done := sim.NewEvent(b.Eng)
+	op := &DMAOp{done: sim.NewEvent(b.Eng)}
 	var sp *metrics.Span
 	if reg := b.Metrics; reg != nil {
 		reg.Counter(b.actor, "dma.copies").Inc()
@@ -74,21 +111,25 @@ func (b *Bus) StartDMA(dst, src []byte) *sim.Event {
 		reg.Counter(b.actor, "dma.busy-ns").Add(int64(b.dma.OccupancyFor(len(src))))
 		sp = reg.Begin(b.Eng.Now(), b.actor, "dma-copy").AttrInt("bytes", int64(len(src)))
 	}
-	arrive := b.dma.Reserve(len(src))
+	delay, abort := b.Faults.DMAFault()
+	arrive := b.dma.Reserve(len(src)) + delay
 	b.DMACopies++
 	b.DMABytes += int64(len(src))
 	b.Eng.At(arrive, func() {
 		sp.End(b.Eng.Now())
-		copy(dst, src)
-		done.Fire()
+		if abort {
+			op.err = &DMAAbortError{Bytes: len(src)}
+		} else {
+			copy(dst, src)
+		}
+		op.done.Fire()
 	})
-	return done
+	return op
 }
 
 // DMACopy is the blocking form of StartDMA.
-func (b *Bus) DMACopy(p *sim.Proc, dst, src []byte) {
-	ev := b.StartDMA(dst, src)
-	ev.Wait(p)
+func (b *Bus) DMACopy(p *sim.Proc, dst, src []byte) error {
+	return b.StartDMA(dst, src).Wait(p)
 }
 
 // StartOffloadTransfer begins an asynchronous COI transfer (either
@@ -106,7 +147,11 @@ func (b *Bus) StartOffloadTransfer(dst, src []byte) *sim.Event {
 		reg.Counter(b.actor, "coi.busy-ns").Add(int64(b.off.OccupancyFor(len(src))))
 		sp = reg.Begin(b.Eng.Now(), b.actor, "coi-transfer").AttrInt("bytes", int64(len(src)))
 	}
-	arrive := b.off.Reserve(len(src))
+	// COI transfers only see delays (the runtime retries internally);
+	// aborts are modeled on the raw DMA engine the offload staging
+	// path uses.
+	delay, _ := b.Faults.DMAFault()
+	arrive := b.off.Reserve(len(src)) + delay
 	b.OffloadOps++
 	b.OffloadByte += int64(len(src))
 	b.Eng.At(arrive, func() {

@@ -29,7 +29,9 @@ func TestDMACopyMovesBytesAtCompletion(t *testing.T) {
 		if dst.Data[0] == src.Data[0] && dst.Data[100] == src.Data[100] {
 			t.Error("bytes visible before virtual completion")
 		}
-		ev.Wait(p)
+		if err := ev.Wait(p); err != nil {
+			t.Error(err)
+		}
 		elapsed = p.Now()
 	})
 	if err := eng.Run(); err != nil {
@@ -51,7 +53,9 @@ func TestDMACopyBlocking(t *testing.T) {
 	dst := n.Host.Alloc(100)
 	src.Data[42] = 0xEE
 	eng.Spawn("xfer", func(p *sim.Proc) {
-		bus.DMACopy(p, dst.Data, src.Data)
+		if err := bus.DMACopy(p, dst.Data, src.Data); err != nil {
+			t.Error(err)
+		}
 		if dst.Data[42] != 0xEE {
 			t.Error("blocking DMA returned before copy")
 		}
@@ -83,9 +87,13 @@ func TestDMASerializesOnEngine(t *testing.T) {
 	eng.Spawn("a", func(p *sim.Proc) {
 		ev1 := bus.StartDMA(d1.Data, src.Data)
 		ev2 := bus.StartDMA(d2.Data, src.Data)
-		ev1.Wait(p)
+		if err := ev1.Wait(p); err != nil {
+			t.Error(err)
+		}
 		t1 = p.Now()
-		ev2.Wait(p)
+		if err := ev2.Wait(p); err != nil {
+			t.Error(err)
+		}
 		t2 = p.Now()
 	})
 	if err := eng.Run(); err != nil {
