@@ -1,13 +1,20 @@
-// Command simlint runs the determinism, simulation-safety, and
-// resource-lifecycle static analyzers over the repository and exits
-// nonzero on findings.
+// Command simlint runs the determinism, simulation-safety,
+// resource-lifecycle, and communication-safety static analyzers over
+// the repository and exits nonzero on findings.
 //
 // Usage:
 //
 //	go run ./cmd/simlint ./...
 //	go run ./cmd/simlint -rules nondet,maporder ./internal/bench
+//	go run ./cmd/simlint -rules all,-floatsum ./...
 //	go run ./cmd/simlint -json ./...
 //	go run ./cmd/simlint -baseline lint.baseline ./...
+//
+// -rules takes a comma-separated list applied left to right: a bare
+// name includes that rule, a -prefixed name excludes it, and "all"
+// includes everything. A list that starts with an exclusion implicitly
+// begins from the full set, so "-rules -bufhazard" means "all rules
+// except bufhazard".
 //
 // Exit codes: 0 when clean, 1 when findings were reported, 2 on a
 // usage or load error.
@@ -37,12 +44,21 @@
 //	offload   RegOffloadMR → SyncOffloadMR → post → DeregOffloadMR order
 //	reqwait   Isend/Irecv requests must reach Wait/Test/WaitAll on all paths
 //	memdomain host and mic memory domains must not mix within one registration or work request
+//	bufhazard no write (or, for Irecv, read) of a buffer between Isend/Irecv and its Wait/Test
+//	blockcycle symmetric blocking Send/Recv orderings that deadlock past the eager limit
+//	collorder collectives reachable only under rank-dependent branches or early exits
 //
 // The four lifecycle rules are interprocedural within a package: each
 // same-package function gets an obligation summary (acquire, release,
 // advance, escape per parameter and result), so registrations released
 // by helpers, constructors that return obligations, and deferred
-// cleanup functions are all tracked across calls.
+// cleanup functions are all tracked across calls. The three
+// communication-safety rules reuse that layer for helper-posted
+// requests and add a must-constant lattice over peer, tag, and size
+// arguments: they only report when the hazard is provable (same peer,
+// overlapping bytes, size not provably eager), so undecidable cases
+// stay silent. See DESIGN.md §7d for the hazard taxonomy and the known
+// false-negative boundaries.
 package main
 
 import (
@@ -87,7 +103,7 @@ type jsonReport struct {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("simlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	rules := fs.String("rules", "", "comma-separated rule subset to run (default: all)")
+	rules := fs.String("rules", "", "comma-separated rules to run: names include, -names exclude, \"all\" expands; a leading exclusion starts from the full set (default: all)")
 	tests := fs.Bool("tests", true, "also lint _test.go files")
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	asJSON := fs.Bool("json", false, "emit findings as a JSON report on stdout")
@@ -111,6 +127,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
 		}
 		return exitClean
+	}
+
+	// Validate the baseline flags before any analysis runs: a usage
+	// error must not cost a full load, and -update-baseline must never
+	// reach the write path with an unusable configuration.
+	if *updateBaseline && *baseline == "" {
+		return fail(fmt.Errorf("-update-baseline requires -baseline <file>"))
 	}
 
 	patterns := fs.Args()
@@ -138,9 +161,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *updateBaseline {
-		if *baseline == "" {
-			return fail(fmt.Errorf("-update-baseline requires -baseline <file>"))
-		}
 		if err := analysis.WriteBaseline(*baseline, root, findings); err != nil {
 			return fail(err)
 		}

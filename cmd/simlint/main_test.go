@@ -148,6 +148,80 @@ func LeakAgain(v *Verbs, p *Proc, pd *PD) {
 	}
 }
 
+// TestRunExclusionRules drives the -rules exclusion syntax through
+// -list: a leading exclusion starts from the full set.
+func TestRunExclusionRules(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-rules", "-bufhazard,-blockcycle", "-list"}, &out, &errb); code != exitClean {
+		t.Fatalf("run(-rules -bufhazard,-blockcycle -list) = %d, want %d (stderr: %s)", code, exitClean, errb.String())
+	}
+	for _, kept := range []string{"nondet", "reqwait", "collorder"} {
+		if !strings.Contains(out.String(), kept) {
+			t.Errorf("excluding bufhazard dropped unrelated rule %q:\n%s", kept, out.String())
+		}
+	}
+	for _, dropped := range []string{"bufhazard", "blockcycle"} {
+		if strings.Contains(out.String(), dropped) {
+			t.Errorf("excluded rule %q still listed:\n%s", dropped, out.String())
+		}
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-rules", "all,-nondet", "-list"}, &out, &errb); code != exitClean {
+		t.Fatalf("run(-rules all,-nondet -list) = %d, want %d (stderr: %s)", code, exitClean, errb.String())
+	}
+	if strings.Contains(out.String(), "nondet") {
+		t.Errorf("all,-nondet still lists nondet:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-rules", "nondet,-nondet", "-list"}, &out, &errb); code != exitError {
+		t.Errorf("run with empty rule selection = %d, want %d", code, exitError)
+	}
+}
+
+// TestRunUpdateBaselineKeepsFileOnLoadError pins the hardening around
+// -update-baseline: when the load fails (exit 2), the pre-existing
+// baseline must survive byte for byte — a broken tree must never
+// launder itself into an empty baseline.
+func TestRunUpdateBaselineKeepsFileOnLoadError(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module scratch\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "broken.go"), []byte("package scratch\n\nfunc Broken() {\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	chdir(t, dir)
+
+	bl := filepath.Join(dir, "lint.baseline")
+	seed := []byte(`[
+  {
+    "file": "scratch.go",
+    "rule": "mrleak",
+    "message": "precious accepted finding"
+  }
+]
+`)
+	if err := os.WriteFile(bl, seed, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-baseline", bl, "-update-baseline", "./..."}, &out, &errb); code != exitError {
+		t.Fatalf("update on broken module = %d, want %d (stderr: %s)", code, exitError, errb.String())
+	}
+	got, err := os.ReadFile(bl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, seed) {
+		t.Errorf("baseline rewritten despite load error:\n--- before\n%s\n--- after\n%s", seed, got)
+	}
+}
+
 // TestRunUpdateBaselineRequiresPath pins the usage error.
 func TestRunUpdateBaselineRequiresPath(t *testing.T) {
 	var out, errb bytes.Buffer

@@ -56,11 +56,15 @@ type Analyzer struct {
 
 // All returns every analyzer in the suite, in report order.
 func All() []*Analyzer {
-	return []*Analyzer{Nondet, MapOrder, RawGo, ErrCheck, FloatSum, MRLeak, MRPin, Offload, ReqWait, Memdomain}
+	return []*Analyzer{Nondet, MapOrder, RawGo, ErrCheck, FloatSum, MRLeak, MRPin, Offload, ReqWait, Memdomain, BufHazard, BlockCycle, CollOrder}
 }
 
-// ByName returns the analyzers whose names appear in the comma-
-// separated list, or All() when the list is empty.
+// ByName selects analyzers from a comma-separated list, or All() when
+// the list is empty. Each entry is a rule name to include, `-name` to
+// exclude, or the keyword `all`; entries apply left to right, and a
+// list that opens with an exclusion starts from the full set, so
+// `-blockcycle` means "everything except blockcycle". The selection is
+// returned in All() order and must not end up empty.
 func ByName(list string) ([]*Analyzer, error) {
 	if list == "" {
 		return All(), nil
@@ -69,13 +73,34 @@ func ByName(list string) ([]*Analyzer, error) {
 	for _, a := range All() {
 		byName[a.Name] = a
 	}
-	var out []*Analyzer
-	for _, name := range strings.Split(list, ",") {
-		a, ok := byName[strings.TrimSpace(name)]
-		if !ok {
-			return nil, fmt.Errorf("unknown rule %q", strings.TrimSpace(name))
+	selected := map[string]bool{}
+	for i, entry := range strings.Split(list, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "all" {
+			for _, a := range All() {
+				selected[a.Name] = true
+			}
+			continue
 		}
-		out = append(out, a)
+		name, exclude := strings.CutPrefix(entry, "-")
+		if _, ok := byName[name]; !ok {
+			return nil, fmt.Errorf("unknown rule %q", name)
+		}
+		if exclude && i == 0 {
+			for _, a := range All() {
+				selected[a.Name] = true
+			}
+		}
+		selected[name] = !exclude
+	}
+	var out []*Analyzer
+	for _, a := range All() {
+		if selected[a.Name] {
+			out = append(out, a)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("rule list %q selects no analyzers", list)
 	}
 	return out, nil
 }
@@ -97,6 +122,9 @@ type Pass struct {
 	// the rules that share it (built lazily, once per pass).
 	callgraph *CallGraph
 	summaries map[string]*SummarySet
+	// constFuncs caches the const-returning helper summaries of the
+	// communication-safety rules' constant evaluator.
+	constFuncs map[*types.Func]ConstVal
 }
 
 // NewPass assembles a pass and indexes its suppression comments.

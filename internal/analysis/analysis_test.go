@@ -6,12 +6,13 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sort"
 	"strings"
 	"testing"
 )
 
 // ruleDirs pairs each analyzer with its testdata corpus.
-var ruleDirs = []*Analyzer{Nondet, MapOrder, RawGo, ErrCheck, FloatSum, MRLeak, MRPin, Offload, ReqWait, Memdomain}
+var ruleDirs = []*Analyzer{Nondet, MapOrder, RawGo, ErrCheck, FloatSum, MRLeak, MRPin, Offload, ReqWait, Memdomain, BufHazard, BlockCycle, CollOrder}
 
 // loadTestdata type-checks testdata/src/<rule> as a synthetic package
 // outside the module, which every analyzer treats as in scope.
@@ -172,6 +173,36 @@ func TestSummaryDumpDeterministic(t *testing.T) {
 			t.Errorf("summary dump missing %q\ndump:\n%s", want, d1)
 		}
 	}
+
+	// The communication rules ride on the same layers: bufhazard reuses
+	// the reqwait summaries for helper-posted requests, and blockcycle
+	// reuses the const-helper summaries. Both must be load-independent
+	// too.
+	commDump := func() string {
+		var b strings.Builder
+		_, pass := loadTestdata(t, "bufhazard")
+		b.WriteString("== reqwait/bufhazard\n")
+		b.WriteString(pass.summariesFor(reqwaitSpec).Dump())
+		_, pass = loadTestdata(t, "blockcycle")
+		b.WriteString("== const/blockcycle\n")
+		names := []string{}
+		for fn, v := range pass.constSummaries() {
+			names = append(names, fmt.Sprintf("%s=%s", fn.Name(), v))
+		}
+		sort.Strings(names)
+		b.WriteString(strings.Join(names, "\n"))
+		return b.String()
+	}
+	c1, c2 := commDump(), commDump()
+	if c1 != c2 {
+		t.Errorf("communication-rule summary dumps differ between loads:\n--- first\n%s\n--- second\n%s", c1, c2)
+	}
+	if !strings.Contains(c1, "bufhazard.start") || !strings.Contains(c1, "acquire") {
+		t.Errorf("bufhazard helper summary missing acquire classification:\n%s", c1)
+	}
+	if !strings.Contains(c1, "chunk=4096") {
+		t.Errorf("blockcycle const summary missing chunk=4096:\n%s", c1)
+	}
 }
 
 // TestExactlyOneAnalyzer verifies the corpus seeds are disjoint: on
@@ -273,7 +304,9 @@ func TestEveryRuleHasCorpus(t *testing.T) {
 	}
 }
 
-// TestByName covers rule-subset selection.
+// TestByName covers rule-subset selection, including the exclusion
+// syntax: -name removes a rule, "all" expands the full set, and a
+// leading exclusion implicitly starts from everything.
 func TestByName(t *testing.T) {
 	as, err := ByName("nondet,rawgo")
 	if err != nil || len(as) != 2 || as[0].Name != "nondet" || as[1].Name != "rawgo" {
@@ -282,8 +315,37 @@ func TestByName(t *testing.T) {
 	if _, err := ByName("nosuchrule"); err == nil {
 		t.Fatal("ByName accepted an unknown rule")
 	}
+	if _, err := ByName("all,-nosuchrule"); err == nil {
+		t.Fatal("ByName accepted an unknown excluded rule")
+	}
 	if as, _ := ByName(""); len(as) != len(All()) {
 		t.Fatal("empty rule list must select all analyzers")
+	}
+
+	as, err = ByName("all,-bufhazard")
+	if err != nil || len(as) != len(All())-1 {
+		t.Fatalf("ByName(all,-bufhazard) = %d rules, %v; want %d", len(as), err, len(All())-1)
+	}
+	for _, a := range as {
+		if a.Name == "bufhazard" {
+			t.Fatal("excluded rule survived selection")
+		}
+	}
+
+	// Leading exclusion seeds the full set.
+	as, err = ByName("-blockcycle,-collorder")
+	if err != nil || len(as) != len(All())-2 {
+		t.Fatalf("ByName(-blockcycle,-collorder) = %d rules, %v; want %d", len(as), err, len(All())-2)
+	}
+
+	// Later entries win: exclude-then-include restores the rule.
+	as, err = ByName("-nondet,nondet")
+	if err != nil || len(as) != len(All()) {
+		t.Fatalf("ByName(-nondet,nondet) = %d rules, %v; want %d", len(as), err, len(All()))
+	}
+
+	if _, err := ByName("nondet,-nondet"); err == nil {
+		t.Fatal("ByName accepted a selection of zero rules")
 	}
 }
 

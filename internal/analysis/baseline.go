@@ -77,7 +77,9 @@ func (b *Baseline) Filter(root string, findings []Finding) []Finding {
 }
 
 // WriteBaseline writes the findings as a baseline file, sorted so the
-// output is deterministic and diffs stay minimal.
+// output is deterministic and diffs stay minimal. The write goes
+// through a temp file and rename, so an interrupted or failed update
+// never leaves a truncated baseline behind.
 func WriteBaseline(path, root string, findings []Finding) error {
 	entries := make([]BaselineEntry, 0, len(findings))
 	for _, f := range findings {
@@ -97,5 +99,26 @@ func WriteBaseline(path, root string, findings []Finding) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
 }

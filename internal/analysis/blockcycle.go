@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BlockCycle flags blocking point-to-point sequences that deadlock
+// when every rank runs them symmetrically — the §IV-B3 protocol-switch
+// trap. Two orderings are hazardous when a Send and a Recv against the
+// same peer both execute on every rank (no rank-dependent guard
+// decides between them):
+//
+//   - Send before Recv: correct while the payload fits the eager
+//     limit, because the sender's eager copy completes without the
+//     receiver; once the provable size exceeds EagerMax (or is not
+//     provably below it) the send takes the rendezvous path, every
+//     rank blocks in Send, and no rank reaches its Recv.
+//   - Recv before Send: every rank waits for a message no rank has
+//     sent yet — a deadlock at any size. Reported only when no earlier
+//     send-type call (Send, Sendrecv, Isend — even a rank-guarded one)
+//     targets the same peer, since such a call means the message may
+//     already be en route.
+//
+// Sendrecv is exempt: it posts both sides nonblockingly and is the
+// recommended fix. Peer equality must be provable (equal folded
+// constants or structurally identical expressions over the same
+// variables); a peer variable reassigned between the two calls can
+// defeat that proof — a documented false-negative boundary.
+var BlockCycle = &Analyzer{
+	Name:      "blockcycle",
+	Doc:       "no symmetric blocking Send/Recv orderings that deadlock past the eager limit",
+	AppliesTo: notTestPackage,
+	Run:       runBlockCycle,
+}
+
+var blockingNames = map[string]bool{"Send": true, "Recv": true, "Sendrecv": true}
+
+func runBlockCycle(p *Pass) {
+	forEachFuncBody(p, func(body *ast.BlockStmt) {
+		if !mentionsCommNames(body, blockingNames) {
+			return
+		}
+		events, env := collectCommEvents(p, body)
+		checkBlockCycle(p, env, events)
+	})
+}
+
+// sendType reports whether an event puts a message toward its peer.
+func sendType(k commKind) bool {
+	return k == commSend || k == commSendrecv || k == commIsend
+}
+
+func checkBlockCycle(p *Pass, env *constEnv, events []*commEvent) {
+	reported := map[*commEvent]bool{}
+	for i, a := range events {
+		if a.rankGuarded || a.afterRankExit || reported[a] {
+			continue
+		}
+		switch a.kind {
+		case commSend:
+			// Symmetric send-first: a later Recv against the same peer on
+			// a compatible, unguarded path.
+			if v, ok := a.size.Known(); ok && v <= defaultEagerMax {
+				continue // provably eager: completes without the peer
+			}
+			for _, b := range events[i+1:] {
+				if b.kind != commRecv || b.rankGuarded || b.afterRankExit {
+					continue
+				}
+				if !compatiblePaths(a, b) || !env.mustSameValue(a.peer, b.peer) {
+					continue
+				}
+				p.Reportf(a.call.Pos(), "every rank blocks in Send to %s before its Recv: a payload over the %d-byte eager limit switches to rendezvous and deadlocks — use Sendrecv or Isend/Irecv", peerString(a.peer), defaultEagerMax)
+				reported[a] = true
+				break
+			}
+		case commRecv:
+			// Symmetric recv-first: every rank waits before any rank
+			// sends. An earlier send-type call to the same peer on a
+			// compatible path (rank-guarded or not) may have put the
+			// message in flight, so it suppresses the finding.
+			matched := false
+			for _, b := range events[i+1:] {
+				if b.kind == commSend && !b.rankGuarded && !b.afterRankExit &&
+					compatiblePaths(a, b) && env.mustSameValue(a.peer, b.peer) {
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				continue
+			}
+			sent := false
+			for _, b := range events[:i] {
+				if sendType(b.kind) && compatiblePaths(a, b) && env.mustSameValue(a.peer, b.peer) {
+					sent = true
+					break
+				}
+			}
+			if !sent {
+				p.Reportf(a.call.Pos(), "every rank blocks in Recv from %s before the matching Send runs anywhere: order the pair by rank or use Sendrecv", peerString(a.peer))
+				reported[a] = true
+			}
+		}
+	}
+}
+
+// peerString renders a peer expression for findings.
+func peerString(e ast.Expr) string {
+	if e == nil {
+		return "peer"
+	}
+	return types.ExprString(e)
+}

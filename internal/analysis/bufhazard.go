@@ -1,0 +1,316 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// BufHazard flags buffer reuse while a nonblocking operation is in
+// flight — the MPI datatype/RDMA hazard the simulator cannot observe
+// at runtime because its transfers are instantaneous at Wait time:
+//
+//   - writing any byte range overlapping a buffer captured by a
+//     pending Isend or Irecv (the send may transmit the new bytes, the
+//     receive may overwrite them);
+//   - reading a byte range a pending Irecv may still overwrite;
+//   - posting two simultaneously in-flight requests over provably
+//     overlapping bytes when at least one is an Irecv.
+//
+// In-flight-ness rides on the reqwait dataflow (creation sites, Wait/
+// Test/WaitAll completion, escapes, interprocedural summaries), and
+// extents come from the ConstVal lattice, so only provable overlaps
+// are reported.
+var BufHazard = &Analyzer{
+	Name:      "bufhazard",
+	Doc:       "no buffer access may overlap a pending Isend/Irecv before its Wait/Test",
+	AppliesTo: notTestPackage,
+	Run:       runBufHazard,
+}
+
+func runBufHazard(p *Pass) {
+	sums := p.summariesFor(reqwaitSpec)
+	forEachFuncBody(p, func(body *ast.BlockStmt) {
+		if !mentionsCreate(reqwaitSpec, body) && !sums.mentionsAcquirer(p, body) {
+			return
+		}
+		env := newConstEnv(p, body)
+		bufs, recv := prescanBufs(p, env, sums, body)
+		if len(bufs) == 0 {
+			return
+		}
+		// The reqwait lifecycle runs in silent observation mode (non-nil
+		// recorder): it maintains the in-flight facts, and bufFlow alone
+		// reports.
+		lf := &lifecycleFlow{p: p, spec: reqwaitSpec, reported: map[reportKey]bool{}, sums: sums, sum: &summaryRecorder{}}
+		bf := &bufFlow{p: p, env: env, lf: lf, bufs: bufs, recv: recv, reported: map[reportKey]bool{}}
+		Solve(NewCFG(body), bf)
+	})
+}
+
+// prescanBufs maps every request-creating call in the body — direct
+// Isend/Irecv, or a summarized helper whose result carries a fresh
+// request — to the descriptor of the buffer it captures. Creations
+// whose extent cannot be resolved (or is the empty Slice{}) are left
+// out: no overlap involving them is provable. Nested function
+// literals are analyzed on their own.
+func prescanBufs(p *Pass, env *constEnv, sums *SummarySet, body *ast.BlockStmt) (map[ast.Node]*bufDesc, map[ast.Node]bool) {
+	bufs := map[ast.Node]*bufDesc{}
+	recv := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch classifyComm(p, call) {
+		case commIsend, commIrecv:
+			if d := env.sliceDesc(call.Args[3]); d != nil && d.kind != descEmpty {
+				bufs[call] = d
+				recv[call] = classifyComm(p, call) == commIrecv
+			}
+			return true
+		}
+		// A helper constructor that acquires a request (per its reqwait
+		// summary): the captured buffer is its Slice argument. More than
+		// one Slice argument is ambiguous — skip. Direction is unknown,
+		// so it is treated as a send (write conflicts only), the
+		// fewer-findings side.
+		if sum := sums.forCall(p, call); sum != nil && summaryAcquires(sum) {
+			var d *bufDesc
+			slices := 0
+			for _, a := range call.Args {
+				if namedTypeName(p.typeOf(a)) != "Slice" {
+					continue
+				}
+				slices++
+				d = env.sliceDesc(a)
+			}
+			if slices == 1 && d != nil && d.kind != descEmpty {
+				bufs[call] = d
+				recv[call] = false
+			}
+		}
+		return true
+	})
+	return bufs, recv
+}
+
+// summaryAcquires reports whether any result of the summary hands the
+// caller a fresh obligation.
+func summaryAcquires(sum *FuncSummary) bool {
+	for _, r := range sum.Results {
+		if r.Acquires != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// bufFlow layers the hazard checks over the silent reqwait dataflow:
+// each node is checked against the in-facts (the state before the
+// node's own effect), then handed to the lifecycle transfer.
+type bufFlow struct {
+	p   *Pass
+	env *constEnv
+	lf  *lifecycleFlow
+	// bufs and recv are the prescan results: creation site -> captured
+	// buffer, and whether the site is a receive.
+	bufs     map[ast.Node]*bufDesc
+	recv     map[ast.Node]bool
+	reported map[reportKey]bool
+}
+
+func (bf *bufFlow) Transfer(n ast.Node, f *Facts, report bool) {
+	if report {
+		bf.check(n, f)
+	}
+	bf.lf.Transfer(n, f, report)
+}
+
+func (bf *bufFlow) Refine(cond ast.Expr, branch bool, f *Facts) {
+	bf.lf.Refine(cond, branch, f)
+}
+
+func (bf *bufFlow) reportOnce(pos ast.Node, kind byte, format string, args ...any) {
+	k := reportKey{pos.Pos(), kind}
+	if bf.reported[k] {
+		return
+	}
+	bf.reported[k] = true
+	bf.p.Reportf(pos.Pos(), format, args...)
+}
+
+// inFlight returns the creation sites whose request may still be
+// pending at this point and whose buffer the prescan resolved, in
+// position order.
+func (bf *bufFlow) inFlight(f *Facts) []ast.Node {
+	var out []ast.Node
+	for _, site := range f.SortedSites() {
+		st := f.Res[site]
+		if st&stateLive != 0 && actionable(st) && bf.bufs[site] != nil {
+			out = append(out, site)
+		}
+	}
+	return out
+}
+
+// check scans one statement for buffer accesses and new request
+// postings against the current in-flight set.
+func (bf *bufFlow) check(n ast.Node, f *Facts) {
+	live := bf.inFlight(f)
+	if len(live) == 0 {
+		return
+	}
+	// Non-identifier LHS of assignments (b.Data[i] = v, s.Bytes()[0] =
+	// v) are memory writes; a plain identifier LHS only rebinds the
+	// variable and touches no buffer byte. Everything else reached
+	// below is a read unless a call's signature says otherwise.
+	writes := map[ast.Expr]bool{}
+	skips := map[ast.Expr]bool{}
+	if as, ok := n.(*ast.AssignStmt); ok {
+		for _, l := range as.Lhs {
+			if _, isIdent := unparen(l).(*ast.Ident); isIdent {
+				skips[l] = true
+			} else {
+				writes[l] = true
+			}
+		}
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if e, ok := x.(ast.Expr); ok {
+			if skips[e] {
+				return false
+			}
+			if writes[e] {
+				bf.access(e, true, live, f)
+				return false
+			}
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if bf.bufs[call] != nil {
+			// A new posting: its buffer must not overlap one already in
+			// flight when either side receives.
+			bf.creation(call, live, f)
+			return false
+		}
+		switch classifyComm(bf.p, call) {
+		case commSend:
+			bf.access(call.Args[3], false, live, f)
+			return false
+		case commRecv:
+			bf.access(call.Args[3], true, live, f)
+			return false
+		case commSendrecv:
+			bf.access(call.Args[3], false, live, f)
+			bf.access(call.Args[6], true, live, f)
+			return false
+		}
+		switch fn := unparen(call.Fun).(type) {
+		case *ast.Ident:
+			switch {
+			case fn.Name == "copy" && len(call.Args) == 2:
+				bf.access(call.Args[0], true, live, f)
+				bf.access(call.Args[1], false, live, f)
+				return false
+			case fn.Name == "PutF64s" && len(call.Args) >= 1:
+				bf.access(call.Args[0], true, live, f)
+				return false
+			case fn.Name == "GetF64s" && len(call.Args) >= 1:
+				bf.access(call.Args[0], false, live, f)
+				return false
+			}
+		case *ast.SelectorExpr:
+			switch {
+			case fn.Sel.Name == "PutF64s" && len(call.Args) >= 1:
+				bf.access(call.Args[0], true, live, f)
+				return false
+			case fn.Sel.Name == "GetF64s" && len(call.Args) >= 1:
+				bf.access(call.Args[0], false, live, f)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// creation checks a freshly posted request against the requests
+// already in flight. The site itself is skipped: a loop back-edge
+// carries the previous iteration's posting of the same call, and the
+// wait inside the loop is what serializes those.
+func (bf *bufFlow) creation(call *ast.CallExpr, live []ast.Node, f *Facts) {
+	d := bf.bufs[call]
+	for _, site := range live {
+		if site == call {
+			continue
+		}
+		if !bf.recv[call] && !bf.recv[site] {
+			continue // two sends may share a source buffer
+		}
+		if bf.env.mustOverlap(d, bf.bufs[site]) {
+			bf.reportOnce(call, 'p', "buffer overlaps one captured by an in-flight %s: complete that request with Wait/Test before posting over the same bytes", callName(site))
+		}
+	}
+}
+
+// access checks one read or write against the in-flight set: any
+// overlap with a pending request's buffer is a hazard on write, and an
+// overlap with a pending receive is a hazard on read too.
+func (bf *bufFlow) access(e ast.Expr, isWrite bool, live []ast.Node, f *Facts) {
+	d := bf.accessDesc(e)
+	if d == nil {
+		return
+	}
+	for _, site := range live {
+		if !isWrite && !bf.recv[site] {
+			continue
+		}
+		if !bf.env.mustOverlap(d, bf.bufs[site]) {
+			continue
+		}
+		if isWrite {
+			bf.reportOnce(e, 'w', "buffer is written while an in-flight %s holds it: complete the request with Wait/Test first", callName(site))
+		} else {
+			bf.reportOnce(e, 'r', "buffer is read while an in-flight Irecv may still overwrite it: complete the request with Wait/Test first")
+		}
+		return
+	}
+}
+
+// accessDesc resolves the buffer extent an expression touches:
+// Slice-typed values via sliceDesc, s.Bytes() through the slice,
+// b.Data through the whole buffer, and indexing/slicing through its
+// base.
+func (bf *bufFlow) accessDesc(e ast.Expr) *bufDesc {
+	e = unparen(e)
+	if namedTypeName(bf.p.typeOf(e)) == "Slice" {
+		return bf.env.sliceDesc(e)
+	}
+	switch e := e.(type) {
+	case *ast.IndexExpr:
+		return bf.accessDesc(e.X)
+	case *ast.SliceExpr:
+		return bf.accessDesc(e.X)
+	case *ast.CallExpr:
+		if sel, ok := unparen(e.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Bytes" && len(e.Args) == 0 {
+			if namedTypeName(bf.p.typeOf(sel.X)) == "Slice" {
+				return bf.env.sliceDesc(sel.X)
+			}
+		}
+	case *ast.SelectorExpr:
+		if e.Sel.Name == "Data" && namedTypeName(bf.p.typeOf(e.X)) == "Buffer" {
+			if id, ok := unparen(e.X).(*ast.Ident); ok {
+				if obj := bf.p.objOf(id); obj != nil {
+					return &bufDesc{kind: descWhole, root: obj}
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package analysis
+
+import "go/ast"
+
+// CollOrder flags collective operations that only a rank-dependent
+// subset of the communicator can reach. Every member must enter every
+// collective in the same order; a Barrier or Allreduce nested under an
+// `if rank == 0` branch (or placed after a `return` that only some
+// ranks take) leaves the other members waiting forever — the classic
+// collective-mismatch hang.
+//
+// Rank dependence is a syntactic taint from the rank identity (ID()/
+// Rank() on a Rank or Comm, the core package's own rank fields)
+// through local assignments into branch conditions. Nil comparisons
+// are exempt even when tainted: `sub != nil` after a Split is how a
+// rank legitimately discovers whether it belongs to the new
+// communicator, and collectives on sub inside that guard involve only
+// its members. Split itself is likewise never flagged — rank-dependent
+// arguments are its purpose. Taint does not flow through control
+// dependence (a flag set inside a rank branch and tested later), a
+// documented false-negative boundary.
+var CollOrder = &Analyzer{
+	Name:      "collorder",
+	Doc:       "collectives must not be reachable only under rank-dependent control flow",
+	AppliesTo: notTestPackage,
+	Run:       runCollOrder,
+}
+
+func runCollOrder(p *Pass) {
+	forEachFuncBody(p, func(body *ast.BlockStmt) {
+		if !mentionsCommNames(body, collectiveNames) {
+			return
+		}
+		events, _ := collectCommEvents(p, body)
+		for _, ev := range events {
+			if ev.kind != commCollective {
+				continue
+			}
+			switch {
+			case ev.rankGuarded:
+				p.Reportf(ev.call.Pos(), "collective %s is guarded by a rank-dependent condition: ranks taking the other branch never enter it and the collective hangs", ev.name)
+			case ev.afterRankExit:
+				p.Reportf(ev.call.Pos(), "collective %s follows a rank-dependent early exit: ranks that left never enter it and the collective hangs", ev.name)
+			}
+		}
+	})
+}

@@ -1,0 +1,1080 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// This file is the shared machinery of the communication-safety rules
+// (bufhazard, blockcycle, collorder): classification of the
+// simulator's MPI-style communication calls, a per-function constant
+// environment over the ConstVal lattice in dataflow.go, rank-taint
+// tracking for rank-dependent control flow, slice descriptors with a
+// must-overlap test for buffer aliasing, and a guard-aware walk that
+// turns a function body into an ordered list of communication events.
+//
+// Scope discipline: every classification requires the method name AND
+// the receiver's named type (Rank or Comm) AND the call's arity, so
+// look-alike APIs (scif endpoints, the stand-in types of other rules'
+// corpora) do not match.
+//
+// Precision discipline: the rules built on this file only fire on
+// must-facts. A peer match requires provably equal expressions, a
+// buffer conflict requires provably overlapping extents, and anything
+// the lattice cannot decide stays silent. The known false-negative
+// boundaries are documented in DESIGN.md §7d.
+
+// defaultEagerMax mirrors perfmodel's default §IV-B3 protocol-switch
+// threshold: payloads at or below it complete eagerly (the sender does
+// not block on the receiver), larger ones take the rendezvous path and
+// block until the peer arrives.
+const defaultEagerMax = 8192
+
+// commRecvTypes are the receiver named types whose methods form the
+// communication API.
+var commRecvTypes = map[string]bool{"Rank": true, "Comm": true}
+
+// collectiveNames are the operations every member of the communicator
+// must enter, in the same order. Split is deliberately absent: it is
+// collective too, but rank-dependent arguments are its entire purpose,
+// so collorder would flag every legitimate use.
+var collectiveNames = map[string]bool{
+	"Barrier": true, "Bcast": true, "Reduce": true, "Allreduce": true,
+	"Allgather": true, "Gather": true, "Scatter": true, "Gatherv": true,
+	"Scatterv": true, "Scan": true, "ReduceScatter": true, "Alltoall": true,
+}
+
+// commKind classifies one communication call.
+type commKind int
+
+const (
+	commNone     commKind = iota
+	commSend              // blocking Send(p, dst, tag, s)
+	commRecv              // blocking Recv(p, src, tag, s)
+	commSendrecv          // Sendrecv(p, dst, stag, sbuf, src, rtag, rbuf)
+	commIsend
+	commIrecv
+	commCollective
+)
+
+// classifyComm resolves a call against the communication API, or
+// commNone for everything else.
+func classifyComm(p *Pass, call *ast.CallExpr) commKind {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return commNone
+	}
+	if !commRecvTypes[recvTypeName(p, call)] {
+		return commNone
+	}
+	switch sel.Sel.Name {
+	case "Send":
+		if len(call.Args) >= 4 {
+			return commSend
+		}
+	case "Recv":
+		if len(call.Args) >= 4 {
+			return commRecv
+		}
+	case "Sendrecv":
+		if len(call.Args) >= 7 {
+			return commSendrecv
+		}
+	case "Isend":
+		if len(call.Args) >= 4 {
+			return commIsend
+		}
+	case "Irecv":
+		if len(call.Args) >= 4 {
+			return commIrecv
+		}
+	default:
+		if collectiveNames[sel.Sel.Name] {
+			return commCollective
+		}
+	}
+	return commNone
+}
+
+// ---- Constant environment ----
+
+// constEnv evaluates integer expressions inside one function over the
+// ConstVal lattice. It is flow-insensitive: every assignment to a
+// local joins into the variable's value, so a variable holding two
+// different constants is Varying. That is the precision the
+// communication rules need — peers, tags, and sizes are usually bound
+// once.
+type constEnv struct {
+	p *Pass
+	// vals holds integer locals; a missing object reads as Unknown
+	// during the environment fixpoint and as not-Known afterwards.
+	vals map[types.Object]ConstVal
+	// bufLen holds the byte length of locally allocated buffers
+	// (b := r.Mem(n), d.Alloc(n)).
+	bufLen map[types.Object]ConstVal
+	// slices maps a slice-typed local to its single defining expression
+	// (nil after a second assignment), letting descriptors resolve
+	// through s := Whole(b) indirection.
+	slices map[types.Object]ast.Expr
+	multi  map[types.Object]bool
+	// consts holds the package's const-returning helper summaries.
+	consts map[*types.Func]ConstVal
+}
+
+// newConstEnv builds the constant environment of one function body.
+// Nested function literals are skipped: they are analyzed on their own.
+func newConstEnv(p *Pass, body *ast.BlockStmt) *constEnv {
+	env := &constEnv{
+		p:      p,
+		vals:   map[types.Object]ConstVal{},
+		bufLen: map[types.Object]ConstVal{},
+		slices: map[types.Object]ast.Expr{},
+		multi:  map[types.Object]bool{},
+		consts: p.constSummaries(),
+	}
+	// Bounded fixpoint over the assignments in source order: a second
+	// round resolves values fed backwards through loops, and values
+	// only climb the lattice so the bound is safe.
+	for round := 0; round < 3; round++ {
+		if !env.scan(body) {
+			break
+		}
+	}
+	return env
+}
+
+// scan records every assignment in the body once and reports whether
+// any recorded value changed.
+func (env *constEnv) scan(body *ast.BlockStmt) bool {
+	changed := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+				changed = env.record(n.Lhs, n.Rhs) || changed
+			} else {
+				// Compound assignment (+=, <<=, ...): the value moves.
+				for _, l := range n.Lhs {
+					changed = env.poison(l) || changed
+				}
+			}
+		case *ast.DeclStmt:
+			if gd, ok := n.Decl.(*ast.GenDecl); ok {
+				for _, sp := range gd.Specs {
+					if vs, ok := sp.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+						lhs := make([]ast.Expr, len(vs.Names))
+						for i, id := range vs.Names {
+							lhs[i] = id
+						}
+						changed = env.record(lhs, vs.Values) || changed
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			changed = env.poison(n.X) || changed
+		case *ast.RangeStmt:
+			changed = env.poison(n.Key) || changed
+			changed = env.poison(n.Value) || changed
+		}
+		return true
+	})
+	return changed
+}
+
+// poison joins Varying into an assigned identifier's value.
+func (env *constEnv) poison(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	obj := env.p.objOf(id)
+	if obj == nil {
+		return false
+	}
+	old := env.vals[obj]
+	nv := old.Join(VaryingConst())
+	if nv != old {
+		env.vals[obj] = nv
+		return true
+	}
+	return false
+}
+
+// record joins one assignment's effects into the environment.
+func (env *constEnv) record(lhs, rhs []ast.Expr) bool {
+	if len(lhs) != len(rhs) {
+		// Multi-value call or comma-ok: nothing the evaluator can see
+		// through; targets it already tracks move to Varying.
+		changed := false
+		for _, l := range lhs {
+			changed = env.poison(l) || changed
+		}
+		return changed
+	}
+	changed := false
+	for i := range lhs {
+		id, ok := lhs[i].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := env.p.objOf(id)
+		if obj == nil {
+			continue
+		}
+		switch namedTypeName(obj.Type()) {
+		case "Slice":
+			prev, seen := env.slices[obj]
+			if !seen {
+				env.slices[obj] = rhs[i]
+			} else if prev != rhs[i] {
+				env.multi[obj] = true
+			}
+			continue
+		case "Buffer":
+			if call, ok := unparen(rhs[i]).(*ast.CallExpr); ok && len(call.Args) >= 1 {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && (sel.Sel.Name == "Mem" || sel.Sel.Name == "Alloc") {
+					old := env.bufLen[obj]
+					nv := old.Join(env.eval(call.Args[0]))
+					if nv != old {
+						env.bufLen[obj] = nv
+						changed = true
+					}
+					continue
+				}
+			}
+			env.bufLen[obj] = VaryingConst()
+			continue
+		}
+		if !isIntObj(obj) {
+			continue
+		}
+		old := env.vals[obj]
+		nv := old.Join(env.eval(rhs[i]))
+		if nv != old {
+			env.vals[obj] = nv
+			changed = true
+		}
+	}
+	return changed
+}
+
+// isIntObj reports whether the object's type is an integer scalar.
+func isIntObj(obj types.Object) bool {
+	b, ok := obj.Type().Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// eval folds an expression into the lattice: the type checker's own
+// constant folding first, then locals, binops, conversions, and
+// const-returning helper calls.
+func (env *constEnv) eval(e ast.Expr) ConstVal {
+	e = unparen(e)
+	if tv, ok := env.p.Info.Types[e]; ok && tv.Value != nil {
+		if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+			return KnownConst(v)
+		}
+		return VaryingConst()
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := env.p.objOf(e); obj != nil {
+			return env.vals[obj] // missing reads as Unknown (bottom)
+		}
+	case *ast.BinaryExpr:
+		return constBinop(e.Op, env.eval(e.X), env.eval(e.Y))
+	case *ast.UnaryExpr:
+		return constUnary(e.Op, env.eval(e.X))
+	case *ast.CallExpr:
+		if fn := env.p.calledFunc(e); fn != nil {
+			if v, ok := env.consts[fn]; ok {
+				return v
+			}
+		}
+		// Conversions like int(x) are transparent.
+		if len(e.Args) == 1 {
+			if tv, ok := env.p.Info.Types[e.Fun]; ok && tv.IsType() {
+				if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+					return env.eval(e.Args[0])
+				}
+			}
+		}
+	}
+	return VaryingConst()
+}
+
+// constSummaries computes (once per pass) which package functions
+// provably return one integer constant: single-result functions whose
+// every return folds to the same Known value. Computed bottom-up over
+// the call graph so helpers returning helpers resolve too.
+func (p *Pass) constSummaries() map[*types.Func]ConstVal {
+	if p.constFuncs != nil {
+		return p.constFuncs
+	}
+	out := map[*types.Func]ConstVal{}
+	g := p.CallGraph()
+	for _, scc := range g.SCCs {
+		for _, fn := range scc {
+			sig := fn.Type().(*types.Signature)
+			if sig.Results().Len() != 1 {
+				continue
+			}
+			b, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+			if !ok || b.Info()&types.IsInteger == 0 {
+				continue
+			}
+			fd := g.Funcs[fn]
+			env := &constEnv{
+				p:      p,
+				vals:   map[types.Object]ConstVal{},
+				bufLen: map[types.Object]ConstVal{},
+				slices: map[types.Object]ast.Expr{},
+				multi:  map[types.Object]bool{},
+				consts: out,
+			}
+			for round := 0; round < 3; round++ {
+				if !env.scan(fd.Body) {
+					break
+				}
+			}
+			v := UnknownConst()
+			returns := 0
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				if ret, ok := n.(*ast.ReturnStmt); ok {
+					returns++
+					if len(ret.Results) == 1 {
+						v = v.Join(env.eval(ret.Results[0]))
+					} else {
+						v = VaryingConst() // naked return: not foldable
+					}
+				}
+				return true
+			})
+			if returns > 0 {
+				if _, known := v.Known(); known {
+					out[fn] = v
+				}
+			}
+		}
+	}
+	p.constFuncs = out
+	return out
+}
+
+// mustSameValue reports whether two expressions provably evaluate to
+// the same value at their respective sites: equal folded constants, or
+// structural equality over the same objects. A variable reassigned
+// between the two sites can defeat the structural half — the rules
+// accept that imprecision because peers are almost always bound once.
+func (env *constEnv) mustSameValue(a, b ast.Expr) bool {
+	av, aok := env.eval(a).Known()
+	bv, bok := env.eval(b).Known()
+	if aok && bok {
+		return av == bv
+	}
+	if aok != bok {
+		return false
+	}
+	return env.structEqual(a, b)
+}
+
+// structEqual compares two expressions structurally, resolving
+// identifiers to their objects.
+func (env *constEnv) structEqual(a, b ast.Expr) bool {
+	a, b = unparen(a), unparen(b)
+	switch ax := a.(type) {
+	case *ast.Ident:
+		bx, ok := b.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		ao, bo := env.p.objOf(ax), env.p.objOf(bx)
+		return ao != nil && ao == bo
+	case *ast.BasicLit:
+		bx, ok := b.(*ast.BasicLit)
+		return ok && ax.Kind == bx.Kind && ax.Value == bx.Value
+	case *ast.BinaryExpr:
+		bx, ok := b.(*ast.BinaryExpr)
+		return ok && ax.Op == bx.Op && env.structEqual(ax.X, bx.X) && env.structEqual(ax.Y, bx.Y)
+	case *ast.UnaryExpr:
+		bx, ok := b.(*ast.UnaryExpr)
+		return ok && ax.Op == bx.Op && env.structEqual(ax.X, bx.X)
+	case *ast.SelectorExpr:
+		bx, ok := b.(*ast.SelectorExpr)
+		return ok && ax.Sel.Name == bx.Sel.Name && env.structEqual(ax.X, bx.X)
+	case *ast.CallExpr:
+		bx, ok := b.(*ast.CallExpr)
+		if !ok || len(ax.Args) != len(bx.Args) {
+			return false
+		}
+		af, bf := env.p.calledFunc(ax), env.p.calledFunc(bx)
+		if af == nil || af != bf {
+			return false
+		}
+		if as, ok := ax.Fun.(*ast.SelectorExpr); ok {
+			bs, ok := bx.Fun.(*ast.SelectorExpr)
+			if !ok || !env.structEqual(as.X, bs.X) {
+				return false
+			}
+		}
+		for i := range ax.Args {
+			if !env.mustSameValue(ax.Args[i], bx.Args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// ---- Slice descriptors ----
+
+// bufDesc describes the extent of one buffer access for the
+// must-overlap test.
+type bufDesc struct {
+	kind uint8
+	// root is the buffer (or slice) variable the extent is relative to.
+	root types.Object
+	// off and n bound descRange extents in bytes.
+	off, n ConstVal
+	// call is the producing helper for descCall extents (row(i), ...).
+	call *ast.CallExpr
+}
+
+const (
+	descWhole  uint8 = iota // the entire buffer: Whole(b)
+	descRange               // a byte range: b[off, off+n): Sub, Slice{...}
+	descOpaque              // a slice variable of unknown extent (parameter)
+	descCall                // produced by a helper call; compared by call identity
+	descEmpty               // the zero Slice{}: no storage, never conflicts
+)
+
+// sliceDesc resolves a Slice-valued expression to a descriptor, or nil
+// when the extent cannot be tracked.
+func (env *constEnv) sliceDesc(e ast.Expr) *bufDesc {
+	e = unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := env.p.objOf(e)
+		if obj == nil || env.multi[obj] {
+			return nil
+		}
+		if def, ok := env.slices[obj]; ok {
+			return env.sliceDesc(def)
+		}
+		// A parameter or field-sourced slice: its extent is opaque, but
+		// identity against itself is still decidable.
+		return &bufDesc{kind: descOpaque, root: obj}
+	case *ast.CompositeLit:
+		if namedTypeName(env.p.typeOf(e)) != "Slice" {
+			return nil
+		}
+		var buf, off, n ast.Expr
+		for i, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					switch key.Name {
+					case "Buf":
+						buf = kv.Value
+					case "Off":
+						off = kv.Value
+					case "N":
+						n = kv.Value
+					}
+				}
+				continue
+			}
+			switch i {
+			case 0:
+				buf = el
+			case 1:
+				off = el
+			case 2:
+				n = el
+			}
+		}
+		if buf == nil || n == nil {
+			// Slice{} (the barrier's zero-byte token) and Slice{Buf: b}
+			// carry no extent: nothing to conflict with.
+			return &bufDesc{kind: descEmpty}
+		}
+		id, ok := unparen(buf).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj := env.p.objOf(id)
+		if obj == nil {
+			return nil
+		}
+		offV := KnownConst(0)
+		if off != nil {
+			offV = env.eval(off)
+		}
+		return &bufDesc{kind: descRange, root: obj, off: offV, n: env.eval(n)}
+	case *ast.CallExpr:
+		switch fun := unparen(e.Fun).(type) {
+		case *ast.Ident:
+			if fun.Name == "Whole" && len(e.Args) == 1 {
+				if id, ok := unparen(e.Args[0]).(*ast.Ident); ok {
+					if obj := env.p.objOf(id); obj != nil {
+						return &bufDesc{kind: descWhole, root: obj}
+					}
+				}
+				return nil
+			}
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == "Whole" && len(e.Args) == 1 {
+				if id, ok := unparen(e.Args[0]).(*ast.Ident); ok {
+					if obj := env.p.objOf(id); obj != nil {
+						return &bufDesc{kind: descWhole, root: obj}
+					}
+				}
+				return nil
+			}
+			if fun.Sel.Name == "Sub" && len(e.Args) == 2 {
+				base := env.sliceDesc(fun.X)
+				if base == nil {
+					return &bufDesc{kind: descCall, call: e}
+				}
+				off := env.eval(e.Args[0])
+				switch base.kind {
+				case descWhole:
+					return &bufDesc{kind: descRange, root: base.root, off: off, n: env.eval(e.Args[1])}
+				case descRange:
+					return &bufDesc{kind: descRange, root: base.root, off: constBinop(token.ADD, base.off, off), n: env.eval(e.Args[1])}
+				case descEmpty:
+					return &bufDesc{kind: descEmpty}
+				}
+				return &bufDesc{kind: descCall, call: e}
+			}
+		}
+		// A helper producing the slice (row(i), rowSlice(cur, i)):
+		// compared by callee identity and argument values.
+		if env.p.calledFunc(e) != nil {
+			return &bufDesc{kind: descCall, call: e}
+		}
+	}
+	return nil
+}
+
+// typeOf returns the expression's type, or nil.
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	if tv, ok := p.Info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// mustOverlap reports whether two descriptors provably address at
+// least one common byte. Undecidable pairs answer false: the rules
+// built on this stay silent rather than guess.
+func (env *constEnv) mustOverlap(a, b *bufDesc) bool {
+	if a == nil || b == nil || a.kind == descEmpty || b.kind == descEmpty {
+		return false
+	}
+	if a.kind == descCall || b.kind == descCall {
+		return a.kind == descCall && b.kind == descCall && env.structEqual(a.call, b.call)
+	}
+	if a.root == nil || a.root != b.root {
+		return false
+	}
+	switch {
+	case a.kind == descOpaque || b.kind == descOpaque:
+		// Same object twice: the very same slice value.
+		return a.kind == b.kind
+	case a.kind == descWhole && b.kind == descWhole:
+		return true
+	case a.kind == descWhole || b.kind == descWhole:
+		r := a
+		if a.kind == descWhole {
+			r = b
+		}
+		if n, ok := r.n.Known(); ok && n <= 0 {
+			return false
+		}
+		// Any non-empty sub-range of a buffer meets the whole buffer.
+		return true
+	default: // range vs range
+		ao, ok1 := a.off.Known()
+		an, ok2 := a.n.Known()
+		bo, ok3 := b.off.Known()
+		bn, ok4 := b.n.Known()
+		if !ok1 || !ok2 || !ok3 || !ok4 {
+			return false
+		}
+		return ao < bo+bn && bo < ao+an
+	}
+}
+
+// ---- Rank taint ----
+
+// rankDeps tracks which locals of one function derive from the
+// process's own rank identity — the seed of rank-dependent control
+// flow. Propagation is syntactic: any assignment whose source mentions
+// a tainted value taints the target. Control-dependence is not
+// propagated (a flag set inside a rank branch stays untainted), a
+// documented false-negative boundary.
+type rankDeps struct {
+	p       *Pass
+	tainted map[types.Object]bool
+}
+
+// isRankSource reports whether the expression reads the process's rank
+// within a communicator: a zero-argument ID/Rank method on Rank or
+// Comm, or the id/myRank fields inside package core itself.
+func isRankSource(p *Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		sel, ok := e.Fun.(*ast.SelectorExpr)
+		if !ok || len(e.Args) != 0 {
+			return false
+		}
+		name := sel.Sel.Name
+		if name != "ID" && name != "Rank" {
+			return false
+		}
+		return commRecvTypes[recvTypeName(p, e)]
+	case *ast.SelectorExpr:
+		t := namedTypeName(p.typeOf(e.X))
+		return (e.Sel.Name == "id" && t == "Rank") || (e.Sel.Name == "myRank" && t == "Comm")
+	}
+	return false
+}
+
+// newRankDeps computes the function's rank-tainted locals to a
+// fixpoint. Nested function literals are skipped.
+func newRankDeps(p *Pass, body *ast.BlockStmt) *rankDeps {
+	rd := &rankDeps{p: p, tainted: map[types.Object]bool{}}
+	for {
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.AssignStmt:
+				for i, l := range n.Lhs {
+					var src ast.Expr
+					switch {
+					case len(n.Lhs) == len(n.Rhs):
+						src = n.Rhs[i]
+					case len(n.Rhs) == 1:
+						src = n.Rhs[0]
+					}
+					changed = rd.taintIf(l, src) || changed
+				}
+			case *ast.DeclStmt:
+				if gd, ok := n.Decl.(*ast.GenDecl); ok {
+					for _, sp := range gd.Specs {
+						vs, ok := sp.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for i, id := range vs.Names {
+							var src ast.Expr
+							switch {
+							case len(vs.Values) == len(vs.Names):
+								src = vs.Values[i]
+							case len(vs.Values) == 1:
+								src = vs.Values[0]
+							}
+							changed = rd.taintIf(id, src) || changed
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if rd.depends(n.X) {
+					changed = rd.taintIf(n.Key, n.X) || changed
+					changed = rd.taintIf(n.Value, n.X) || changed
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+	return rd
+}
+
+// taintIf taints the target identifier when the source is
+// rank-dependent, reporting whether the set grew.
+func (rd *rankDeps) taintIf(target, src ast.Expr) bool {
+	if target == nil || src == nil {
+		return false
+	}
+	id, ok := unparen(target).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return false
+	}
+	obj := rd.p.objOf(id)
+	if obj == nil || rd.tainted[obj] || !rd.depends(src) {
+		return false
+	}
+	rd.tainted[obj] = true
+	return true
+}
+
+// depends reports whether the expression mentions the rank identity —
+// a source pattern or a tainted local — anywhere inside it.
+func (rd *rankDeps) depends(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if ne, ok := n.(ast.Expr); ok && isRankSource(rd.p, ne) {
+			found = true
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := rd.p.objOf(id); obj != nil && rd.tainted[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// rankCond reports whether a branch condition makes control flow
+// rank-dependent. Nil comparisons are exempt even when the compared
+// value is tainted: `sub != nil` after a Split partitions by
+// communicator membership, and a collective guarded by its own
+// communicator's existence is the legitimate Split idiom.
+func (rd *rankDeps) rankCond(cond ast.Expr) bool {
+	if cond == nil {
+		return false
+	}
+	if _, _, ok := nilComparison(rd.p.Info, cond); ok {
+		return false
+	}
+	return rd.depends(cond)
+}
+
+// ---- Guarded communication events ----
+
+// commEvent is one communication call found by the guarded walk of a
+// function body, in source order.
+type commEvent struct {
+	call *ast.CallExpr
+	kind commKind
+	name string
+	// peer is the destination/source argument (nil for collectives) and
+	// size the lattice value of the payload length in bytes.
+	peer ast.Expr
+	size ConstVal
+	// guards records the enclosing branch decisions, for
+	// path-compatibility checks between events.
+	guards []eventGuard
+	// rankGuarded: an enclosing condition depends on the process's
+	// rank, so different ranks take different paths through this call.
+	rankGuarded bool
+	// afterRankExit: an earlier statement returned (or broke out of the
+	// enclosing loop) under a rank-dependent condition, so only a
+	// rank-dependent subset of processes reaches this call.
+	afterRankExit bool
+}
+
+// eventGuard identifies one branch decision: the controlling node and
+// which way it went. Two events conflict — cannot lie on one path —
+// when they disagree on the same node.
+type eventGuard struct {
+	at  ast.Node
+	arm int
+}
+
+// compatiblePaths reports whether some execution can pass through both
+// events.
+func compatiblePaths(a, b *commEvent) bool {
+	for _, ga := range a.guards {
+		for _, gb := range b.guards {
+			if ga.at == gb.at && ga.arm != gb.arm {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// commWalker collects a body's communication events with their guard
+// context.
+type commWalker struct {
+	p    *Pass
+	env  *constEnv
+	deps *rankDeps
+
+	guards    []eventGuard
+	rankDepth int
+	// funcExited: a return/terminating call ran under a rank guard, so
+	// the remainder of the function sees only a rank subset.
+	funcExited bool
+	// loopExits parallels the enclosing-loop stack; a true entry means
+	// a break/continue ran under a rank guard inside that loop.
+	loopExits []bool
+	events    []*commEvent
+}
+
+// collectCommEvents walks one function body and returns its
+// communication events in source order, along with the constant
+// environment the events' peers and sizes were folded in.
+func collectCommEvents(p *Pass, body *ast.BlockStmt) ([]*commEvent, *constEnv) {
+	env := newConstEnv(p, body)
+	w := &commWalker{p: p, env: env, deps: newRankDeps(p, body)}
+	w.stmtList(body.List)
+	return w.events, env
+}
+
+func (w *commWalker) exited() bool {
+	if w.funcExited {
+		return true
+	}
+	for _, e := range w.loopExits {
+		if e {
+			return true
+		}
+	}
+	return false
+}
+
+// scanCalls records the communication events inside one straight-line
+// statement (or expression), skipping nested function literals.
+func (w *commWalker) scanCalls(n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		kind := classifyComm(w.p, call)
+		if kind == commNone {
+			return true
+		}
+		ev := &commEvent{
+			call:          call,
+			kind:          kind,
+			name:          call.Fun.(*ast.SelectorExpr).Sel.Name,
+			guards:        append([]eventGuard(nil), w.guards...),
+			rankGuarded:   w.rankDepth > 0,
+			afterRankExit: w.exited(),
+		}
+		switch kind {
+		case commSend, commRecv, commIsend, commIrecv:
+			ev.peer = call.Args[1]
+			ev.size = w.env.sliceSize(call.Args[3])
+		case commSendrecv:
+			ev.peer = call.Args[1]
+			ev.size = w.env.sliceSize(call.Args[3])
+		}
+		w.events = append(w.events, ev)
+		return true
+	})
+}
+
+// sliceSize folds a Slice-valued expression's byte length.
+func (env *constEnv) sliceSize(e ast.Expr) ConstVal {
+	d := env.sliceDesc(e)
+	if d == nil {
+		return VaryingConst()
+	}
+	switch d.kind {
+	case descEmpty:
+		return KnownConst(0)
+	case descWhole:
+		if v, ok := env.bufLen[d.root]; ok {
+			return v
+		}
+	case descRange:
+		return d.n
+	}
+	return VaryingConst()
+}
+
+// markExit records a statement that leaves the current control scope
+// while rank-guarded.
+func (w *commWalker) markExit(isReturn bool) {
+	if w.rankDepth == 0 {
+		return
+	}
+	if isReturn || len(w.loopExits) == 0 {
+		w.funcExited = true
+		return
+	}
+	w.loopExits[len(w.loopExits)-1] = true
+}
+
+func (w *commWalker) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *commWalker) withGuard(at ast.Node, arm int, rankDep bool, body func()) {
+	w.guards = append(w.guards, eventGuard{at: at, arm: arm})
+	if rankDep {
+		w.rankDepth++
+	}
+	body()
+	if rankDep {
+		w.rankDepth--
+	}
+	w.guards = w.guards[:len(w.guards)-1]
+}
+
+func (w *commWalker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.stmtList(s.List)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.scanCalls(s.Cond)
+		rankDep := w.deps.rankCond(s.Cond)
+		w.withGuard(s, 0, rankDep, func() { w.stmt(s.Body) })
+		if s.Else != nil {
+			w.withGuard(s, 1, rankDep, func() { w.stmt(s.Else) })
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.scanCalls(s.Cond)
+		rankDep := w.deps.rankCond(s.Cond)
+		w.loopExits = append(w.loopExits, false)
+		w.withGuard(s, 0, rankDep, func() {
+			w.stmt(s.Body)
+			if s.Post != nil {
+				w.stmt(s.Post)
+			}
+		})
+		w.loopExits = w.loopExits[:len(w.loopExits)-1]
+	case *ast.RangeStmt:
+		w.scanCalls(s.X)
+		w.loopExits = append(w.loopExits, false)
+		w.withGuard(s, 0, false, func() { w.stmt(s.Body) })
+		w.loopExits = w.loopExits[:len(w.loopExits)-1]
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.scanCalls(s.Tag)
+		rankDep := w.deps.rankCond(s.Tag)
+		for i, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			armDep := rankDep
+			for _, e := range cc.List {
+				w.scanCalls(e)
+				armDep = armDep || w.deps.rankCond(e)
+			}
+			w.withGuard(s, i, armDep, func() { w.stmtList(cc.Body) })
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		for i, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			w.withGuard(s, i, false, func() { w.stmtList(cc.Body) })
+		}
+	case *ast.SelectStmt:
+		for i, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			w.withGuard(s, i, false, func() { w.stmtList(cc.Body) })
+		}
+	case *ast.ReturnStmt:
+		w.scanCalls(s)
+		// A return whose error result is provably non-nil is failure
+		// propagation: the harness aborts the whole run on any rank
+		// error, so it does not desynchronize the survivors. Only clean
+		// early exits (`return nil`, non-error results) diverge.
+		if !w.errorReturn(s) {
+			w.markExit(true)
+		}
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK, token.CONTINUE:
+			w.markExit(false)
+		case token.GOTO:
+			w.markExit(true) // conservative: treat like a function exit
+		}
+	case *ast.ExprStmt:
+		w.scanCalls(s)
+		if terminatingCall(s.X) {
+			w.markExit(true)
+		}
+	default:
+		// Assign, Decl, Defer, Go, Send, IncDec: straight-line.
+		w.scanCalls(s)
+	}
+}
+
+// errorReturn reports whether the return's final result is an
+// error-typed expression other than nil — the error-propagation shape
+// (`return err`, `return fmt.Errorf(...)`).
+func (w *commWalker) errorReturn(ret *ast.ReturnStmt) bool {
+	if len(ret.Results) == 0 {
+		return false
+	}
+	last := unparen(ret.Results[len(ret.Results)-1])
+	if nilExpr(w.p.Info, last) {
+		return false
+	}
+	tv, ok := w.p.Info.Types[last]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return types.Identical(tv.Type, types.Universe.Lookup("error").Type())
+}
+
+// mentionsCommNames cheaply pre-screens a body for any of the given
+// method names so the walkers only run where they can matter.
+func mentionsCommNames(body *ast.BlockStmt, names map[string]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok && names[sel.Sel.Name] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// forEachFuncBody invokes fn on every function declaration and
+// function literal body in the pass, the shared iteration of the
+// communication-safety rules.
+func forEachFuncBody(p *Pass, fn func(body *ast.BlockStmt)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					fn(d.Body)
+				}
+			case *ast.FuncLit:
+				fn(d.Body)
+			}
+			return true
+		})
+	}
+}

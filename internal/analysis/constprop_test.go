@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"testing"
+)
+
+// findFuncBody returns the body of the named top-level function.
+func findFuncBody(t *testing.T, p *Pass, name string) *ast.BlockStmt {
+	t.Helper()
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+				return fd.Body
+			}
+		}
+	}
+	t.Fatalf("function %s not found in corpus", name)
+	return nil
+}
+
+// localVal looks up the lattice value of the named local defined
+// inside body.
+func localVal(t *testing.T, p *Pass, env *constEnv, body *ast.BlockStmt, name string) ConstVal {
+	t.Helper()
+	var val ConstVal
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			if obj := p.Info.Defs[id]; obj != nil {
+				val = env.vals[obj]
+				found = true
+			}
+		}
+		return true
+	})
+	if !found {
+		t.Fatalf("local %s not defined in body", name)
+	}
+	return val
+}
+
+// TestConstEnvLattice runs the flow-insensitive environment over the
+// constprop corpus: straight-line assignments and binops fold to Known
+// values, summarized helper calls resolve through the call graph, and
+// reassignment, compound assignment, and non-constant helpers all
+// poison to not-Known.
+func TestConstEnvLattice(t *testing.T) {
+	_, pass := loadTestdata(t, "constprop")
+	body := findFuncBody(t, pass, "Locals")
+	env := newConstEnv(pass, body)
+
+	for name, want := range map[string]int64{
+		"a":         8,
+		"b":         32,
+		"c":         4128,
+		"shifted":   1024,
+		"masked":    32,
+		"viaHelper": 8192,
+	} {
+		got, ok := localVal(t, pass, env, body, name).Known()
+		if !ok || got != want {
+			t.Errorf("%s = %v (known=%v), want %d", name, got, ok, want)
+		}
+	}
+	for _, name := range []string{"d", "loop", "viaVarying", "viaParam"} {
+		if got, ok := localVal(t, pass, env, body, name).Known(); ok {
+			t.Errorf("%s = %d, want not-Known", name, got)
+		}
+	}
+}
+
+// TestConstSummaries pins the bottom-up helper summaries: a helper
+// returning a literal and one returning another helper times two both
+// fold, while divergent returns do not.
+func TestConstSummaries(t *testing.T) {
+	_, pass := loadTestdata(t, "constprop")
+	byName := map[string]ConstVal{}
+	for fn, v := range pass.constSummaries() {
+		byName[fn.Name()] = v
+	}
+	if v, ok := byName["base"].Known(); !ok || v != 4096 {
+		t.Errorf("base summary = %v (known=%v), want 4096", v, ok)
+	}
+	if v, ok := byName["double"].Known(); !ok || v != 8192 {
+		t.Errorf("double summary = %v (known=%v), want 8192", v, ok)
+	}
+	if v, ok := byName["pick"].Known(); ok {
+		t.Errorf("pick summary = %d, want not-Known (divergent returns)", v)
+	}
+	if v, ok := byName["ident"].Known(); ok {
+		t.Errorf("ident summary = %d, want not-Known (parameter pass-through)", v)
+	}
+}
+
+// TestConstValLattice exercises Join and the operator folds directly.
+func TestConstValLattice(t *testing.T) {
+	u, k1, k2, vy := UnknownConst(), KnownConst(1), KnownConst(2), VaryingConst()
+
+	if got := u.Join(k1); got != k1 {
+		t.Errorf("Unknown ⊔ 1 = %v, want 1", got)
+	}
+	if got := k1.Join(u); got != k1 {
+		t.Errorf("1 ⊔ Unknown = %v, want 1", got)
+	}
+	if got := k1.Join(k1); got != k1 {
+		t.Errorf("1 ⊔ 1 = %v, want 1", got)
+	}
+	if _, ok := k1.Join(k2).Known(); ok {
+		t.Error("1 ⊔ 2 must be Varying")
+	}
+	if _, ok := k1.Join(vy).Known(); ok {
+		t.Error("1 ⊔ Varying must be Varying")
+	}
+
+	if got := constBinop(token.MUL, KnownConst(6), KnownConst(7)); got != KnownConst(42) {
+		t.Errorf("6*7 = %v, want 42", got)
+	}
+	if got := constBinop(token.SHL, KnownConst(1), KnownConst(13)); got != KnownConst(8192) {
+		t.Errorf("1<<13 = %v, want 8192", got)
+	}
+	if _, ok := constBinop(token.QUO, KnownConst(1), KnownConst(0)).Known(); ok {
+		t.Error("division by zero must not fold")
+	}
+	// Unknown operands stay Unknown so the environment fixpoint is
+	// monotone.
+	if got := constBinop(token.ADD, u, KnownConst(1)); got != u {
+		t.Errorf("Unknown+1 = %v, want Unknown", got)
+	}
+	if got := constUnary(token.SUB, KnownConst(5)); got != KnownConst(-5) {
+		t.Errorf("-5 = %v, want -5", got)
+	}
+}

@@ -1,0 +1,169 @@
+// Package blockcycle seeds symmetric blocking-deadlock patterns on
+// local stand-ins for core.Rank: an unguarded Send-before-Recv against
+// the same peer deadlocks once the payload crosses the eager limit
+// (every rank blocks in the rendezvous send), and an unguarded
+// Recv-before-Send deadlocks at any size.
+package blockcycle
+
+import "errors"
+
+type Proc struct{}
+
+type Status struct{ Len int }
+
+type Buffer struct{ Data []byte }
+
+type Slice struct {
+	Buf    *Buffer
+	Off, N int
+}
+
+func Whole(b *Buffer) Slice { return Slice{Buf: b, N: len(b.Data)} }
+
+type Request struct{ tag int }
+
+type Rank struct{ id int }
+
+func (r *Rank) ID() int   { return r.id }
+func (r *Rank) Size() int { return 8 }
+
+func (r *Rank) Mem(n int) *Buffer { return &Buffer{Data: make([]byte, n)} }
+
+func (r *Rank) Send(p *Proc, dst, tag int, s Slice) error           { return nil }
+func (r *Rank) Recv(p *Proc, src, tag int, s Slice) (Status, error) { return Status{}, nil }
+func (r *Rank) Sendrecv(p *Proc, dst, stag int, sbuf Slice, src, rtag int, rbuf Slice) (Status, error) {
+	return Status{}, nil
+}
+func (r *Rank) Isend(p *Proc, dst, tag int, s Slice) (*Request, error) { return &Request{}, nil }
+func (r *Rank) Wait(p *Proc, q *Request) (Status, error)               { return Status{}, nil }
+func (r *Rank) WaitAll(p *Proc, qs ...*Request) error                  { return nil }
+
+// SymmetricExchange sends a rendezvous-sized payload to the pairwise
+// partner before receiving from it, on every rank.
+func SymmetricExchange(r *Rank, p *Proc) error {
+	peer := r.ID() ^ 1
+	sb := r.Mem(65536)
+	rb := r.Mem(65536)
+	if err := r.Send(p, peer, 0, Whole(sb)); err != nil { // want "every rank blocks in Send"
+		return err
+	}
+	_, err := r.Recv(p, peer, 0, Whole(rb))
+	return err
+}
+
+// UnknownSizeExchange forwards a caller-provided payload: the size is
+// not provably under the eager limit, so the same hazard is reported.
+func UnknownSizeExchange(r *Rank, p *Proc, s Slice) error {
+	peer := r.ID() ^ 1
+	rb := r.Mem(256)
+	if err := r.Send(p, peer, 0, s); err != nil { // want "every rank blocks in Send"
+		return err
+	}
+	_, err := r.Recv(p, peer, 0, Whole(rb))
+	return err
+}
+
+// RecvBeforeSend waits for the partner's message before sending its
+// own: every rank blocks in Recv and no message is ever sent.
+func RecvBeforeSend(r *Rank, p *Proc) error {
+	peer := r.ID() ^ 1
+	b := r.Mem(256)
+	if _, err := r.Recv(p, peer, 0, Whole(b)); err != nil { // want "every rank blocks in Recv"
+		return err
+	}
+	return r.Send(p, peer, 0, Whole(b))
+}
+
+// EagerExchange is the same shape as SymmetricExchange with a payload
+// provably at the eager limit: the send completes without the peer, so
+// no finding.
+func EagerExchange(r *Rank, p *Proc) error {
+	peer := r.ID() ^ 1
+	sb := r.Mem(8192)
+	rb := r.Mem(8192)
+	if err := r.Send(p, peer, 0, Whole(sb)); err != nil {
+		return err
+	}
+	_, err := r.Recv(p, peer, 0, Whole(rb))
+	return err
+}
+
+// chunk feeds the buffer size through a constant-returning helper: the
+// summary makes the eager proof go through, so no finding.
+func chunk() int { return 4096 }
+
+func HelperSizedEager(r *Rank, p *Proc) error {
+	peer := r.ID() ^ 1
+	sb := r.Mem(chunk())
+	rb := r.Mem(chunk())
+	if err := r.Send(p, peer, 0, Whole(sb)); err != nil {
+		return err
+	}
+	_, err := r.Recv(p, peer, 0, Whole(rb))
+	return err
+}
+
+// RankOrdered breaks the symmetry with a rank-dependent guard — the
+// canonical fix — so neither ordering is reported.
+func RankOrdered(r *Rank, p *Proc) error {
+	peer := r.ID() ^ 1
+	sb := r.Mem(65536)
+	rb := r.Mem(65536)
+	if r.ID() < peer {
+		if err := r.Send(p, peer, 0, Whole(sb)); err != nil {
+			return err
+		}
+		_, err := r.Recv(p, peer, 0, Whole(rb))
+		return err
+	}
+	if _, err := r.Recv(p, peer, 0, Whole(rb)); err != nil {
+		return err
+	}
+	return r.Send(p, peer, 0, Whole(sb))
+}
+
+// SendrecvExchange uses the combined call, which posts both sides
+// nonblockingly: no finding.
+func SendrecvExchange(r *Rank, p *Proc) error {
+	peer := r.ID() ^ 1
+	sb := r.Mem(65536)
+	rb := r.Mem(65536)
+	_, err := r.Sendrecv(p, peer, 0, Whole(sb), peer, 0, Whole(rb))
+	return err
+}
+
+// PostedAhead puts its message in flight with Isend before blocking in
+// Recv: the earlier send-type call against the peer means the partner
+// is not starved, so the recv-first pattern is not reported.
+func PostedAhead(r *Rank, p *Proc) error {
+	peer := r.ID() ^ 1
+	sb := r.Mem(256)
+	rb := r.Mem(256)
+	xb := r.Mem(256)
+	q, err := r.Isend(p, peer, 0, Whole(sb))
+	if err != nil {
+		return err
+	}
+	if _, err := r.Recv(p, peer, 1, Whole(rb)); err != nil {
+		return errors.Join(err, r.WaitAll(p, q))
+	}
+	if err := r.Send(p, peer, 2, Whole(xb)); err != nil {
+		return errors.Join(err, r.WaitAll(p, q))
+	}
+	return r.WaitAll(p, q)
+}
+
+// DifferentPeers sends to one neighbor and receives from the other:
+// peer equality is not provable, so the matcher stays silent (the ring
+// pattern is a documented false-negative boundary).
+func DifferentPeers(r *Rank, p *Proc) error {
+	right := (r.ID() + 1) % r.Size()
+	left := (r.ID() - 1 + r.Size()) % r.Size()
+	sb := r.Mem(65536)
+	rb := r.Mem(65536)
+	if err := r.Send(p, right, 0, Whole(sb)); err != nil {
+		return err
+	}
+	_, err := r.Recv(p, left, 0, Whole(rb))
+	return err
+}

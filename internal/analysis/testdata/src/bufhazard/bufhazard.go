@@ -1,0 +1,206 @@
+// Package bufhazard seeds nonblocking buffer-reuse hazards on local
+// stand-ins for core.Rank and core.Slice: no byte of a buffer captured
+// by a pending Isend/Irecv may be written (or, for Irecv, read) before
+// the completing Wait/Test, and two simultaneously in-flight requests
+// must not provably overlap when either receives.
+package bufhazard
+
+import "errors"
+
+type Proc struct{}
+
+type Status struct{ Len int }
+
+type Buffer struct{ Data []byte }
+
+type Slice struct {
+	Buf    *Buffer
+	Off, N int
+}
+
+func Whole(b *Buffer) Slice { return Slice{Buf: b, N: len(b.Data)} }
+
+func (s Slice) Sub(off, n int) Slice { return Slice{Buf: s.Buf, Off: s.Off + off, N: n} }
+
+func (s Slice) Bytes() []byte { return s.Buf.Data[s.Off : s.Off+s.N] }
+
+func PutF64s(b []byte, vs []float64) {}
+
+func GetF64s(b []byte, n int) []float64 { return nil }
+
+type Request struct{ tag int }
+
+type Rank struct{ id int }
+
+func (r *Rank) Mem(n int) *Buffer { return &Buffer{Data: make([]byte, n)} }
+
+func (r *Rank) Isend(p *Proc, dst, tag int, s Slice) (*Request, error) { return &Request{}, nil }
+func (r *Rank) Irecv(p *Proc, src, tag int, s Slice) (*Request, error) { return &Request{}, nil }
+func (r *Rank) Recv(p *Proc, src, tag int, s Slice) (Status, error)    { return Status{}, nil }
+func (r *Rank) Wait(p *Proc, q *Request) (Status, error)               { return Status{}, nil }
+func (r *Rank) WaitAll(p *Proc, qs ...*Request) error                  { return nil }
+func (r *Rank) Test(p *Proc, q *Request) bool                          { return true }
+
+// WriteInFlight rewrites the send buffer before the Wait: the transfer
+// may carry either version.
+func WriteInFlight(r *Rank, p *Proc) error {
+	b := r.Mem(64)
+	q, err := r.Isend(p, 1, 0, Whole(b))
+	if err != nil {
+		return err
+	}
+	PutF64s(b.Data, []float64{1}) // want "buffer is written while an in-flight Isend holds it"
+	_, err = r.Wait(p, q)
+	return err
+}
+
+// ReadInFlight reads the receive buffer before the Wait: the bytes may
+// still change under the reader.
+func ReadInFlight(r *Rank, p *Proc) ([]float64, error) {
+	b := r.Mem(64)
+	q, err := r.Irecv(p, 1, 0, Whole(b))
+	if err != nil {
+		return nil, err
+	}
+	vals := GetF64s(b.Data, 8) // want "buffer is read while an in-flight Irecv may still overwrite it"
+	if _, err := r.Wait(p, q); err != nil {
+		return nil, err
+	}
+	return vals, nil
+}
+
+// OverlappingRequests posts a receive over bytes a pending send still
+// owns: the halves provably intersect.
+func OverlappingRequests(r *Rank, p *Proc) error {
+	b := r.Mem(128)
+	s := Whole(b)
+	sq, err := r.Isend(p, 1, 0, s.Sub(0, 64))
+	if err != nil {
+		return err
+	}
+	rq, err := r.Irecv(p, 1, 1, s.Sub(32, 64)) // want "buffer overlaps one captured by an in-flight Isend"
+	if err != nil {
+		return errors.Join(err, r.WaitAll(p, sq))
+	}
+	return r.WaitAll(p, sq, rq)
+}
+
+// RecvIntoSendBuffer blocks a receive into bytes a pending send still
+// reads.
+func RecvIntoSendBuffer(r *Rank, p *Proc) error {
+	b := r.Mem(64)
+	q, err := r.Isend(p, 1, 0, Whole(b))
+	if err != nil {
+		return err
+	}
+	if _, err := r.Recv(p, 2, 0, Whole(b)); err != nil { // want "buffer is written while an in-flight Isend holds it"
+		return errors.Join(err, r.WaitAll(p, q))
+	}
+	return r.WaitAll(p, q)
+}
+
+// CopyIntoRecvBuffer overwrites a pending receive's bytes through the
+// builtin copy.
+func CopyIntoRecvBuffer(r *Rank, p *Proc, src Slice) error {
+	b := r.Mem(64)
+	q, err := r.Irecv(p, 1, 0, Whole(b))
+	if err != nil {
+		return err
+	}
+	copy(Whole(b).Bytes(), src.Bytes()) // want "buffer is written while an in-flight Irecv holds it"
+	_, err = r.Wait(p, q)
+	return err
+}
+
+// start posts a send through a helper; its reqwait summary says the
+// result carries a fresh request over the Slice argument.
+func start(r *Rank, p *Proc, s Slice) (*Request, error) {
+	return r.Isend(p, 1, 0, s)
+}
+
+// HelperInFlight reuses the buffer a summarized helper captured.
+func HelperInFlight(r *Rank, p *Proc) error {
+	b := r.Mem(64)
+	q, err := start(r, p, Whole(b))
+	if err != nil {
+		return err
+	}
+	PutF64s(b.Data, []float64{2}) // want "buffer is written while an in-flight start holds it"
+	_, err = r.Wait(p, q)
+	return err
+}
+
+// DisjointHalves sends one half while receiving the other: the ranges
+// provably do not intersect, so no finding.
+func DisjointHalves(r *Rank, p *Proc) error {
+	b := r.Mem(128)
+	s := Whole(b)
+	sq, err := r.Isend(p, 1, 0, s.Sub(0, 64))
+	if err != nil {
+		return err
+	}
+	rq, err := r.Irecv(p, 1, 1, s.Sub(64, 64))
+	if err != nil {
+		return errors.Join(err, r.WaitAll(p, sq))
+	}
+	return r.WaitAll(p, sq, rq)
+}
+
+// WriteAfterWait touches the buffer only once the request completed:
+// no finding.
+func WriteAfterWait(r *Rank, p *Proc) error {
+	b := r.Mem(64)
+	q, err := r.Irecv(p, 1, 0, Whole(b))
+	if err != nil {
+		return err
+	}
+	if _, err := r.Wait(p, q); err != nil {
+		return err
+	}
+	PutF64s(b.Data, []float64{3})
+	return nil
+}
+
+// TwoSendsShare posts two sends from the same bytes: both only read,
+// so sharing is safe and there is no finding.
+func TwoSendsShare(r *Rank, p *Proc) error {
+	b := r.Mem(64)
+	q1, err := r.Isend(p, 1, 0, Whole(b))
+	if err != nil {
+		return err
+	}
+	q2, err := r.Isend(p, 2, 0, Whole(b))
+	if err != nil {
+		return errors.Join(err, r.WaitAll(p, q1))
+	}
+	return r.WaitAll(p, q1, q2)
+}
+
+// LoopReuse reposts into the same buffer each iteration, waiting
+// inside the loop: the wait serializes the reuse, so no finding.
+func LoopReuse(r *Rank, p *Proc) error {
+	b := r.Mem(64)
+	for i := 0; i < 4; i++ {
+		q, err := r.Irecv(p, 1, 0, Whole(b))
+		if err != nil {
+			return err
+		}
+		if _, err := r.Wait(p, q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SuppressedReuse carries an ignore directive: no finding.
+func SuppressedReuse(r *Rank, p *Proc) error {
+	b := r.Mem(64)
+	q, err := r.Isend(p, 1, 0, Whole(b))
+	if err != nil {
+		return err
+	}
+	//simlint:ignore bufhazard the payload bytes are immutable sentinels; rewriting them is the point of this probe
+	PutF64s(b.Data, []float64{4})
+	_, err = r.Wait(p, q)
+	return err
+}

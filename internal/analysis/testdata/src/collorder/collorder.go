@@ -1,0 +1,130 @@
+// Package collorder seeds collective-mismatch hazards on a local
+// stand-in for core.Comm: every member of the communicator must enter
+// every collective, so a collective reachable only under a
+// rank-dependent branch (or after a rank-dependent early exit) hangs
+// the members that never arrive.
+package collorder
+
+type Proc struct{}
+
+type Buffer struct{ Data []byte }
+
+type Slice struct {
+	Buf    *Buffer
+	Off, N int
+}
+
+type Op struct{ name string }
+
+type Comm struct{ myRank int }
+
+func (c *Comm) Rank() int { return c.myRank }
+func (c *Comm) Size() int { return 8 }
+
+func (c *Comm) Barrier(p *Proc) error                   { return nil }
+func (c *Comm) Bcast(p *Proc, root int, s Slice) error  { return nil }
+func (c *Comm) Allreduce(p *Proc, s Slice, op Op) error { return nil }
+func (c *Comm) Split(p *Proc, color, key int) (*Comm, error) {
+	return &Comm{}, nil
+}
+
+func (c *Comm) Flush(p *Proc) error { return nil }
+
+func work(s Slice) {}
+
+// RootOnlyBarrier hides the barrier behind a root check: every other
+// rank never enters it.
+func RootOnlyBarrier(c *Comm, p *Proc) error {
+	if c.Rank() == 0 {
+		return c.Barrier(p) // want "guarded by a rank-dependent condition"
+	}
+	return nil
+}
+
+// DerivedGuard reaches the rank through a local: the taint follows the
+// assignment into the condition.
+func DerivedGuard(c *Comm, p *Proc, s Slice, op Op) error {
+	isRoot := c.Rank() == 0
+	if isRoot {
+		return c.Allreduce(p, s, op) // want "guarded by a rank-dependent condition"
+	}
+	return nil
+}
+
+// EarlyExit lets most ranks return before the barrier: the survivors
+// wait forever.
+func EarlyExit(c *Comm, p *Proc) error {
+	if c.Rank() > 0 {
+		return nil
+	}
+	return c.Barrier(p) // want "follows a rank-dependent early exit"
+}
+
+// RankBoundedLoop runs the collective a rank-dependent number of
+// times: members disagree on how many they enter.
+func RankBoundedLoop(c *Comm, p *Proc, s Slice, op Op) error {
+	for i := 0; i < c.Rank(); i++ {
+		if err := c.Allreduce(p, s, op); err != nil { // want "guarded by a rank-dependent condition"
+			return err
+		}
+	}
+	return nil
+}
+
+// AllEnter runs its collectives unconditionally: no finding.
+func AllEnter(c *Comm, p *Proc, s Slice, op Op) error {
+	if err := c.Allreduce(p, s, op); err != nil {
+		return err
+	}
+	return c.Barrier(p)
+}
+
+// SplitMembership is the legitimate Split idiom: the nil check decides
+// membership in the sub-communicator, and the collective inside the
+// guard involves exactly its members — no finding, even though sub is
+// rank-tainted.
+func SplitMembership(c *Comm, p *Proc, s Slice, op Op) error {
+	sub, err := c.Split(p, c.Rank()%2, 0)
+	if err != nil {
+		return err
+	}
+	if sub != nil {
+		return sub.Allreduce(p, s, op)
+	}
+	return nil
+}
+
+// SkipSelfLoop continues past its own rank inside the loop; the
+// rank-dependent continue only skips loop iterations, so the barrier
+// after the loop is still entered by every rank — no finding.
+func SkipSelfLoop(c *Comm, p *Proc, s Slice) error {
+	for i := 0; i < c.Size(); i++ {
+		if i == c.Rank() {
+			continue
+		}
+		work(s)
+	}
+	return c.Barrier(p)
+}
+
+// ErrorPropagation bails out with a non-nil error inside a
+// rank-guarded branch: the harness aborts the whole run on any rank's
+// error, so the failure path does not desynchronize the survivors and
+// the barrier after the guarded phase is not flagged.
+func ErrorPropagation(c *Comm, p *Proc) error {
+	if c.Rank() == 0 {
+		if err := c.Flush(p); err != nil {
+			return err
+		}
+	}
+	return c.Barrier(p)
+}
+
+// SizeGuard branches on the group size, which every member agrees on:
+// no finding.
+func SizeGuard(c *Comm, p *Proc, s Slice, op Op) error {
+	if c.Size() == 1 {
+		return nil
+	}
+	return c.Allreduce(p, s, op)
+}

@@ -1,0 +1,40 @@
+// Package constprop seeds the constant-propagation lattice unit test:
+// plain assignments, binary operators, helper-call summaries, and the
+// reassignment and loop shapes that must poison to Varying.
+package constprop
+
+func base() int { return 4096 }
+
+func double() int { return base() * 2 }
+
+func pick(f bool) int {
+	if f {
+		return 1
+	}
+	return 2
+}
+
+func ident(n int) int { return n }
+
+func Locals(n int) {
+	a := 8
+	b := a * 4
+	c := b + base()
+	shifted := 1 << 10
+	masked := (c + shifted) & 0xff
+	d := a
+	d = 9
+	loop := 0
+	for i := 0; i < n; i++ {
+		loop += a
+	}
+	viaHelper := double()
+	viaVarying := pick(n == 0)
+	viaParam := ident(n)
+	_ = masked
+	_ = d
+	_ = loop
+	_ = viaHelper
+	_ = viaVarying
+	_ = viaParam
+}
