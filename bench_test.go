@@ -20,18 +20,19 @@ import (
 func BenchmarkTable1Platform(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		bench.Table1(io.Discard)
-		bench.Table2(io.Discard, bench.MsgSizes)
+		bench.Table2(io.Discard, bench.NewEnv().MsgSizes)
 		bench.Table3(io.Discard)
 	}
 }
 
 func BenchmarkFig5RDMADirections(b *testing.B) {
+	env := bench.NewEnv()
 	plat := perfmodel.Default()
 	const n = 1 << 20
 	var hh, pp sim.Duration
 	for i := 0; i < b.N; i++ {
-		hh = bench.RawOneWay(plat, machine.HostMem, machine.HostMem, n, 3)
-		pp = bench.RawOneWay(plat, machine.MicMem, machine.MicMem, n, 3)
+		hh = env.RawOneWay(plat, machine.HostMem, machine.HostMem, n, 3)
+		pp = env.RawOneWay(plat, machine.MicMem, machine.MicMem, n, 3)
 	}
 	b.ReportMetric(float64(n)/(float64(hh)/1e9)/1e9, "host-host-GB/s")
 	b.ReportMetric(float64(n)/(float64(pp)/1e9)/1e9, "phi-phi-GB/s")
@@ -39,13 +40,14 @@ func BenchmarkFig5RDMADirections(b *testing.B) {
 }
 
 func BenchmarkFig7NonblockingRTT(b *testing.B) {
+	env := bench.NewEnv()
 	plat := perfmodel.Default()
 	sizes := []int{4, 8192, 1 << 20}
 	var base, off, host []sim.Duration
 	for i := 0; i < b.N; i++ {
-		base = bench.NonblockingExchangeTimes(plat, bench.ModeDCFABase, sizes, 5)
-		off = bench.NonblockingExchangeTimes(plat, bench.ModeDCFA, sizes, 5)
-		host = bench.NonblockingExchangeTimes(plat, bench.ModeHost, sizes, 5)
+		base = env.NonblockingExchangeTimes(plat, bench.ModeDCFABase, sizes, 5)
+		off = env.NonblockingExchangeTimes(plat, bench.ModeDCFA, sizes, 5)
+		host = env.NonblockingExchangeTimes(plat, bench.ModeHost, sizes, 5)
 	}
 	b.ReportMetric(off[2].Micros(), "offload-1MiB-µs")
 	b.ReportMetric(base[2].Micros(), "base-1MiB-µs")
@@ -53,22 +55,24 @@ func BenchmarkFig7NonblockingRTT(b *testing.B) {
 }
 
 func BenchmarkFig8OffloadBandwidth(b *testing.B) {
+	env := bench.NewEnv()
 	plat := perfmodel.Default()
 	sizes := []int{4 << 20}
 	var off []sim.Duration
 	for i := 0; i < b.N; i++ {
-		off = bench.NonblockingExchangeTimes(plat, bench.ModeDCFA, sizes, 5)
+		off = env.NonblockingExchangeTimes(plat, bench.ModeDCFA, sizes, 5)
 	}
 	b.ReportMetric(float64(4<<20)/(float64(off[0])/1e9)/1e9, "GB/s")
 }
 
 func BenchmarkFig9BlockingBandwidth(b *testing.B) {
+	env := bench.NewEnv()
 	plat := perfmodel.Default()
 	sizes := []int{4, 4 << 20}
 	var dcfa, phi []sim.Duration
 	for i := 0; i < b.N; i++ {
-		dcfa = bench.BlockingPingPongRTTs(plat, bench.ModeDCFA, sizes, 5)
-		phi = bench.BlockingPingPongRTTs(plat, bench.ModePhiMPI, sizes, 5)
+		dcfa = env.BlockingPingPongRTTs(plat, bench.ModeDCFA, sizes, 5)
+		phi = env.BlockingPingPongRTTs(plat, bench.ModePhiMPI, sizes, 5)
 	}
 	b.ReportMetric(dcfa[0].Micros(), "dcfa-4B-RTT-µs")
 	b.ReportMetric(phi[0].Micros(), "phi-4B-RTT-µs")
@@ -76,25 +80,25 @@ func BenchmarkFig9BlockingBandwidth(b *testing.B) {
 }
 
 func BenchmarkFig10CommOnly(b *testing.B) {
+	env := bench.NewEnv()
 	plat := perfmodel.Default()
 	sizes := []int{64, 1 << 20}
 	var d, h []sim.Duration
 	for i := 0; i < b.N; i++ {
-		d = bench.CommOnlyDCFA(plat, sizes, 5)
-		h = bench.CommOnlyHostOffload(plat, sizes, 5)
+		d = env.CommOnlyDCFA(plat, sizes, 5)
+		h = env.CommOnlyHostOffload(plat, sizes, 5)
 	}
 	b.ReportMetric(float64(h[0])/float64(d[0]), "64B-speedup-x")
 	b.ReportMetric(float64(h[1])/float64(d[1]), "1MiB-speedup-x")
 }
 
 func BenchmarkFig11StencilTime(b *testing.B) {
-	old := bench.StencilIters
-	bench.StencilIters = 5
-	defer func() { bench.StencilIters = old }()
+	env := bench.NewEnv()
+	env.StencilIters = 5
 	plat := perfmodel.Default()
 	var f *bench.Figure
 	for i := 0; i < b.N; i++ {
-		f = bench.Figure11(plat)
+		f = env.Figure11(plat)
 	}
 	if s, ok := f.ByLabel("DCFA-MPI T=56"); ok {
 		if y, ok := s.At(8); ok {
@@ -104,13 +108,12 @@ func BenchmarkFig11StencilTime(b *testing.B) {
 }
 
 func BenchmarkFig12StencilSpeedup(b *testing.B) {
-	old := bench.StencilIters
-	bench.StencilIters = 5
-	defer func() { bench.StencilIters = old }()
+	env := bench.NewEnv()
+	env.StencilIters = 5
 	plat := perfmodel.Default()
 	var f *bench.Figure
 	for i := 0; i < b.N; i++ {
-		f = bench.Figure12(plat)
+		f = env.Figure12(plat)
 	}
 	for _, name := range []string{"DCFA-MPI", "IntelMPI-on-Phi", "IntelMPI-Xeon+offload"} {
 		if s, ok := f.ByLabel(name); ok {

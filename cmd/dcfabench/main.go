@@ -33,7 +33,7 @@ func main() {
 	table := flag.Int("table", 0, "table to regenerate (1, 2, 3)")
 	all := flag.Bool("all", false, "regenerate every table and figure")
 	ablation := flag.String("ablation", "", "ablation study: threshold, eager, mrcache, ringdepth, pack, collectives, all")
-	stencilIters := flag.Int("stencil-iters", bench.StencilIters, "stencil iterations per configuration")
+	stencilIters := flag.Int("stencil-iters", bench.NewEnv().StencilIters, "stencil iterations per configuration")
 	calibration := flag.String("calibration", "", "JSON file overriding the default platform calibration")
 	showMetrics := flag.Bool("metrics", false, "print the telemetry summary after the run")
 	traceFile := flag.String("tracefile", "", "write the run's spans as Chrome trace-event JSON to this file")
@@ -41,9 +41,10 @@ func main() {
 	faultSpec := flag.String("faults", "", "deterministic fault plan, e.g. seed=7,rate=0.01 (keys: seed, rate, ib, ib-delivered, cmd, dma, dma-abort, cmd-deadline, cmd-backoff, dma-delay-time, max-retries)")
 	flag.Parse()
 
-	bench.StencilIters = *stencilIters
+	env := bench.NewEnv()
+	env.StencilIters = *stencilIters
 	if *showMetrics || *traceFile != "" || *metricsJSON != "" {
-		bench.Metrics = metrics.New()
+		env.Metrics = metrics.New()
 	}
 	if *faultSpec != "" {
 		plan, err := faults.Parse(*faultSpec)
@@ -51,11 +52,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "dcfabench:", err)
 			os.Exit(2)
 		}
-		bench.FaultPlan = plan
+		env.Faults = plan
 	}
 	// finish emits the telemetry the run accumulated.
 	finish := func() {
-		if reg := bench.Metrics; reg != nil {
+		if reg := env.Metrics; reg != nil {
 			if *showMetrics {
 				fmt.Println()
 				reg.WriteSummary(os.Stdout)
@@ -106,9 +107,9 @@ func main() {
 
 	if *all {
 		bench.Table1(out)
-		bench.Table2(out, bench.MsgSizes)
+		bench.Table2(out, env.MsgSizes)
 		bench.Table3(out)
-		for _, f := range bench.AllFigures(plat) {
+		for _, f := range env.AllFigures(plat) {
 			f.Render(out)
 		}
 		finish()
@@ -141,7 +142,7 @@ func main() {
 	case 1:
 		bench.Table1(out)
 	case 2:
-		bench.Table2(out, bench.MsgSizes)
+		bench.Table2(out, env.MsgSizes)
 	case 3:
 		bench.Table3(out)
 	default:
@@ -151,19 +152,19 @@ func main() {
 	switch *fig {
 	case 0:
 	case 5:
-		bench.Figure5(plat).Render(out)
+		env.Figure5(plat).Render(out)
 	case 7:
-		bench.Figure7(plat).Render(out)
+		env.Figure7(plat).Render(out)
 	case 8:
-		bench.Figure8(plat).Render(out)
+		env.Figure8(plat).Render(out)
 	case 9:
-		bench.Figure9(plat).Render(out)
+		env.Figure9(plat).Render(out)
 	case 10:
-		bench.Figure10(plat).Render(out)
+		env.Figure10(plat).Render(out)
 	case 11:
-		bench.Figure11(plat).Render(out)
+		env.Figure11(plat).Render(out)
 	case 12:
-		bench.Figure12(plat).Render(out)
+		env.Figure12(plat).Render(out)
 	default:
 		fmt.Fprintf(os.Stderr, "dcfabench: unknown figure %d (figures 1-4 and 6 are architecture diagrams, not measurements)\n", *fig)
 		os.Exit(2)

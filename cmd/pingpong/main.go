@@ -114,19 +114,20 @@ func main() {
 	if *traceFile != "" {
 		writeShowcaseTrace(plat, *traceFile)
 	}
+	env := bench.NewEnv()
 	if *showMetrics {
-		bench.Metrics = metrics.New()
+		env.Metrics = metrics.New()
 	}
 
-	rtts := bench.BlockingPingPongRTTs(plat, m, bench.MsgSizes, *iters)
+	rtts := env.BlockingPingPongRTTs(plat, m, env.MsgSizes, *iters)
 	fmt.Printf("blocking ping-pong, mode=%s (%d iterations per size)\n", m, *iters)
 	fmt.Printf("%10s %14s %12s\n", "bytes", "RTT", "GB/s")
-	for i, n := range bench.MsgSizes {
+	for i, n := range env.MsgSizes {
 		bw := float64(n) / (float64(rtts[i]/2) / float64(sim.Second)) / 1e9
 		fmt.Printf("%10d %14v %12.3f\n", n, rtts[i], bw)
 	}
-	if bench.Metrics != nil {
+	if env.Metrics != nil {
 		fmt.Println()
-		bench.Metrics.WriteSummary(os.Stdout)
+		env.Metrics.WriteSummary(os.Stdout)
 	}
 }

@@ -9,6 +9,7 @@
 //	go run ./cmd/simlint -rules all,-floatsum ./...
 //	go run ./cmd/simlint -json ./...
 //	go run ./cmd/simlint -baseline lint.baseline ./...
+//	go run ./cmd/simlint -list
 //
 // -rules takes a comma-separated list applied left to right: a bare
 // name includes that rule, a -prefixed name excludes it, and "all"
@@ -32,6 +33,11 @@
 //
 //	//simlint:ignore rule reason the construct is safe here
 //
+// Two further directives steer the hotalloc rule: //simlint:hot on a
+// function declaration seeds it as a hot root, and //simlint:cold
+// excludes a function (a fault-recovery or retransmission path) from
+// the hot set even when hot code calls it.
+//
 // The analyzers (see repro/internal/analysis):
 //
 //	nondet    wall-clock time, math/rand globals, env reads in sim-driven packages
@@ -47,6 +53,14 @@
 //	bufhazard no write (or, for Irecv, read) of a buffer between Isend/Irecv and its Wait/Test
 //	blockcycle symmetric blocking Send/Recv orderings that deadlock past the eager limit
 //	collorder collectives reachable only under rank-dependent branches or early exits
+//	hotalloc  per-event allocations, interface boxing, and redundant same-domain copies on the event-dispatch hot path
+//	globalmut package-level mutable state shared across simulator instances
+//
+// Every rule carries a scope, printed by -list: intraprocedural rules
+// judge one function body at a time, interprocedural rules consult
+// per-function summaries over the package call graph, and
+// whole-package rules (globalmut) need every function's effects before
+// they can report anything.
 //
 // The four lifecycle rules are interprocedural within a package: each
 // same-package function gets an obligation summary (acquire, release,
@@ -123,8 +137,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	if *list {
+		// One rule per line: name, scope, description. The name stays
+		// the first field so shell pipelines ($1) keep working.
 		for _, a := range analyzers {
-			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-10s %-16s %s\n", a.Name, a.Scope, a.Doc)
 		}
 		return exitClean
 	}

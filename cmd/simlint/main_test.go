@@ -14,9 +14,23 @@ func TestRunListExitsClean(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != exitClean {
 		t.Fatalf("run(-list) = %d, want %d (stderr: %s)", code, exitClean, errb.String())
 	}
-	for _, rule := range []string{"nondet", "mrleak", "mrpin", "offload", "reqwait"} {
+	for _, rule := range []string{"nondet", "mrleak", "mrpin", "offload", "reqwait", "hotalloc", "globalmut"} {
 		if !strings.Contains(out.String(), rule) {
 			t.Errorf("-list output missing rule %q", rule)
+		}
+	}
+	// Every line carries the rule's scope as the second column, with
+	// the name staying first so $1 pipelines keep working.
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			t.Errorf("-list line too short: %q", line)
+			continue
+		}
+		switch fields[1] {
+		case "intraprocedural", "interprocedural", "whole-package":
+		default:
+			t.Errorf("-list line %q: second field %q is not a scope", line, fields[1])
 		}
 	}
 }

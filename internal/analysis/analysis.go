@@ -39,6 +39,20 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Rule, f.Message)
 }
 
+// Analyzer scope labels: how much of the program one rule reasons
+// about at a time. Reported by `simlint -list` so users know whether a
+// finding can depend on code far from its position.
+const (
+	// ScopeIntra: the rule looks at one function body at a time.
+	ScopeIntra = "intraprocedural"
+	// ScopeInter: the rule follows same-package calls through
+	// summaries or the call graph.
+	ScopeInter = "interprocedural"
+	// ScopeWholePackage: the rule reasons about package-level state and
+	// every function that can reach it.
+	ScopeWholePackage = "whole-package"
+)
+
 // An Analyzer checks one determinism invariant over a type-checked
 // package.
 type Analyzer struct {
@@ -47,6 +61,8 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description of the invariant.
 	Doc string
+	// Scope is one of ScopeIntra, ScopeInter, ScopeWholePackage.
+	Scope string
 	// AppliesTo reports whether the analyzer runs on the given
 	// package. Nil means it runs everywhere.
 	AppliesTo func(p *Pass) bool
@@ -56,7 +72,7 @@ type Analyzer struct {
 
 // All returns every analyzer in the suite, in report order.
 func All() []*Analyzer {
-	return []*Analyzer{Nondet, MapOrder, RawGo, ErrCheck, FloatSum, MRLeak, MRPin, Offload, ReqWait, Memdomain, BufHazard, BlockCycle, CollOrder}
+	return []*Analyzer{Nondet, MapOrder, RawGo, ErrCheck, FloatSum, MRLeak, MRPin, Offload, ReqWait, Memdomain, BufHazard, BlockCycle, CollOrder, HotAlloc, GlobalMut}
 }
 
 // ByName selects analyzers from a comma-separated list, or All() when

@@ -12,7 +12,7 @@ import (
 )
 
 // ruleDirs pairs each analyzer with its testdata corpus.
-var ruleDirs = []*Analyzer{Nondet, MapOrder, RawGo, ErrCheck, FloatSum, MRLeak, MRPin, Offload, ReqWait, Memdomain, BufHazard, BlockCycle, CollOrder}
+var ruleDirs = []*Analyzer{Nondet, MapOrder, RawGo, ErrCheck, FloatSum, MRLeak, MRPin, Offload, ReqWait, Memdomain, BufHazard, BlockCycle, CollOrder, HotAlloc, GlobalMut}
 
 // loadTestdata type-checks testdata/src/<rule> as a synthetic package
 // outside the module, which every analyzer treats as in scope.
@@ -203,6 +203,33 @@ func TestSummaryDumpDeterministic(t *testing.T) {
 	if !strings.Contains(c1, "chunk=4096") {
 		t.Errorf("blockcycle const summary missing chunk=4096:\n%s", c1)
 	}
+
+	// The scalability rules add two more summary layers: hotalloc's
+	// per-parameter escape bits and globalmut's transitive write
+	// effects. Same contract: byte-identical across independent loads.
+	scaleDump := func() string {
+		var b strings.Builder
+		_, pass := loadTestdata(t, "hotalloc")
+		b.WriteString("== escape/hotalloc\n")
+		b.WriteString(EscapeSummaryDump(pass))
+		_, pass = loadTestdata(t, "globalmut")
+		b.WriteString("== writes/globalmut\n")
+		b.WriteString(WriteEffectDump(pass))
+		return b.String()
+	}
+	s1, s2 := scaleDump(), scaleDump()
+	if s1 != s2 {
+		t.Errorf("scalability-rule summary dumps differ between loads:\n--- first\n%s\n--- second\n%s", s1, s2)
+	}
+	for _, want := range []string{
+		"hotalloc.use: p0=borrow",
+		"globalmut.set: writes globalmut.cache",
+		"globalmut.bump: writes globalmut.Count",
+	} {
+		if !strings.Contains(s1, want) {
+			t.Errorf("scalability summary dump missing %q\ndump:\n%s", want, s1)
+		}
+	}
 }
 
 // TestExactlyOneAnalyzer verifies the corpus seeds are disjoint: on
@@ -248,7 +275,10 @@ func TestSuppressionComments(t *testing.T) {
 }
 
 // TestRepoIsClean runs the full suite (tests included) over the entire
-// module — the CI acceptance gate in unit-test form.
+// module — the CI acceptance gate in unit-test form. Like CI it
+// subtracts lint.baseline: the baseline holds the accepted hot-path
+// findings (trace-argument boxing, per-message protocol state, the
+// hardware model's completion closures), and anything beyond it fails.
 func TestRepoIsClean(t *testing.T) {
 	root, err := FindModuleRoot(".")
 	if err != nil {
@@ -263,7 +293,11 @@ func TestRepoIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, f := range findings {
+	base, err := LoadBaseline(filepath.Join(root, "lint.baseline"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range base.Filter(root, findings) {
 		t.Errorf("%v", f)
 	}
 }
@@ -307,6 +341,19 @@ func TestEveryRuleHasCorpus(t *testing.T) {
 // TestByName covers rule-subset selection, including the exclusion
 // syntax: -name removes a rule, "all" expands the full set, and a
 // leading exclusion implicitly starts from everything.
+// TestEveryRuleHasScope pins the registry contract: each analyzer
+// declares one of the three scope levels, which simlint -list prints
+// so a reader knows how much context a finding consumed.
+func TestEveryRuleHasScope(t *testing.T) {
+	for _, a := range All() {
+		switch a.Scope {
+		case ScopeIntra, ScopeInter, ScopeWholePackage:
+		default:
+			t.Errorf("rule %q declares no scope (got %q)", a.Name, a.Scope)
+		}
+	}
+}
+
 func TestByName(t *testing.T) {
 	as, err := ByName("nondet,rawgo")
 	if err != nil || len(as) != 2 || as[0].Name != "nondet" || as[1].Name != "rawgo" {

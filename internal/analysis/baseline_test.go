@@ -26,6 +26,12 @@ func TestBaselineRoundTrip(t *testing.T) {
 	findings := []Finding{
 		fakeFinding(filepath.Join(root, "a", "a.go"), 10, "mrleak", "leaked"),
 		fakeFinding(filepath.Join(root, "b", "b.go"), 20, "nondet", "time.Now"),
+		// The scalability rules name call chains, never line numbers,
+		// precisely so their findings survive this round trip.
+		fakeFinding(filepath.Join(root, "a", "a.go"), 30, "hotalloc",
+			"&arrival{} escapes: heap allocation per event (hot path: handlePacket)"),
+		fakeFinding(filepath.Join(root, "b", "b.go"), 40, "globalmut",
+			"write to package-level bench.StencilIters in Figure11: state shared across engine instances; thread it through an instance struct instead"),
 	}
 	if err := WriteBaseline(path, root, findings); err != nil {
 		t.Fatal(err)
@@ -39,6 +45,10 @@ func TestBaselineRoundTrip(t *testing.T) {
 	moved := []Finding{
 		fakeFinding(filepath.Join(root, "a", "a.go"), 99, "mrleak", "leaked"),
 		fakeFinding(filepath.Join(root, "b", "b.go"), 1, "nondet", "time.Now"),
+		fakeFinding(filepath.Join(root, "a", "a.go"), 7, "hotalloc",
+			"&arrival{} escapes: heap allocation per event (hot path: handlePacket)"),
+		fakeFinding(filepath.Join(root, "b", "b.go"), 3, "globalmut",
+			"write to package-level bench.StencilIters in Figure11: state shared across engine instances; thread it through an instance struct instead"),
 	}
 	if got := b.Filter(root, moved); len(got) != 0 {
 		t.Errorf("baseline did not absorb line-shifted findings: %v", got)

@@ -29,6 +29,7 @@ import (
 // defeat that proof — a documented false-negative boundary.
 var BlockCycle = &Analyzer{
 	Name:      "blockcycle",
+	Scope:     ScopeInter,
 	Doc:       "no symmetric blocking Send/Recv orderings that deadlock past the eager limit",
 	AppliesTo: notTestPackage,
 	Run:       runBlockCycle,

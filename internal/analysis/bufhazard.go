@@ -21,6 +21,7 @@ import (
 // are reported.
 var BufHazard = &Analyzer{
 	Name:      "bufhazard",
+	Scope:     ScopeInter,
 	Doc:       "no buffer access may overlap a pending Isend/Irecv before its Wait/Test",
 	AppliesTo: notTestPackage,
 	Run:       runBufHazard,

@@ -21,6 +21,7 @@ import "go/ast"
 // documented false-negative boundary.
 var CollOrder = &Analyzer{
 	Name:      "collorder",
+	Scope:     ScopeInter,
 	Doc:       "collectives must not be reachable only under rank-dependent control flow",
 	AppliesTo: notTestPackage,
 	Run:       runCollOrder,

@@ -23,9 +23,10 @@ var mpiOps = map[string]bool{
 // either as a bare statement or by assigning the error position to the
 // blank identifier.
 var ErrCheck = &Analyzer{
-	Name: "errcheck",
-	Doc:  "forbid dropped error returns from MPI operations (Send/Recv/Wait/collectives/Run)",
-	Run:  runErrCheck,
+	Name:  "errcheck",
+	Scope: ScopeIntra,
+	Doc:   "forbid dropped error returns from MPI operations (Send/Recv/Wait/collectives/Run)",
+	Run:   runErrCheck,
 }
 
 func runErrCheck(p *Pass) {

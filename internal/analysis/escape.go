@@ -1,0 +1,480 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file implements the two-point escape lattice (local / escaped)
+// the hotalloc rule uses to decide which allocation sites on the hot
+// path actually reach the heap. The model is deliberately simple and
+// errs toward "escaped":
+//
+//   - Allocation sites are &T{} operands, new(T) calls, slice/map
+//     composite literals, and function literals.
+//   - Each local variable holds a set of sites; assignments, value
+//     specs, and range clauses propagate the sets to a fixpoint.
+//   - A site escapes when a value holding it is stored through a
+//     pointer/field/index, assigned to a package-level variable,
+//     returned, sent on a channel, deferred, handed to go, captured by
+//     an escaping closure, or passed to a call whose summary (or lack
+//     of one) escapes that argument.
+//
+// Per-parameter escape summaries are computed bottom-up over the call
+// graph so that passing a buffer to a same-package helper that only
+// reads it does not count as an escape. Recursive components and
+// external callees escape every argument.
+
+// escFlow solves the escape lattice for one function body.
+type escFlow struct {
+	p *Pass
+	// sums holds the per-parameter escape summaries of same-package
+	// functions (true = that argument escapes through the callee).
+	sums map[*types.Func][]bool
+	// holds maps a variable to the allocation sites its value may hold.
+	holds map[types.Object]map[ast.Node]bool
+	// escaped is the solution: the sites that reach the heap.
+	escaped map[ast.Node]bool
+	// funcLits remembers every literal seen, for the capture phase.
+	funcLits []*ast.FuncLit
+}
+
+func newEscFlow(p *Pass, sums map[*types.Func][]bool) *escFlow {
+	return &escFlow{
+		p:       p,
+		sums:    sums,
+		holds:   map[types.Object]map[ast.Node]bool{},
+		escaped: map[ast.Node]bool{},
+	}
+}
+
+// isEscSite reports whether n is an allocation site tracked by the
+// lattice.
+func (ef *escFlow) isEscSite(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.UnaryExpr:
+		if n.Op != token.AND {
+			return false
+		}
+		_, ok := unparen(n.X).(*ast.CompositeLit)
+		return ok
+	case *ast.CompositeLit:
+		tv, ok := ef.p.Info.Types[n]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		switch tv.Type.Underlying().(type) {
+		case *types.Slice, *types.Map:
+			return true
+		}
+		return false
+	case *ast.CallExpr:
+		return isBuiltinCall(ef.p, n, "new")
+	case *ast.FuncLit:
+		return true
+	}
+	return false
+}
+
+// holdsOf returns the set of sites the expression's value may hold.
+// The returned map must not be mutated by callers.
+func (ef *escFlow) holdsOf(e ast.Expr) map[ast.Node]bool {
+	e = unparen(e)
+	if ef.isEscSite(e) {
+		out := map[ast.Node]bool{e: true}
+		// A composite literal also holds whatever its elements hold
+		// (e.g. []*T{&T{...}}); the inner site escapes with the outer.
+		if lit, ok := e.(*ast.CompositeLit); ok {
+			ef.addElemHolds(lit, out)
+		}
+		if u, ok := e.(*ast.UnaryExpr); ok {
+			if lit, ok := unparen(u.X).(*ast.CompositeLit); ok {
+				ef.addElemHolds(lit, out)
+			}
+		}
+		return out
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := ef.p.objOf(e); obj != nil {
+			return ef.holds[obj]
+		}
+	case *ast.UnaryExpr:
+		return ef.holdsOf(e.X)
+	case *ast.StarExpr:
+		return ef.holdsOf(e.X)
+	case *ast.IndexExpr:
+		return ef.holdsOf(e.X)
+	case *ast.SliceExpr:
+		return ef.holdsOf(e.X)
+	case *ast.SelectorExpr:
+		return ef.holdsOf(e.X)
+	case *ast.CompositeLit:
+		out := map[ast.Node]bool{}
+		ef.addElemHolds(e, out)
+		return out
+	case *ast.TypeAssertExpr:
+		return ef.holdsOf(e.X)
+	case *ast.CallExpr:
+		if isBuiltinCall(ef.p, e, "append") {
+			out := map[ast.Node]bool{}
+			for _, a := range e.Args {
+				for s := range ef.holdsOf(a) {
+					out[s] = true
+				}
+			}
+			return out
+		}
+		// Other calls: results are not tracked back to argument sites —
+		// a helper that stashes and returns its argument is a false
+		// negative here, accepted for simplicity (its own summary still
+		// escapes the argument if it stores it anywhere lasting).
+	}
+	return nil
+}
+
+// addElemHolds unions the holds of a composite literal's elements into
+// dst.
+func (ef *escFlow) addElemHolds(lit *ast.CompositeLit, dst map[ast.Node]bool) {
+	for _, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			el = kv.Value
+		}
+		for s := range ef.holdsOf(el) {
+			dst[s] = true
+		}
+	}
+}
+
+// escapeSet marks every site in set escaped; reports change.
+func (ef *escFlow) escapeSet(set map[ast.Node]bool) bool {
+	changed := false
+	for s := range set {
+		if !ef.escaped[s] {
+			ef.escaped[s] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// bind unions set into the variable's holds; reports change.
+func (ef *escFlow) bind(obj types.Object, set map[ast.Node]bool) bool {
+	if len(set) == 0 {
+		return false
+	}
+	h := ef.holds[obj]
+	if h == nil {
+		h = map[ast.Node]bool{}
+		ef.holds[obj] = h
+	}
+	changed := false
+	for s := range set {
+		if !h[s] {
+			h[s] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// localVar returns the object behind an identifier LHS if it is a
+// local (function-scoped) variable, nil otherwise.
+func (ef *escFlow) localVar(e ast.Expr) types.Object {
+	id, ok := unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	obj := ef.p.objOf(id)
+	if obj == nil {
+		return nil
+	}
+	if v, ok := obj.(*types.Var); ok && obj.Parent() != ef.p.Types.Scope() && !v.IsField() {
+		return obj
+	}
+	return nil
+}
+
+// solve runs the flow + sink walks over body to a fixpoint.
+// paramSeeds optionally pre-binds parameter objects to synthetic site
+// nodes (used when computing per-parameter escape summaries).
+func (ef *escFlow) solve(body *ast.BlockStmt, paramSeeds map[types.Object]ast.Node) {
+	for obj, site := range paramSeeds {
+		ef.bind(obj, map[ast.Node]bool{site: true})
+	}
+	// The escape and holds sets only grow, so iteration terminates; the
+	// bound is a safety net for pathological bodies.
+	for iter := 0; iter < 10; iter++ {
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				changed = ef.assign(n.Lhs, n.Rhs) || changed
+			case *ast.ValueSpec:
+				if len(n.Values) > 0 {
+					lhs := make([]ast.Expr, len(n.Names))
+					for i, id := range n.Names {
+						lhs[i] = id
+					}
+					changed = ef.assign(lhs, n.Values) || changed
+				}
+			case *ast.RangeStmt:
+				// Ranging over a slice of sites aliases its elements.
+				set := ef.holdsOf(n.X)
+				if n.Value != nil {
+					if obj := ef.localVar(n.Value); obj != nil {
+						changed = ef.bind(obj, set) || changed
+					}
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					changed = ef.escapeSet(ef.holdsOf(r)) || changed
+				}
+			case *ast.SendStmt:
+				changed = ef.escapeSet(ef.holdsOf(n.Value)) || changed
+			case *ast.GoStmt:
+				changed = ef.escapeCall(n.Call, true) || changed
+			case *ast.DeferStmt:
+				changed = ef.escapeCall(n.Call, true) || changed
+			case *ast.CallExpr:
+				changed = ef.sinkCall(n) || changed
+			case *ast.FuncLit:
+				ef.noteFuncLit(n)
+			}
+			return true
+		})
+		// Capture phase: an escaped closure carries its captured
+		// variables' sites to the heap with it.
+		for _, lit := range ef.funcLits {
+			if !ef.escaped[lit] {
+				continue
+			}
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := ef.p.objOf(id)
+				if obj == nil || !ef.p.declaredOutside(id, lit) {
+					return true
+				}
+				changed = ef.escapeSet(ef.holds[obj]) || changed
+				return true
+			})
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// noteFuncLit remembers a literal for the capture phase (each literal
+// once).
+func (ef *escFlow) noteFuncLit(lit *ast.FuncLit) {
+	for _, l := range ef.funcLits {
+		if l == lit {
+			return
+		}
+	}
+	ef.funcLits = append(ef.funcLits, lit)
+}
+
+// assign propagates one (possibly parallel) assignment; reports
+// change.
+func (ef *escFlow) assign(lhs, rhs []ast.Expr) bool {
+	changed := false
+	if len(lhs) != len(rhs) {
+		// Multi-value call or comma-ok: results are untracked, but the
+		// call's arguments still sink below via the CallExpr case.
+		return false
+	}
+	for i := range lhs {
+		set := ef.holdsOf(rhs[i])
+		if len(set) == 0 {
+			continue
+		}
+		if id, ok := unparen(lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+			continue // discarded, not stored
+		}
+		if obj := ef.localVar(lhs[i]); obj != nil {
+			changed = ef.bind(obj, set) || changed
+			continue
+		}
+		// Stores through fields, indexes, dereferences, and writes to
+		// package-level variables all leave the frame.
+		changed = ef.escapeSet(set) || changed
+	}
+	return changed
+}
+
+// escapeCall escapes the function expression and every argument of a
+// call (go/defer, or a callee with no usable summary).
+func (ef *escFlow) escapeCall(call *ast.CallExpr, withFun bool) bool {
+	changed := false
+	if withFun {
+		changed = ef.escapeSet(ef.holdsOf(call.Fun)) || changed
+	}
+	for _, a := range call.Args {
+		changed = ef.escapeSet(ef.holdsOf(a)) || changed
+	}
+	return changed
+}
+
+// escBorrowBuiltins neither retain nor leak their arguments.
+var escBorrowBuiltins = map[string]bool{
+	"len": true, "cap": true, "copy": true, "delete": true,
+	"print": true, "println": true, "clear": true, "min": true, "max": true,
+}
+
+// sinkCall applies a call's effect on its arguments; reports change.
+func (ef *escFlow) sinkCall(call *ast.CallExpr) bool {
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if b, isB := ef.p.Info.Uses[id].(*types.Builtin); isB {
+			switch {
+			case escBorrowBuiltins[b.Name()]:
+				return false
+			case b.Name() == "append":
+				return false // flows via holdsOf, not a sink by itself
+			case b.Name() == "panic":
+				return ef.escapeCall(call, false)
+			default:
+				return false
+			}
+		}
+	}
+	callee := ef.p.calledFunc(call)
+	if callee == nil {
+		// Function values, interface methods, conversions: escape
+		// everything handed over.
+		changed := ef.escapeCall(call, false)
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			changed = ef.escapeSet(ef.holdsOf(sel.X)) || changed
+		}
+		return changed
+	}
+	bits, known := ef.sums[callee]
+	if !known {
+		// Other-package callee: no summary, assume the worst. The
+		// receiver of a method call may retain too.
+		changed := ef.escapeCall(call, false)
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+			changed = ef.escapeSet(ef.holdsOf(sel.X)) || changed
+		}
+		return changed
+	}
+	// Same-package summarized callee: receivers borrow, parameters
+	// follow their summary bit; variadic extras follow the last bit.
+	sig := callee.Type().(*types.Signature)
+	np := sig.Params().Len()
+	changed := false
+	for i, a := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= np-1 {
+			pi = np - 1
+		}
+		if pi < len(bits) && !bits[pi] {
+			continue
+		}
+		changed = ef.escapeSet(ef.holdsOf(a)) || changed
+	}
+	return changed
+}
+
+// escapeSummaries computes the per-parameter escape summaries for
+// every function in the pass, bottom-up over the call graph. The
+// result is cached on first use by hotalloc's flow.
+func escapeSummaries(p *Pass) map[*types.Func][]bool {
+	g := p.CallGraph()
+	sums := map[*types.Func][]bool{}
+	for _, scc := range g.SCCs {
+		if len(scc) > 1 || g.selfRecursive(scc[0]) {
+			// Recursion: stay conservative rather than fixpointing —
+			// every parameter escapes.
+			for _, fn := range scc {
+				sig := fn.Type().(*types.Signature)
+				bits := make([]bool, sig.Params().Len())
+				for i := range bits {
+					bits[i] = true
+				}
+				sums[fn] = bits
+			}
+			continue
+		}
+		fn := scc[0]
+		sums[fn] = summarizeEscape(p, sums, fn, g.Funcs[fn])
+	}
+	return sums
+}
+
+// summarizeEscape computes one non-recursive function's summary: seed
+// each parameter with a synthetic site (its defining identifier) and
+// read which sites the solved body lets out of the frame.
+func summarizeEscape(p *Pass, sums map[*types.Func][]bool, fn *types.Func, fd *ast.FuncDecl) []bool {
+	sig := fn.Type().(*types.Signature)
+	np := sig.Params().Len()
+	bits := make([]bool, np)
+	if np == 0 {
+		return bits
+	}
+	ef := newEscFlow(p, sums)
+	seeds := map[types.Object]ast.Node{}
+	siteByIndex := make([]ast.Node, np)
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			idx++
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := p.Info.Defs[name]; obj != nil && name.Name != "_" {
+				seeds[obj] = name
+				if idx < np {
+					siteByIndex[idx] = name
+				}
+			}
+			idx++
+		}
+	}
+	ef.solve(fd.Body, seeds)
+	for i, site := range siteByIndex {
+		if site != nil && ef.escaped[site] {
+			bits[i] = true
+		}
+	}
+	return bits
+}
+
+// EscapeSummaryDump renders the pass's parameter-escape summaries as
+// deterministic text (sorted by qualified function name), one line per
+// function with parameters, e.g.:
+//
+//	repro/x.Send: p0=escape p1=borrow
+//
+// Exposed for the summary-determinism tests.
+func EscapeSummaryDump(p *Pass) string {
+	sums := escapeSummaries(p)
+	var fns []*types.Func
+	for fn := range sums {
+		if len(sums[fn]) > 0 {
+			fns = append(fns, fn)
+		}
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].FullName() < fns[j].FullName() })
+	var b strings.Builder
+	for _, fn := range fns {
+		fmt.Fprintf(&b, "%s:", fn.FullName())
+		for i, esc := range sums[fn] {
+			verdict := "borrow"
+			if esc {
+				verdict = "escape"
+			}
+			fmt.Fprintf(&b, " p%d=%s", i, verdict)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -14,9 +14,10 @@ import (
 // reference with ==). Deterministic reductions iterate sorted keys or
 // fold rank-ordered partials, the way core's Allreduce does.
 var FloatSum = &Analyzer{
-	Name: "floatsum",
-	Doc:  "forbid float accumulation in map-iteration or goroutine order",
-	Run:  runFloatSum,
+	Name:  "floatsum",
+	Scope: ScopeIntra,
+	Doc:   "forbid float accumulation in map-iteration or goroutine order",
+	Run:   runFloatSum,
 }
 
 func runFloatSum(p *Pass) {

@@ -1,0 +1,520 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// HotAlloc flags per-event performance hazards on the simulator's
+// event-dispatch hot path. The hot set is seeded from event-dispatch
+// entry points — function literals handed to sim.Engine.At/After (the
+// hardware completion path) — and from functions carrying a
+// //simlint:hot marker (the protocol progress functions), then
+// propagated over the package call graph. A //simlint:cold marker is
+// the inverse escape hatch: the marked function is excluded from the
+// hot set even when hot code calls it, and hotness does not propagate
+// through it — for fault-recovery and retransmission paths that only
+// run when something already went wrong. Inside hot code the rule
+// reports:
+//
+//   - make calls and escaping allocations (&T{}, new, slice/map
+//     literals) — a heap allocation per dispatched event;
+//   - append whose result binds to a different variable than its base
+//     (fresh growth per event; x = append(x, ...) is amortized and
+//     exempt);
+//   - implicit interface boxing of non-pointer values at call sites;
+//   - escaping closures and defer inside loops;
+//   - copy calls whose source and destination provably live in the
+//     same memory domain (riding the memdomain taint) — the copy could
+//     be aliased away.
+//
+// Escape decisions come from a two-point lattice (local/escaped)
+// solved to a fixpoint over each function's object flow, consulting
+// bottom-up per-parameter escape summaries at same-package call sites;
+// unknown callees escape their arguments. Code inside panic(...)
+// arguments is exempt (the panic path is cold by definition). Every
+// finding names the call chain from its hot root, never a line number,
+// so baseline entries survive unrelated edits.
+var HotAlloc = &Analyzer{
+	Name:      "hotalloc",
+	Doc:       "per-event allocations, interface boxing, and redundant same-domain copies on the event-dispatch hot path",
+	Scope:     ScopeInter,
+	AppliesTo: notTestPackage,
+	Run:       runHotAlloc,
+}
+
+// hotMarker is the directive that seeds a hot root explicitly;
+// coldMarker excludes a function from the hot set even when it is
+// reachable from one — the escape hatch for fault-recovery and
+// retransmission paths that hot dispatch code calls but that only run
+// when something already went wrong. Cold wins over hot, and hotness
+// does not propagate through a cold function to its callees.
+const (
+	hotMarker  = "//simlint:hot"
+	coldMarker = "//simlint:cold"
+)
+
+// hotRegion is one body to scan: a hot function declaration or a root
+// function literal, with the call chain that made it hot.
+type hotRegion struct {
+	body  *ast.BlockStmt
+	decl  *ast.FuncDecl // enclosing declaration, for escape analysis
+	chain string
+}
+
+func runHotAlloc(p *Pass) {
+	g := p.CallGraph()
+
+	// Marker roots: declarations annotated //simlint:hot. Cold-marked
+	// declarations are barriers: never hot, never propagated through.
+	marked := markedFuncs(p, g, hotMarker)
+	cold := markedFuncs(p, g, coldMarker)
+
+	// Callback roots: function literals passed to Engine.At/After, plus
+	// the same-package functions they call (the literal's calls are
+	// attributed to its enclosing declaration in the call graph, which
+	// may itself be cold, so the literal body is walked directly).
+	type litRoot struct {
+		lit   *ast.FuncLit
+		decl  *ast.FuncDecl
+		label string
+	}
+	var litRoots []litRoot
+	seeds := map[*types.Func]string{} // fn -> chain label of its root
+	var seedOrder []*types.Func
+	for _, fn := range funcsInOrder(g) {
+		fd := g.Funcs[fn]
+		if marked[fn] && !cold[fn] {
+			if _, ok := seeds[fn]; !ok {
+				seeds[fn] = fn.Name()
+				seedOrder = append(seedOrder, fn)
+			}
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isEngineCallback(p, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				lit, ok := arg.(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				label := "Engine callback in " + fn.Name()
+				litRoots = append(litRoots, litRoot{lit: lit, decl: fd, label: label})
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					c, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					callee := p.calledFunc(c)
+					if callee == nil {
+						return true
+					}
+					if _, declared := g.Funcs[callee]; !declared {
+						return true
+					}
+					if cold[callee] {
+						return true
+					}
+					if _, ok := seeds[callee]; !ok {
+						seeds[callee] = label + " → " + callee.Name()
+						seedOrder = append(seedOrder, callee)
+					}
+					return true
+				})
+			}
+			return true
+		})
+	}
+	if len(seedOrder) == 0 && len(litRoots) == 0 {
+		return
+	}
+
+	// Propagate hotness breadth-first over the call graph, recording
+	// the (first, shortest) chain that reaches each function.
+	chains := map[*types.Func]string{}
+	queue := append([]*types.Func(nil), seedOrder...)
+	for _, fn := range seedOrder {
+		chains[fn] = seeds[fn]
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range g.Calls[fn] {
+			if _, seen := chains[callee]; seen {
+				continue
+			}
+			if cold[callee] {
+				continue
+			}
+			chains[callee] = chains[fn] + " → " + callee.Name()
+			queue = append(queue, callee)
+		}
+	}
+
+	// Collect the regions to scan, in source order.
+	var regions []hotRegion
+	for _, fn := range funcsInOrder(g) {
+		if chain, hot := chains[fn]; hot {
+			regions = append(regions, hotRegion{body: g.Funcs[fn].Body, decl: g.Funcs[fn], chain: chain})
+		}
+	}
+	for _, lr := range litRoots {
+		regions = append(regions, hotRegion{body: lr.lit.Body, decl: lr.decl, chain: lr.label})
+	}
+	sort.SliceStable(regions, func(i, j int) bool { return regions[i].body.Pos() < regions[j].body.Pos() })
+
+	sums := escapeSummaries(p)
+	hf := &hotallocFlow{p: p, sums: sums, reported: map[token.Pos]bool{}, escCache: map[*ast.FuncDecl]*escFlow{}}
+	for _, r := range regions {
+		hf.scan(r)
+	}
+}
+
+// markedFuncs returns the declarations carrying the given directive,
+// either inside the doc comment group or on the line directly above
+// the declaration.
+func markedFuncs(p *Pass, g *CallGraph, marker string) map[*types.Func]bool {
+	markerLines := map[string]map[int]bool{}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, marker) {
+					pos := p.Fset.Position(c.Pos())
+					if markerLines[pos.Filename] == nil {
+						markerLines[pos.Filename] = map[int]bool{}
+					}
+					markerLines[pos.Filename][pos.Line] = true
+				}
+			}
+		}
+	}
+	out := map[*types.Func]bool{}
+	for fn, fd := range g.Funcs {
+		if fd.Doc != nil {
+			for _, c := range fd.Doc.List {
+				if strings.HasPrefix(c.Text, marker) {
+					out[fn] = true
+				}
+			}
+		}
+		pos := p.Fset.Position(fd.Pos())
+		if markerLines[pos.Filename][pos.Line-1] {
+			out[fn] = true
+		}
+	}
+	return out
+}
+
+// isEngineCallback reports whether the call schedules a hardware
+// completion: a method named At or After on a value of named type
+// Engine.
+func isEngineCallback(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != "At" && sel.Sel.Name != "After" {
+		return false
+	}
+	return recvTypeName(p, call) == "Engine"
+}
+
+// hotallocFlow scans hot regions and reports the per-event hazards.
+type hotallocFlow struct {
+	p        *Pass
+	sums     map[*types.Func][]bool
+	reported map[token.Pos]bool
+	escCache map[*ast.FuncDecl]*escFlow
+	// domSums holds the memdomain taint summaries, built only when a
+	// hot region contains a copy call.
+	domSums map[*types.Func]*domSummary
+}
+
+// reportOnce emits one finding per position: a region reachable from
+// two roots (or nested inside another hot region) reports only under
+// its first chain.
+func (hf *hotallocFlow) reportOnce(pos token.Pos, format string, args ...any) {
+	if hf.reported[pos] {
+		return
+	}
+	hf.reported[pos] = true
+	hf.p.Reportf(pos, format, args...)
+}
+
+// escapesFor returns the escape solution for the enclosing
+// declaration, computing it on first use.
+func (hf *hotallocFlow) escapesFor(decl *ast.FuncDecl) *escFlow {
+	if ef, ok := hf.escCache[decl]; ok {
+		return ef
+	}
+	ef := newEscFlow(hf.p, hf.sums)
+	ef.solve(decl.Body, nil)
+	hf.escCache[decl] = ef
+	return ef
+}
+
+// scan walks one hot region and reports its hazards.
+func (hf *hotallocFlow) scan(r hotRegion) {
+	ef := hf.escapesFor(r.decl)
+	// Appends consumed by an assignment are judged there (self-append
+	// exemption); the rest are per-event growth wherever they appear.
+	assignedAppends := map[*ast.CallExpr]bool{}
+	ast.Inspect(r.body, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok || len(a.Lhs) != len(a.Rhs) {
+			return true
+		}
+		for i := range a.Rhs {
+			if call, ok := unparen(a.Rhs[i]).(*ast.CallExpr); ok && isBuiltinCall(hf.p, call, "append") {
+				assignedAppends[call] = true
+				if len(call.Args) == 0 {
+					continue
+				}
+				if appendReusesBase(unparen(a.Lhs[i]), unparen(call.Args[0])) {
+					continue // x = append(x, ...) and x = append(x[:i], ...): capacity reuse
+				}
+				hf.reportOnce(call.Pos(),
+					"append result binds to %s, not its base %s: fresh slice growth per event (hot path: %s)",
+					types.ExprString(unparen(a.Lhs[i])), types.ExprString(unparen(call.Args[0])), r.chain)
+			}
+		}
+		return true
+	})
+
+	var coldEnd token.Pos // end of the innermost panic(...) argument list
+	ast.Inspect(r.body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		cold := coldEnd.IsValid() && n.Pos() < coldEnd
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isBuiltinCall(hf.p, n, "panic") {
+				// The panic path is cold: nothing inside its argument is
+				// a per-event cost.
+				if n.End() > coldEnd {
+					coldEnd = n.End()
+				}
+				return true
+			}
+			if cold {
+				return true
+			}
+			switch {
+			case isBuiltinCall(hf.p, n, "make"):
+				hf.reportOnce(n.Pos(), "make(%s) allocates per event (hot path: %s)",
+					types.ExprString(n.Args[0]), r.chain)
+			case isBuiltinCall(hf.p, n, "append") && !assignedAppends[n]:
+				base := "?"
+				if len(n.Args) > 0 {
+					base = types.ExprString(unparen(n.Args[0]))
+				}
+				hf.reportOnce(n.Pos(),
+					"append result used directly, not rebound to its base %s: fresh slice growth per event (hot path: %s)",
+					base, r.chain)
+			case isBuiltinCall(hf.p, n, "copy"):
+				hf.checkSameDomainCopy(n, r)
+			default:
+				hf.checkBoxing(n, r)
+			}
+		case *ast.UnaryExpr:
+			if cold {
+				return true
+			}
+			if n.Op == token.AND {
+				if lit, ok := unparen(n.X).(*ast.CompositeLit); ok && ef.escaped[n] {
+					hf.reportOnce(n.Pos(), "&%s{} escapes: heap allocation per event (hot path: %s)",
+						litTypeString(hf.p, lit), r.chain)
+				}
+			}
+		case *ast.CompositeLit:
+			if cold {
+				return true
+			}
+			if isSliceOrMapLit(hf.p, n) && ef.escaped[n] {
+				hf.reportOnce(n.Pos(), "%s literal escapes: heap allocation per event (hot path: %s)",
+					litTypeString(hf.p, n), r.chain)
+			}
+		case *ast.FuncLit:
+			if cold {
+				return true
+			}
+			if ef.escaped[n] {
+				hf.reportOnce(n.Pos(), "closure escapes: allocation per event for the function value and its captures (hot path: %s)", r.chain)
+			}
+		case *ast.ForStmt:
+			hf.checkDeferInLoop(n.Body, r)
+		case *ast.RangeStmt:
+			hf.checkDeferInLoop(n.Body, r)
+		}
+		return true
+	})
+
+	// new(T) is a call of the builtin; caught here so the escape gate
+	// applies like &T{}.
+	ast.Inspect(r.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBuiltinCall(hf.p, call, "new") {
+			return true
+		}
+		if ef.escaped[call] {
+			hf.reportOnce(call.Pos(), "new(%s) escapes: heap allocation per event (hot path: %s)",
+				types.ExprString(call.Args[0]), r.chain)
+		}
+		return true
+	})
+}
+
+// checkDeferInLoop reports defer statements lexically inside a loop
+// body (closures run their own scan).
+func (hf *hotallocFlow) checkDeferInLoop(body *ast.BlockStmt, r hotRegion) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if d, ok := n.(*ast.DeferStmt); ok {
+			hf.reportOnce(d.Pos(), "defer inside a loop accumulates until function exit: per-iteration cost on the hot path (hot path: %s)", r.chain)
+		}
+		return true
+	})
+}
+
+// checkBoxing reports non-pointer values implicitly converted to
+// interface parameters — each conversion heap-allocates the boxed
+// copy. Pointer-shaped values (pointers, channels, maps, funcs) store
+// directly in the interface word and are exempt.
+func (hf *hotallocFlow) checkBoxing(call *ast.CallExpr, r hotRegion) {
+	sig := hf.p.calleeSignature(call)
+	if sig == nil {
+		return
+	}
+	n := sig.Params().Len()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && call.Ellipsis.IsValid() && i >= n-1:
+			continue // the slice is passed through whole
+		case sig.Variadic() && i >= n-1:
+			pt = sig.Params().At(n - 1).Type()
+			if sl, ok := pt.Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < n:
+			pt = sig.Params().At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		tv, ok := hf.p.Info.Types[arg]
+		if !ok || tv.Type == nil || tv.IsNil() || types.IsInterface(tv.Type) || pointerShaped(tv.Type) {
+			continue
+		}
+		hf.reportOnce(arg.Pos(), "%s boxed into an interface argument: heap allocation per event (hot path: %s)",
+			types.TypeString(tv.Type, types.RelativeTo(hf.p.Types)), r.chain)
+	}
+}
+
+// checkSameDomainCopy reports copy(dst, src) whose operands provably
+// carry the same single memory-domain taint: within one domain the
+// bytes could be aliased instead of copied (the cross-domain staging
+// copy is the one the DCFA design actually needs).
+func (hf *hotallocFlow) checkSameDomainCopy(call *ast.CallExpr, r hotRegion) {
+	if len(call.Args) < 2 {
+		return
+	}
+	if hf.domSums == nil {
+		g := hf.p.CallGraph()
+		hf.domSums = map[*types.Func]*domSummary{}
+		for _, scc := range g.SCCs {
+			for _, fn := range scc {
+				hf.domSums[fn] = summarizeDomains(hf.p, hf.domSums, fn, g.Funcs[fn])
+			}
+		}
+	}
+	mf := &memdomainFlow{p: hf.p, sums: hf.domSums, objDom: map[types.Object]domVal{}}
+	mf.solveObjects(r.decl.Body)
+	dst := mf.domainOf(call.Args[0]).bits
+	src := mf.domainOf(call.Args[1]).bits
+	if dst != 0 && dst == src && (dst == domHost || dst == domMic) {
+		hf.reportOnce(call.Pos(),
+			"copy between two %s-domain buffers: redundant same-domain copy on the hot path, alias the payload instead (hot path: %s)",
+			domName(dst), r.chain)
+	}
+}
+
+// litTypeString renders a composite literal's type for messages.
+func litTypeString(p *Pass, lit *ast.CompositeLit) string {
+	if lit.Type != nil {
+		return types.ExprString(lit.Type)
+	}
+	if tv, ok := p.Info.Types[lit]; ok && tv.Type != nil {
+		return types.TypeString(tv.Type, types.RelativeTo(p.Types))
+	}
+	return "composite"
+}
+
+// isSliceOrMapLit reports whether the literal's type is a slice or map
+// — the composite-literal forms that always heap-allocate their
+// backing store when they escape. Struct values stay on the stack.
+func isSliceOrMapLit(p *Pass, lit *ast.CompositeLit) bool {
+	tv, ok := p.Info.Types[lit]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// pointerShaped reports whether a value of type t fits the interface
+// data word directly, so converting it to an interface allocates
+// nothing.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// isBuiltinCall reports whether the call invokes the named builtin.
+func isBuiltinCall(p *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// appendReusesBase reports whether rebinding an append result to lhs
+// reuses the base slice's capacity: the classic x = append(x, ...)
+// growth, and the delete/truncate idiom x = append(x[:i], x[j:]...),
+// where the first argument slices the very expression being assigned.
+func appendReusesBase(lhs, base ast.Expr) bool {
+	want := types.ExprString(lhs)
+	for {
+		if types.ExprString(base) == want {
+			return true
+		}
+		sl, ok := unparen(base).(*ast.SliceExpr)
+		if !ok || sl.Slice3 {
+			return false
+		}
+		base = unparen(sl.X)
+	}
+}

@@ -15,9 +15,10 @@ import (
 // change between runs. The sanctioned pattern is: collect keys, sort,
 // then iterate the sorted slice.
 var MapOrder = &Analyzer{
-	Name: "maporder",
-	Doc:  "forbid order-sensitive work (append/output/return/assignment) inside range-over-map",
-	Run:  runMapOrder,
+	Name:  "maporder",
+	Scope: ScopeIntra,
+	Doc:   "forbid order-sensitive work (append/output/return/assignment) inside range-over-map",
+	Run:   runMapOrder,
 }
 
 func runMapOrder(p *Pass) {

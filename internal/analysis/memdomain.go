@@ -25,6 +25,7 @@ import (
 // of a pair are known and disjoint — unknown stays silent.
 var Memdomain = &Analyzer{
 	Name:      "memdomain",
+	Scope:     ScopeInter,
 	Doc:       "host and mic memory domains must not mix within one registration, SGE, or work request",
 	AppliesTo: notTestPackage,
 	Run:       runMemdomain,

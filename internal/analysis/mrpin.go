@@ -20,6 +20,7 @@ var mrpinSpec = &lifecycleSpec{
 
 var MRPin = &Analyzer{
 	Name:      "mrpin",
+	Scope:     ScopeInter,
 	Doc:       "every MRCache.Get must be matched by MRCache.Release on all paths",
 	AppliesTo: notTestPackage,
 	Run:       func(p *Pass) { runLifecycle(p, mrpinSpec) },

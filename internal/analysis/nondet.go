@@ -37,8 +37,9 @@ var envFuncs = map[string]bool{
 // must flow from an explicit seeded *rand.Rand threaded through the
 // workload; configuration belongs in perfmodel calibrations.
 var Nondet = &Analyzer{
-	Name: "nondet",
-	Doc:  "forbid wall-clock time, ambient randomness, and env reads in sim-driven packages",
+	Name:  "nondet",
+	Scope: ScopeIntra,
+	Doc:   "forbid wall-clock time, ambient randomness, and env reads in sim-driven packages",
 	AppliesTo: func(p *Pass) bool {
 		if p.external() {
 			return true

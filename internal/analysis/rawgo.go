@@ -12,8 +12,9 @@ import (
 // else through the virtual calendar. Concurrency introduced anywhere
 // else races against that schedule and destroys reproducibility.
 var RawGo = &Analyzer{
-	Name: "rawgo",
-	Doc:  "forbid goroutines, sync primitives, and channels outside internal/sim",
+	Name:  "rawgo",
+	Scope: ScopeIntra,
+	Doc:   "forbid goroutines, sync primitives, and channels outside internal/sim",
 	AppliesTo: func(p *Pass) bool {
 		return !p.inModule("internal/sim")
 	},

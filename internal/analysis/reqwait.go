@@ -19,6 +19,7 @@ var reqwaitSpec = &lifecycleSpec{
 
 var ReqWait = &Analyzer{
 	Name:      "reqwait",
+	Scope:     ScopeInter,
 	Doc:       "every Isend/Irecv request must reach Wait/Test/WaitAll on all paths",
 	AppliesTo: notTestPackage,
 	Run:       func(p *Pass) { runLifecycle(p, reqwaitSpec) },

@@ -1,0 +1,81 @@
+// Package globalmut is the golden corpus for the instance-isolation
+// rule: writes to package-level state outside init, mutating method
+// calls on globals, and library reads of exported mutable globals all
+// report; init wiring, locals shadowing globals, and error sentinels
+// stay silent.
+package globalmut
+
+import "errors"
+
+var cache = map[string]int{}
+
+// Count is exported mutable state: writes and reads both report.
+var Count int
+
+// limit is never written outside init: reads are silent.
+var limit = 8
+
+// ErrShut is an error sentinel: rebinding it reports, comparing
+// against it does not.
+var ErrShut = errors.New("shut")
+
+type config struct{ depth int }
+
+var conf config
+
+type counter struct{ n int }
+
+func (c *counter) inc() { c.n++ }
+
+var hits counter
+
+// init wiring is the one sanctioned place to touch package state.
+func init() {
+	cache["seed"] = 1
+	Count = 0
+}
+
+func set(k string, v int) {
+	cache[k] = v // want "write to package-level globalmut.cache"
+}
+
+func bump() {
+	Count++ // want "write to package-level globalmut.Count"
+}
+
+func drop(k string) {
+	delete(cache, k) // want "delete from package-level globalmut.cache"
+}
+
+func ref() *int {
+	return &Count // want "address of package-level globalmut.Count"
+}
+
+func track() {
+	hits.inc() // want "pointer-receiver inc called on package-level globalmut.hits"
+}
+
+func tune(v int) {
+	conf.depth = v // want "write to package-level globalmut.conf"
+}
+
+func shut() {
+	ErrShut = errors.New("shut again") // want "write to package-level globalmut.ErrShut"
+}
+
+// check reads the sentinel: exempt even though shut rebinds it.
+func check(err error) bool { return err == ErrShut }
+
+func within(n int) bool {
+	return n < Count // want "read of mutable package-level globalmut.Count"
+}
+
+// quota reads a never-written global: silent.
+func quota() int { return limit }
+
+// local shadows the global cache: nothing here is package-level.
+func local() int {
+	cache := map[string]int{}
+	cache["a"] = 1
+	return cache["a"]
+}

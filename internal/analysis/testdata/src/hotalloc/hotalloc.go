@@ -1,0 +1,161 @@
+// Package hotalloc is the golden corpus for the hot-path allocation
+// rule: hot roots come from //simlint:hot markers and Engine.At/After
+// callbacks, hotness propagates over calls, and only hot code reports.
+package hotalloc
+
+// Engine mimics the simulator's event engine: function literals handed
+// to At or After are event-dispatch roots.
+type Engine struct{ pending []func() }
+
+func (e *Engine) At(t int64, fn func())    { e.pending = append(e.pending, fn) }
+func (e *Engine) After(d int64, fn func()) { e.At(d, fn) }
+
+type packet struct {
+	data []byte
+	next *packet
+}
+
+type state struct {
+	queue []*packet
+	buf   []byte
+	sink  *packet
+}
+
+// cold is unreachable from any hot root: it may allocate freely.
+func cold() []byte {
+	b := make([]byte, 64)
+	return append(b, 1)
+}
+
+// arm registers an event callback; the literal's body is a hot root
+// even though arm itself is cold.
+func arm(e *Engine, s *state) {
+	e.At(10, func() {
+		s.buf = make([]byte, 256) // want "make"
+	})
+}
+
+//simlint:hot
+func progress(s *state) {
+	hdr := make([]byte, 8) // want "make"
+	decode(hdr)
+	drain(s)
+	recover1(s)
+}
+
+// recover1 is called from hot progress but marked cold: a fault path
+// that allocates freely, and hotness does not leak through it into
+// rebuild.
+//
+//simlint:cold
+func recover1(s *state) {
+	s.buf = make([]byte, 512)
+	rebuild(s)
+}
+
+// rebuild is reachable only through cold recover1: not hot.
+func rebuild(s *state) {
+	s.sink = &packet{}
+}
+
+// drain is hot by propagation from progress; the packet escapes into
+// the long-lived state.
+func drain(s *state) {
+	p := &packet{} // want "hot path: progress → drain"
+	s.sink = p
+}
+
+// decode is hot but clean: its only allocation sits on the panic path,
+// which is cold by definition.
+func decode(b []byte) {
+	if len(b) == 0 {
+		panic(render(make([]byte, 4)))
+	}
+}
+
+// render is hot via decode; conversions are not modeled, no findings.
+func render(b []byte) string { return string(b) }
+
+//simlint:hot
+func enqueue(s *state, pkt *packet) {
+	s.queue = append(s.queue, pkt) // self-append: amortized, no finding
+	tmp := append(s.queue, pkt)    // want "fresh slice growth"
+	use(tmp)
+}
+
+// dequeue removes element i with the truncation idiom: the append
+// result reuses the base slice's capacity, so nothing reports.
+//
+//simlint:hot
+func dequeue(s *state, i int) {
+	s.queue = append(s.queue[:i], s.queue[i+1:]...)
+}
+
+func use(q []*packet) {}
+
+//simlint:hot
+func stage(s *state, b byte) {
+	ship(append(s.buf, b)) // want "append result used directly"
+}
+
+func ship(b []byte) {}
+
+//simlint:hot
+func alloc(s *state) {
+	n := new(packet) // want "new(packet) escapes"
+	s.sink = n
+	m := new(packet) // stays local: no finding
+	m.next = nil
+}
+
+//simlint:hot
+func table(s *state) {
+	s.buf = []byte{1, 2, 3} // want "literal escapes"
+}
+
+//simlint:hot
+func scan(s *state) {
+	probes := []int{1, 2, 4} // stays local: no finding
+	for _, p := range probes {
+		if p > len(s.buf) {
+			return
+		}
+	}
+}
+
+func note(v any) {}
+
+//simlint:hot
+func report(s *state, n int) {
+	note(n)      // want "boxed into an interface argument"
+	note(s.sink) // pointer-shaped: no finding
+	note(nil)    // no finding
+}
+
+//simlint:hot
+func rearm(e *Engine, s *state) {
+	e.After(5, func() { // want "closure escapes"
+		s.buf = s.buf[:0]
+	})
+}
+
+//simlint:hot
+func flush(s *state) {
+	for i := 0; i < len(s.queue); i++ {
+		defer release(s.queue[i]) // want "defer inside a loop"
+	}
+}
+
+func release(p *packet) {}
+
+type buffers struct {
+	HostRx []byte
+	HostTx []byte
+	MicRx  []byte
+}
+
+//simlint:hot
+func copyPayload(b *buffers) {
+	copy(b.HostTx, b.HostRx) // want "redundant same-domain copy"
+	copy(b.HostTx, b.MicRx)  // cross-domain staging: no finding
+}

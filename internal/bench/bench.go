@@ -127,9 +127,6 @@ func formatX(x int) string {
 	}
 }
 
-// MsgSizes is the message-size sweep used by the communication figures.
-var MsgSizes = []int{4, 64, 1024, 4096, 8192, 16384, 65536, 262144, 1 << 20, 4 << 20}
-
 // gbps converts a byte count moved in d virtual time to GB/s.
 func gbps(n int, d sim.Duration) float64 {
 	if d <= 0 {

@@ -14,10 +14,11 @@ func plat() *perfmodel.Platform { return perfmodel.Default() }
 
 func TestRawOneWayDirections(t *testing.T) {
 	const n = 1 << 20
-	hh := RawOneWay(plat(), machine.HostMem, machine.HostMem, n, 3)
-	hp := RawOneWay(plat(), machine.HostMem, machine.MicMem, n, 3)
-	ph := RawOneWay(plat(), machine.MicMem, machine.HostMem, n, 3)
-	pp := RawOneWay(plat(), machine.MicMem, machine.MicMem, n, 3)
+	env := NewEnv()
+	hh := env.RawOneWay(plat(), machine.HostMem, machine.HostMem, n, 3)
+	hp := env.RawOneWay(plat(), machine.HostMem, machine.MicMem, n, 3)
+	ph := env.RawOneWay(plat(), machine.MicMem, machine.HostMem, n, 3)
+	pp := env.RawOneWay(plat(), machine.MicMem, machine.MicMem, n, 3)
 	if r := float64(hp) / float64(hh); r > 1.05 {
 		t.Fatalf("host->phi %.2f× host->host, want ≈1", r)
 	}
@@ -30,7 +31,7 @@ func TestRawOneWayDirections(t *testing.T) {
 }
 
 func TestFigure5Shape(t *testing.T) {
-	f := Figure5(plat())
+	f := NewEnv().Figure5(plat())
 	if len(f.Series) != 4 {
 		t.Fatalf("series %d, want 4", len(f.Series))
 	}
@@ -45,7 +46,7 @@ func TestFigure5Shape(t *testing.T) {
 }
 
 func TestFigure7And8OffloadCurves(t *testing.T) {
-	f7 := Figure7(plat())
+	f7 := NewEnv().Figure7(plat())
 	base, _ := f7.ByLabel(ModeDCFABase.String())
 	off, _ := f7.ByLabel(ModeDCFA.String())
 	host, _ := f7.ByLabel(ModeHost.String())
@@ -67,7 +68,7 @@ func TestFigure7And8OffloadCurves(t *testing.T) {
 		t.Fatalf("offloaded/host RTT ratio %.2f at 1 MiB, paper says ≈2", ratio)
 	}
 
-	f8 := Figure8(plat())
+	f8 := NewEnv().Figure8(plat())
 	off8, _ := f8.ByLabel(ModeDCFA.String())
 	peak := 0.0
 	for _, p := range off8.Points {
@@ -91,7 +92,7 @@ func TestFigure7And8OffloadCurves(t *testing.T) {
 }
 
 func TestFigure9Targets(t *testing.T) {
-	f := Figure9(plat())
+	f := NewEnv().Figure9(plat())
 	d, _ := f.ByLabel(ModeDCFA.String())
 	x, _ := f.ByLabel(ModePhiMPI.String())
 	dl, _ := d.At(4 << 20)
@@ -109,7 +110,7 @@ func TestFigure9Targets(t *testing.T) {
 }
 
 func TestFigure10Targets(t *testing.T) {
-	f := Figure10(plat())
+	f := NewEnv().Figure10(plat())
 	r, _ := f.ByLabel("speedup")
 	small, _ := r.At(64)
 	if small < 8 || small > 16 {
@@ -128,10 +129,9 @@ func TestFigure10Targets(t *testing.T) {
 }
 
 func TestFigure11Shape(t *testing.T) {
-	old := StencilIters
-	StencilIters = 5
-	defer func() { StencilIters = old }()
-	f := Figure11(plat())
+	env := NewEnv()
+	env.StencilIters = 5
+	f := env.Figure11(plat())
 	if len(f.Series) != 6 {
 		t.Fatalf("series %d, want 6 (3 modes × 2 thread counts)", len(f.Series))
 	}
@@ -166,10 +166,9 @@ func TestFigure11Shape(t *testing.T) {
 }
 
 func TestFigure12Targets(t *testing.T) {
-	old := StencilIters
-	StencilIters = 5
-	defer func() { StencilIters = old }()
-	f := Figure12(plat())
+	env := NewEnv()
+	env.StencilIters = 5
+	f := env.Figure12(plat())
 	dcfa, _ := f.ByLabel("DCFA-MPI")
 	phi, _ := f.ByLabel("IntelMPI-on-Phi")
 	host, _ := f.ByLabel("IntelMPI-Xeon+offload")

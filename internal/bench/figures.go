@@ -15,7 +15,7 @@ const defaultIters = 10
 // Figure5 reproduces "InfiniBand communication with different data
 // transfer directions": raw RDMA-write bandwidth for the four
 // host/Phi source/destination combinations.
-func Figure5(plat *perfmodel.Platform) *Figure {
+func (e *Env) Figure5(plat *perfmodel.Platform) *Figure {
 	dirs := []struct {
 		label    string
 		src, dst machine.DomainKind
@@ -33,8 +33,8 @@ func Figure5(plat *perfmodel.Platform) *Figure {
 	}
 	for _, d := range dirs {
 		s := Series{Label: d.label}
-		for _, n := range MsgSizes {
-			t := RawOneWay(plat, d.src, d.dst, n, defaultIters)
+		for _, n := range e.MsgSizes {
+			t := e.RawOneWay(plat, d.src, d.dst, n, defaultIters)
 			s.Points = append(s.Points, Point{X: n, Y: gbps(n, t)})
 		}
 		f.Series = append(f.Series, s)
@@ -50,7 +50,7 @@ func Figure5(plat *perfmodel.Platform) *Figure {
 // buffer design using non-blocking inter-node MPI communication": the
 // exchange round-trip time for DCFA-MPI with and without the offload
 // design, against the host MPI.
-func Figure7(plat *perfmodel.Platform) *Figure {
+func (e *Env) Figure7(plat *perfmodel.Platform) *Figure {
 	f := &Figure{
 		ID:     "Figure 7",
 		Title:  "Non-blocking exchange RTT (MPI_Isend/MPI_Irecv)",
@@ -58,9 +58,9 @@ func Figure7(plat *perfmodel.Platform) *Figure {
 		YLabel: "µs",
 	}
 	for _, m := range []Mode{ModeDCFABase, ModeDCFA, ModeHost} {
-		ts := NonblockingExchangeTimes(plat, m, MsgSizes, defaultIters)
+		ts := e.NonblockingExchangeTimes(plat, m, e.MsgSizes, defaultIters)
 		s := Series{Label: m.String()}
-		for i, n := range MsgSizes {
+		for i, n := range e.MsgSizes {
 			s.Points = append(s.Points, Point{X: n, Y: usec(ts[i])})
 		}
 		f.Series = append(f.Series, s)
@@ -76,7 +76,7 @@ func Figure7(plat *perfmodel.Platform) *Figure {
 
 // Figure8 is Figure 7's sweep expressed as bandwidth: the offloading
 // design lifts inter-node bandwidth to ~2.8 GB/s.
-func Figure8(plat *perfmodel.Platform) *Figure {
+func (e *Env) Figure8(plat *perfmodel.Platform) *Figure {
 	f := &Figure{
 		ID:     "Figure 8",
 		Title:  "Inter-node MPI bandwidth with the offloading send buffer",
@@ -84,9 +84,9 @@ func Figure8(plat *perfmodel.Platform) *Figure {
 		YLabel: "GB/s per direction",
 	}
 	for _, m := range []Mode{ModeDCFABase, ModeDCFA, ModeHost} {
-		ts := NonblockingExchangeTimes(plat, m, MsgSizes, defaultIters)
+		ts := e.NonblockingExchangeTimes(plat, m, e.MsgSizes, defaultIters)
 		s := Series{Label: m.String()}
-		for i, n := range MsgSizes {
+		for i, n := range e.MsgSizes {
 			s.Points = append(s.Points, Point{X: n, Y: gbps(n, ts[i])})
 		}
 		f.Series = append(f.Series, s)
@@ -104,7 +104,7 @@ func Figure8(plat *perfmodel.Platform) *Figure {
 
 // Figure9 reproduces the blocking ping-pong bandwidth comparison of
 // DCFA-MPI against 'Intel MPI on Xeon Phi co-processors'.
-func Figure9(plat *perfmodel.Platform) *Figure {
+func (e *Env) Figure9(plat *perfmodel.Platform) *Figure {
 	f := &Figure{
 		ID:     "Figure 9",
 		Title:  "Blocking ping-pong bandwidth: DCFA-MPI vs Intel MPI on Phi",
@@ -113,9 +113,9 @@ func Figure9(plat *perfmodel.Platform) *Figure {
 	}
 	var rtt4 [2]sim.Duration
 	for i, m := range []Mode{ModeDCFA, ModePhiMPI} {
-		ts := BlockingPingPongRTTs(plat, m, MsgSizes, defaultIters)
+		ts := e.BlockingPingPongRTTs(plat, m, e.MsgSizes, defaultIters)
 		s := Series{Label: m.String()}
-		for j, n := range MsgSizes {
+		for j, n := range e.MsgSizes {
 			s.Points = append(s.Points, Point{X: n, Y: gbps(n, ts[j]/2)})
 			if n == 4 {
 				rtt4[i] = ts[j]
@@ -134,19 +134,19 @@ func Figure9(plat *perfmodel.Platform) *Figure {
 
 // Figure10 reproduces the communication-only application comparison of
 // DCFA-MPI against 'Intel MPI on Xeon + offload' (Table II workload).
-func Figure10(plat *perfmodel.Platform) *Figure {
+func (e *Env) Figure10(plat *perfmodel.Platform) *Figure {
 	f := &Figure{
 		ID:     "Figure 10",
 		Title:  "Communication-only application per-iteration time",
 		XLabel: "bytes",
 		YLabel: "µs per iteration",
 	}
-	dc := CommOnlyDCFA(plat, MsgSizes, defaultIters)
-	ho := CommOnlyHostOffload(plat, MsgSizes, defaultIters)
+	dc := e.CommOnlyDCFA(plat, e.MsgSizes, defaultIters)
+	ho := e.CommOnlyHostOffload(plat, e.MsgSizes, defaultIters)
 	sd := Series{Label: "DCFA-MPI"}
 	sh := Series{Label: "IntelMPI-Xeon+offload"}
 	sr := Series{Label: "speedup"}
-	for i, n := range MsgSizes {
+	for i, n := range e.MsgSizes {
 		sd.Points = append(sd.Points, Point{X: n, Y: usec(dc[i])})
 		sh.Points = append(sh.Points, Point{X: n, Y: usec(ho[i])})
 		sr.Points = append(sr.Points, Point{X: n, Y: float64(ho[i]) / float64(dc[i])})
@@ -160,14 +160,10 @@ func Figure10(plat *perfmodel.Platform) *Figure {
 	return f
 }
 
-// StencilIters is the per-configuration iteration count for the stencil
-// figures; the paper uses 100 but the averages stabilize much earlier.
-var StencilIters = 20
-
 // stencilTime runs one stencil configuration in benchmark mode and
 // returns the per-iteration time.
-func stencilTime(plat *perfmodel.Platform, mode string, procs, threads int) sim.Duration {
-	pr := stencil.Params{N: 1280, Iters: StencilIters, Procs: procs, Threads: threads, SkipCompute: true}
+func (e *Env) stencilTime(plat *perfmodel.Platform, mode string, procs, threads int) sim.Duration {
+	pr := stencil.Params{N: 1280, Iters: e.StencilIters, Procs: procs, Threads: threads, SkipCompute: true}
 	var res stencil.Result
 	var err error
 	switch mode {
@@ -178,7 +174,7 @@ func stencilTime(plat *perfmodel.Platform, mode string, procs, threads int) sim.
 	case "host":
 		res, err = stencil.RunHostOffload(plat, pr)
 	case "serial":
-		res, err = stencil.RunSerial(plat, stencil.Params{N: 1280, Iters: StencilIters, Procs: 1, Threads: 1, SkipCompute: true})
+		res, err = stencil.RunSerial(plat, stencil.Params{N: 1280, Iters: e.StencilIters, Procs: 1, Threads: 1, SkipCompute: true})
 	default:
 		panic("bench: unknown stencil mode " + mode)
 	}
@@ -198,7 +194,7 @@ var stencilModes = []struct{ key, label string }{
 // Figure11 reproduces "Processing time of five point stencil
 // computation with different number of MPI processes" for the three
 // libraries, at 1 and 56 OpenMP threads.
-func Figure11(plat *perfmodel.Platform) *Figure {
+func (e *Env) Figure11(plat *perfmodel.Platform) *Figure {
 	f := &Figure{
 		ID:     "Figure 11",
 		Title:  "Five-point stencil per-iteration processing time vs MPI processes",
@@ -209,7 +205,7 @@ func Figure11(plat *perfmodel.Platform) *Figure {
 		for _, m := range stencilModes {
 			s := Series{Label: fmt.Sprintf("%s T=%d", m.label, threads)}
 			for _, procs := range []int{1, 2, 4, 8} {
-				t := stencilTime(plat, m.key, procs, threads)
+				t := e.stencilTime(plat, m.key, procs, threads)
 				s.Points = append(s.Points, Point{X: procs, Y: float64(t) / float64(sim.Millisecond)})
 			}
 			f.Series = append(f.Series, s)
@@ -221,19 +217,19 @@ func Figure11(plat *perfmodel.Platform) *Figure {
 // Figure12 reproduces "Speed-up of five point stencil computation with
 // different number of OpenMP threads ... comparing to the serial
 // program" at 8 MPI processes.
-func Figure12(plat *perfmodel.Platform) *Figure {
+func (e *Env) Figure12(plat *perfmodel.Platform) *Figure {
 	f := &Figure{
 		ID:     "Figure 12",
 		Title:  "Five-point stencil speed-up over the serial program (8 MPI procs)",
 		XLabel: "threads",
 		YLabel: "speed-up ×",
 	}
-	serial := stencilTime(plat, "serial", 1, 1)
+	serial := e.stencilTime(plat, "serial", 1, 1)
 	threads := []int{1, 2, 4, 8, 16, 28, 56}
 	for _, m := range stencilModes {
 		s := Series{Label: m.label}
 		for _, t := range threads {
-			pt := stencilTime(plat, m.key, 8, t)
+			pt := e.stencilTime(plat, m.key, 8, t)
 			s.Points = append(s.Points, Point{X: t, Y: float64(serial) / float64(pt)})
 		}
 		f.Series = append(f.Series, s)
@@ -249,9 +245,9 @@ func Figure12(plat *perfmodel.Platform) *Figure {
 }
 
 // AllFigures regenerates every evaluation figure.
-func AllFigures(plat *perfmodel.Platform) []*Figure {
+func (e *Env) AllFigures(plat *perfmodel.Platform) []*Figure {
 	return []*Figure{
-		Figure5(plat), Figure7(plat), Figure8(plat),
-		Figure9(plat), Figure10(plat), Figure11(plat), Figure12(plat),
+		e.Figure5(plat), e.Figure7(plat), e.Figure8(plat),
+		e.Figure9(plat), e.Figure10(plat), e.Figure11(plat), e.Figure12(plat),
 	}
 }

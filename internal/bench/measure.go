@@ -8,31 +8,19 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/cluster"
 	"repro/internal/core"
-	"repro/internal/faults"
 	"repro/internal/ib"
 	"repro/internal/machine"
-	"repro/internal/metrics"
 	"repro/internal/perfmodel"
 	"repro/internal/sim"
 )
 
-// Metrics, when non-nil, is installed on every cluster and fabric the
-// sweeps build, so a whole figure run reports into one registry.
-var Metrics *metrics.Registry
-
-// FaultPlan, when non-nil, installs a deterministic fault injector on
-// every cluster the sweeps build (the -faults flag of cmd/dcfabench).
-// Each world gets a fresh injector from the same plan, so runs stay
-// reproducible regardless of sweep order.
-var FaultPlan *faults.Plan
-
 // RawOneWay measures the one-way time of an n-byte raw RDMA write from
 // a buffer in srcKind memory on node 0 to dstKind memory on node 1
 // (Figure 5's primitive), averaged over iters ping-pong rounds.
-func RawOneWay(plat *perfmodel.Platform, srcKind, dstKind machine.DomainKind, n, iters int) sim.Duration {
+func (e *Env) RawOneWay(plat *perfmodel.Platform, srcKind, dstKind machine.DomainKind, n, iters int) sim.Duration {
 	eng := sim.NewEngine()
 	fab := ib.NewFabric(eng, plat)
-	fab.Metrics = Metrics
+	fab.Metrics = e.Metrics
 	n0, n1 := machine.NewNode(0), machine.NewNode(1)
 	h0, h1 := fab.AttachHCA(n0), fab.AttachHCA(n1)
 	ctxA := h0.Open(srcKind)
@@ -118,10 +106,10 @@ func (m Mode) String() string {
 }
 
 // buildWorld constructs a fresh 2-node world for the mode.
-func buildWorld(plat *perfmodel.Platform, m Mode, ranks int) *core.World {
+func (e *Env) buildWorld(plat *perfmodel.Platform, m Mode, ranks int) *core.World {
 	c := cluster.New(plat, ranks)
-	c.SetMetrics(Metrics)
-	c.SetFaults(FaultPlan)
+	c.SetMetrics(e.Metrics)
+	c.SetFaults(e.Faults)
 	switch m {
 	case ModeDCFA:
 		return c.DCFAWorld(ranks, true)
@@ -140,9 +128,9 @@ func buildWorld(plat *perfmodel.Platform, m Mode, ranks int) *core.World {
 // one bidirectional MPI_Isend/MPI_Irecv exchange between 2 ranks
 // (Figures 7 and 8's primitive). One world serves the whole sweep, so
 // MR caches behave as in the paper's steady state.
-func NonblockingExchangeTimes(plat *perfmodel.Platform, m Mode, sizes []int, iters int) []sim.Duration {
+func (e *Env) NonblockingExchangeTimes(plat *perfmodel.Platform, m Mode, sizes []int, iters int) []sim.Duration {
 	out := make([]sim.Duration, len(sizes))
-	w := buildWorld(plat, m, 2)
+	w := e.buildWorld(plat, m, 2)
 	err := w.Run(func(r *core.Rank) error {
 		p := r.Proc()
 		other := 1 - r.ID()
@@ -182,9 +170,9 @@ func NonblockingExchangeTimes(plat *perfmodel.Platform, m Mode, sizes []int, ite
 // BlockingPingPongRTTs measures the blocking Send/Recv round-trip time
 // for each size (Figure 9's primitive: "bandwidth result is calculated
 // using the round trip latency of MPI blocking communication").
-func BlockingPingPongRTTs(plat *perfmodel.Platform, m Mode, sizes []int, iters int) []sim.Duration {
+func (e *Env) BlockingPingPongRTTs(plat *perfmodel.Platform, m Mode, sizes []int, iters int) []sim.Duration {
 	out := make([]sim.Duration, len(sizes))
-	w := buildWorld(plat, m, 2)
+	w := e.buildWorld(plat, m, 2)
 	err := w.Run(func(r *core.Rank) error {
 		p := r.Proc()
 		other := 1 - r.ID()
@@ -226,8 +214,8 @@ func BlockingPingPongRTTs(plat *perfmodel.Platform, m Mode, sizes []int, iters i
 // CommOnlyDCFA measures the per-iteration time of the communication-only
 // application (Table II) under DCFA-MPI: the data stays in co-processor
 // memory and only the MPI exchange happens.
-func CommOnlyDCFA(plat *perfmodel.Platform, sizes []int, iters int) []sim.Duration {
-	return NonblockingExchangeTimes(plat, ModeDCFA, sizes, iters)
+func (e *Env) CommOnlyDCFA(plat *perfmodel.Platform, sizes []int, iters int) []sim.Duration {
+	return e.NonblockingExchangeTimes(plat, ModeDCFA, sizes, iters)
 }
 
 // CommOnlyHostOffload measures the same application under 'Intel MPI on
@@ -236,11 +224,11 @@ func CommOnlyDCFA(plat *perfmodel.Platform, sizes []int, iters int) []sim.Durati
 // with the paper's four optimizations applied (persistent aligned
 // buffers, no per-iteration offload init, double buffering for what the
 // data dependencies allow).
-func CommOnlyHostOffload(plat *perfmodel.Platform, sizes []int, iters int) []sim.Duration {
+func (e *Env) CommOnlyHostOffload(plat *perfmodel.Platform, sizes []int, iters int) []sim.Duration {
 	out := make([]sim.Duration, len(sizes))
 	c := cluster.New(plat, 2)
-	c.SetMetrics(Metrics)
-	c.SetFaults(FaultPlan)
+	c.SetMetrics(e.Metrics)
+	c.SetFaults(e.Faults)
 	w, devs := baseline.HostOffloadWorld(c, 2)
 	err := w.Run(func(r *core.Rank) error {
 		p := r.Proc()

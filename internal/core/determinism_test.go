@@ -20,6 +20,16 @@ import (
 // returns the engine's event-order digest.
 func mixedWorkload(t *testing.T) (uint64, int64, sim.Time) {
 	t.Helper()
+	fp, events, now, err := runMixedWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp, events, now
+}
+
+// runMixedWorkload is the workload body, callable off the test
+// goroutine: errors return instead of failing a *testing.T.
+func runMixedWorkload() (uint64, int64, sim.Time, error) {
 	const n = 4
 	c := cluster.New(perfmodel.Default(), n)
 	w := c.DCFAWorld(n, true)
@@ -61,9 +71,9 @@ func mixedWorkload(t *testing.T) (uint64, int64, sim.Time) {
 		return r.Barrier(p)
 	})
 	if err != nil {
-		t.Fatal(err)
+		return 0, 0, 0, err
 	}
-	return c.Eng.Fingerprint(), c.Eng.EventsRun(), c.Eng.Now()
+	return c.Eng.Fingerprint(), c.Eng.EventsRun(), c.Eng.Now(), nil
 }
 
 // TestDeterminismDoubleRun runs the workload twice on fresh clusters

@@ -80,6 +80,10 @@ type Rank struct {
 	mrCache *MRCache
 	arena   *offArena
 
+	// cqeBuf is the persistent completion buffer progress drains into
+	// (ibv-style PollInto), so the per-event CQ drain never allocates.
+	cqeBuf [16]ib.CQE
+
 	sendSeq []uint64
 	recvSeq []uint64
 
@@ -151,7 +155,13 @@ func (r *Rank) Domain() *machine.Domain { return r.v.Domain() }
 // Loc returns where the rank's MPI software executes.
 func (r *Rank) Loc() machine.DomainKind { return r.v.Loc() }
 
-// trace records a protocol event when tracing is enabled.
+// trace records a protocol event when tracing is enabled. The body
+// runs only when a trace sink is configured, so it is off the
+// per-event budget; the argument boxing its variadic signature forces
+// at call sites is a real per-event cost and is tracked in the lint
+// baseline.
+//
+//simlint:cold
 func (r *Rank) trace(kind, format string, args ...any) {
 	if tr := r.w.Cfg.Trace; tr != nil {
 		tr.Log(r.proc.Now(), fmt.Sprintf("rank%d", r.id), kind, format, args...)
@@ -303,6 +313,9 @@ func (r *Rank) post(p *sim.Proc, dst int, wr *ib.SendWR) error {
 // from their retained byte snapshot into the staging buffer and
 // rewritten to their original ring slot (same psn, no new credit);
 // rendezvous WRs are reposted as formed, their buffers still pinned.
+// Retransmission only runs after a fault: off the per-event budget.
+//
+//simlint:cold
 func (r *Rank) reissue(p *sim.Proc, wrid uint64, act wrAction) error {
 	ps := r.peers[act.peer]
 	switch act.kind {
@@ -324,7 +337,10 @@ func (r *Rank) reissue(p *sim.Proc, wrid uint64, act wrAction) error {
 // recoverWR handles a retry-exhaustion completion: reset and reconnect
 // the errored QP, then replay the WR until the plan's budget runs out,
 // at which point the owning request (or the rank, for control packets)
-// fails with a typed TransportError.
+// fails with a typed TransportError. Recovery only runs after retry
+// exhaustion: off the per-event budget.
+//
+//simlint:cold
 func (r *Rank) recoverWR(p *sim.Proc, wrid uint64, act wrAction) {
 	ps := r.peers[act.peer]
 	if ps.qp.State == ib.QPError {
@@ -870,6 +886,8 @@ func (r *Rank) deliverSelf(p *sim.Proc, send, recv *Request) {
 // progress drives all protocol state: consumes ring packets, drains the
 // CQ, returns credits and retries credit-starved sends. It reports
 // whether any work was done.
+//
+//simlint:hot
 func (r *Rank) progress(p *sim.Proc) bool {
 	did := false
 	// Ring packets, per peer, in order.
@@ -907,11 +925,11 @@ func (r *Rank) progress(p *sim.Proc) bool {
 	}
 	// Completions.
 	for {
-		cqes := r.cq.Poll(p, 16)
-		if len(cqes) == 0 {
+		n := r.cq.PollInto(p, r.cqeBuf[:])
+		if n == 0 {
 			break
 		}
-		for _, e := range cqes {
+		for _, e := range r.cqeBuf[:n] {
 			r.handleCQE(p, e)
 		}
 		did = true
@@ -979,6 +997,8 @@ func (r *Rank) progress(p *sim.Proc) bool {
 }
 
 // handlePacket dispatches one ring packet.
+//
+//simlint:hot
 func (r *Rank) handlePacket(p *sim.Proc, src int, h header, payload []byte) {
 	ps := r.peers[src]
 	ps.credits += int(h.credits)
@@ -1092,6 +1112,8 @@ func (r *Rank) handlePacket(p *sim.Proc, src int, h header, payload []byte) {
 }
 
 // handleCQE routes one completion.
+//
+//simlint:hot
 func (r *Rank) handleCQE(p *sim.Proc, e ib.CQE) {
 	act, ok := r.wrMap[e.WRID]
 	if !ok {

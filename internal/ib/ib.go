@@ -143,9 +143,11 @@ func (h *HCA) deregMR(mr *MR) error {
 func (h *HCA) lookupMR(key uint32, addr uint64, n int) ([]byte, *MR, error) {
 	mr, ok := h.mrs[key]
 	if !ok {
+		//simlint:ignore hotalloc error construction runs only on the invalid-key branch
 		return nil, nil, fmt.Errorf("ib: key %#x not registered on LID %d", key, h.LID)
 	}
 	if addr < mr.Addr || addr+uint64(n) > mr.Addr+uint64(mr.Len) {
+		//simlint:ignore hotalloc error construction runs only on the out-of-bounds branch
 		return nil, nil, fmt.Errorf("ib: access [%#x,+%d) outside MR [%#x,+%d)", addr, n, mr.Addr, mr.Len)
 	}
 	off := addr - mr.Addr

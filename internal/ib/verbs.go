@@ -114,10 +114,26 @@ func (q *CQ) Poll(p *sim.Proc, max int) []CQE {
 		n = len(q.entries)
 	}
 	out := make([]CQE, n)
+	q.PollInto(p, out)
+	return out
+}
+
+// PollInto removes up to len(out) completions into out — the ibv-style
+// zero-allocation poll: progress loops pass one persistent buffer
+// instead of taking a fresh slice per call. It returns the entry count
+// and charges the poll cost only when at least one entry is delivered.
+func (q *CQ) PollInto(p *sim.Proc, out []CQE) int {
+	n := len(out)
+	if n > len(q.entries) {
+		n = len(q.entries)
+	}
+	if n == 0 {
+		return 0
+	}
 	copy(out, q.entries[:n])
 	q.entries = q.entries[n:]
 	p.Sleep(q.ctx.HCA.fab.Plat.PollCost(q.ctx.Loc))
-	return out
+	return n
 }
 
 // Len reports queued completions.

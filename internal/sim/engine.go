@@ -11,7 +11,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"strings"
@@ -59,33 +58,65 @@ type event struct {
 	fn   func() // non-nil: run this callback in engine context
 }
 
-type eventHeap []*event
+// eventHeap is a hand-rolled binary min-heap of event values, ordered
+// by (time, seq). Holding values rather than pointers keeps schedule()
+// allocation-free on the per-event path, and avoiding container/heap
+// skips the interface boxing its Push/Pop signatures force — this
+// queue is the hottest data structure in the repository.
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-func (h eventHeap) Peek() *event { return h[0] }
-func (h eventHeap) empty() bool  { return len(h) == 0 }
-func (h eventHeap) nextTime() (Time, bool) {
-	if len(h) == 0 {
-		return 0, false
+
+// push appends ev and restores the heap invariant by sifting it up.
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
 	}
-	return h[0].at, true
 }
+
+// pop removes and returns the minimum event, clearing the vacated slot
+// so the queue does not pin dead procs or closures.
+func (h *eventHeap) pop() event {
+	q := *h
+	n := len(q) - 1
+	top := q[0]
+	q[0] = q[n]
+	q[n] = event{}
+	q = q[:n]
+	*h = q
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && q.less(l, min) {
+			min = l
+		}
+		if r < n && q.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
+	return top
+}
+
+func (h eventHeap) empty() bool { return len(h) == 0 }
 
 // Engine is a discrete-event simulation. The zero value is not usable;
 // call NewEngine.
@@ -142,18 +173,19 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) EventsRun() int64 { return e.eventsRun }
 
 // schedule inserts an event into the calendar. It must not be called with
-// a timestamp in the past.
-func (e *Engine) schedule(at Time, p *Proc, fn func()) *event {
+// a timestamp in the past. The entry is pushed by value: beyond the
+// calendar slice's amortized growth, scheduling allocates nothing.
+//
+//simlint:hot
+func (e *Engine) schedule(at Time, p *Proc, fn func()) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
 	e.seq++
-	ev := &event{at: at, seq: e.seq, proc: p, fn: fn}
-	heap.Push(&e.queue, ev)
+	e.queue.push(event{at: at, seq: e.seq, proc: p, fn: fn})
 	if len(e.queue) > e.maxQueue {
 		e.maxQueue = len(e.queue)
 	}
-	return ev
 }
 
 // At schedules fn to run in engine context at absolute virtual time t.
@@ -219,7 +251,7 @@ func (e *Engine) Run() error {
 			}
 			return ErrStopped
 		}
-		ev := heap.Pop(&e.queue).(*event)
+		ev := e.queue.pop()
 		if ev.at < e.now {
 			panic("sim: time went backwards")
 		}
