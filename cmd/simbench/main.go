@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/causal"
 	"repro/internal/perfmodel"
 )
 
@@ -38,6 +39,11 @@ type wlReport struct {
 	WallNS         int64   `json:"wall_ns"`
 	EventsPerSec   float64 `json:"events_per_sec"`
 	SimBytesPerSec float64 `json:"sim_bytes_per_sec"`
+	// Breakdown attributes the run's critical path to time categories
+	// (internal/causal); present with -breakdown, values sum to
+	// sim_time_ns. The profiled rep must reproduce the timed reps'
+	// fingerprint — the harness fails otherwise.
+	Breakdown map[string]int64 `json:"critical_path_breakdown_ns,omitempty"`
 }
 
 // fixReport pairs the workload tables from before and after a hot-path
@@ -62,6 +68,7 @@ func main() {
 	before := flag.String("before", "", "prior simbench report to embed as hotpath_fix.before")
 	note := flag.String("note", "", "one-line description of the change hotpath_fix documents")
 	reps := flag.Int("reps", 3, "wall-clock repetitions per workload (best wins)")
+	breakdown := flag.Bool("breakdown", false, "run one untimed profiled rep per workload and fold its critical-path category split into the report")
 	ppIters := flag.Int("pp-iters", 3000, "ping-pong round trips")
 	ppSize := flag.Int("pp-size", 1024, "ping-pong message size in bytes")
 	rounds := flag.Int("torture-rounds", 10, "torture rounds")
@@ -72,12 +79,25 @@ func main() {
 	workloads := []struct {
 		name string
 		run  func() bench.PerfResult
+		prof func(rec *causal.Recorder) (bench.PerfResult, error)
 	}{
-		{"pingpong-flood", func() bench.PerfResult { return bench.PingPongFlood(plat, *ppSize, *ppIters) }},
-		{"torture-4rank", func() bench.PerfResult { return bench.TortureFlood(plat, 7, *rounds, *msgs) }},
+		{
+			"pingpong-flood",
+			func() bench.PerfResult { return bench.PingPongFlood(plat, *ppSize, *ppIters) },
+			func(rec *causal.Recorder) (bench.PerfResult, error) {
+				return bench.PingPongFloodProfiled(plat, *ppSize, *ppIters, nil, rec)
+			},
+		},
+		{
+			"torture-4rank",
+			func() bench.PerfResult { return bench.TortureFlood(plat, 7, *rounds, *msgs) },
+			func(rec *causal.Recorder) (bench.PerfResult, error) {
+				return bench.TortureFloodProfiled(plat, 7, *rounds, *msgs, nil, nil, rec)
+			},
+		},
 	}
 
-	rep := report{Bench: 7, GoVersion: runtime.Version(), Reps: *reps}
+	rep := report{Bench: 8, GoVersion: runtime.Version(), Reps: *reps}
 	for _, wl := range workloads {
 		var best time.Duration
 		var res bench.PerfResult
@@ -110,9 +130,37 @@ func main() {
 			row.EventsPerSec = float64(res.Events) / secs
 			row.SimBytesPerSec = float64(res.PayloadBytes) / secs
 		}
+		var bdLines []string
+		if *breakdown {
+			// One untimed rep with the causal profiler attached. Recording
+			// is passive: a diverging fingerprint means instrumentation
+			// perturbed the schedule, which is a bug worth failing on.
+			rec := causal.New()
+			pres, err := wl.prof(rec)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "simbench:", err)
+				os.Exit(1)
+			}
+			if pres.Fingerprint != fp {
+				fmt.Fprintf(os.Stderr, "simbench: %s profiled rep fingerprint %#x != timed %#x — profiling perturbed the schedule\n",
+					wl.name, pres.Fingerprint, fp)
+				os.Exit(1)
+			}
+			crep := causal.Analyze(wl.name, rec.Events(), pres.SimTime)
+			row.Breakdown = make(map[string]int64, len(crep.Breakdown))
+			for _, cd := range causal.SortedCategories(crep.Breakdown) {
+				row.Breakdown[cd.Cat] = int64(cd.Dur)
+				if cd.Dur > 0 {
+					bdLines = append(bdLines, fmt.Sprintf("    %-15s %12d ns", cd.Cat, int64(cd.Dur)))
+				}
+			}
+		}
 		rep.Workloads = append(rep.Workloads, row)
 		fmt.Printf("%-16s %9d events in %8s  %12.0f events/sec  %12.0f sim-bytes/sec\n",
 			row.Name, row.Events, best.Round(time.Microsecond), row.EventsPerSec, row.SimBytesPerSec)
+		for _, ln := range bdLines {
+			fmt.Println(ln)
+		}
 	}
 
 	if *before != "" {

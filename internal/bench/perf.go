@@ -8,8 +8,11 @@ package bench
 // its fingerprint and two runs of one workload are bit-identical.
 
 import (
+	"repro/internal/causal"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/metrics"
 	"repro/internal/perfmodel"
 	"repro/internal/sim"
 )
@@ -30,7 +33,20 @@ type PerfResult struct {
 // messages between 2 DCFA ranks for iters round trips — the classic
 // latency flood, dominated by per-message protocol events.
 func PingPongFlood(plat *perfmodel.Platform, size, iters int) PerfResult {
+	res, err := PingPongFloodProfiled(plat, size, iters, nil, nil)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// PingPongFloodProfiled is PingPongFlood with optional passive
+// instrumentation installed across every layer: both are nil-tolerant,
+// and the fingerprint matches the uninstrumented run.
+func PingPongFloodProfiled(plat *perfmodel.Platform, size, iters int, reg *metrics.Registry, rec *causal.Recorder) (PerfResult, error) {
 	c := cluster.New(plat, 2)
+	c.SetMetrics(reg)
+	c.SetCausal(rec)
 	w := c.DCFAWorld(2, true)
 	err := w.Run(func(r *core.Rank) error {
 		p := r.Proc()
@@ -56,7 +72,7 @@ func PingPongFlood(plat *perfmodel.Platform, size, iters int) PerfResult {
 		return nil
 	})
 	if err != nil {
-		panic(err)
+		return PerfResult{}, err
 	}
 	return PerfResult{
 		Workload:     "pingpong-flood",
@@ -64,7 +80,7 @@ func PingPongFlood(plat *perfmodel.Platform, size, iters int) PerfResult {
 		SimTime:      c.Eng.Now(),
 		PayloadBytes: 2 * int64(iters) * int64(size),
 		Fingerprint:  c.Eng.Fingerprint(),
-	}
+	}, nil
 }
 
 // perfRNG is a splitmix64 generator for workload construction (the
@@ -88,13 +104,26 @@ func (g *perfRNG) intn(n int) int { return int(g.next() % uint64(n)) }
 // by a Barrier. It stresses matching, rendezvous and the collectives'
 // control path at once.
 func TortureFlood(plat *perfmodel.Platform, seed uint64, rounds, msgs int) PerfResult {
+	res, err := TortureFloodProfiled(plat, seed, rounds, msgs, nil, nil, nil)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// TortureFloodProfiled is TortureFlood with optional deterministic
+// fault injection and passive instrumentation: plan (nil = sunny day)
+// drives the transport fault injector, reg and rec install telemetry
+// and causal recording. With plan nil, the fingerprint matches the
+// uninstrumented run.
+func TortureFloodProfiled(plat *perfmodel.Platform, seed uint64, rounds, msgs int, plan *faults.Plan, reg *metrics.Registry, rec *causal.Recorder) (PerfResult, error) {
 	sizes := []int{64, 1024, 8192, 8193, 32768}
 	type pmsg struct{ src, dst, size, tag int }
 	const ranks = 4
 	g := perfRNG{s: seed}
-	plan := make([][]pmsg, rounds)
+	sched := make([][]pmsg, rounds)
 	var payload int64
-	for rd := range plan {
+	for rd := range sched {
 		for m := 0; m < msgs; m++ {
 			src := g.intn(ranks)
 			dst := g.intn(ranks - 1)
@@ -102,16 +131,21 @@ func TortureFlood(plat *perfmodel.Platform, seed uint64, rounds, msgs int) PerfR
 				dst++
 			}
 			sz := sizes[g.intn(len(sizes))]
-			plan[rd] = append(plan[rd], pmsg{src: src, dst: dst, size: sz, tag: rd*1000 + m})
+			sched[rd] = append(sched[rd], pmsg{src: src, dst: dst, size: sz, tag: rd*1000 + m})
 			payload += int64(sz)
 		}
 	}
 	c := cluster.New(plat, ranks)
+	c.SetMetrics(reg)
+	c.SetCausal(rec)
+	if plan != nil {
+		c.SetFaults(plan)
+	}
 	w := c.DCFAWorld(ranks, true)
 	err := w.Run(func(r *core.Rank) error {
 		p := r.Proc()
 		me := r.ID()
-		for _, ro := range plan {
+		for _, ro := range sched {
 			// Post everything, then complete what was posted even when a
 			// later post fails: abandoning an issued Irecv would leak its
 			// pinned buffer (and trips the reqwait rule).
@@ -156,7 +190,7 @@ func TortureFlood(plat *perfmodel.Platform, seed uint64, rounds, msgs int) PerfR
 		return nil
 	})
 	if err != nil {
-		panic(err)
+		return PerfResult{}, err
 	}
 	return PerfResult{
 		Workload:     "torture-4rank",
@@ -164,5 +198,5 @@ func TortureFlood(plat *perfmodel.Platform, seed uint64, rounds, msgs int) PerfR
 		SimTime:      c.Eng.Now(),
 		PayloadBytes: payload,
 		Fingerprint:  c.Eng.Fingerprint(),
-	}
+	}, nil
 }

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"repro/internal/causal"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -10,19 +11,33 @@ import (
 
 // ProtocolShowcase runs a fixed 2-rank DCFA-MPI workload that takes each
 // of the four §IV-B3 protocol paths exactly once per direction, plus one
-// offload-staged large send (§IV-B4). With a registry installed, the
-// resulting spans and counters reconstruct the full protocol mix:
+// offload-staged large send (§IV-B4) and one forced protocol
+// misprediction. With a registry installed, the resulting spans and
+// counters reconstruct the full protocol mix:
 //
 //   - phase 1: 512 B send           → eager
 //   - phase 2: 64 KiB, recv late    → sender-first rendezvous (RDMA read)
 //   - phase 3: 64 KiB, send late    → receiver-first rendezvous (RDMA write)
 //   - phase 4: 64 KiB Sendrecv      → simultaneous rendezvous, both ways
 //   - phase 5: 1 MiB send           → offload-staged sender-first
+//   - phase 6: large recv posted early, small send late
+//     → receiver predicts rendezvous (RTR), sender goes eager: mispredict
 //
 // It returns the final virtual time of the run.
 func ProtocolShowcase(plat *perfmodel.Platform, reg *metrics.Registry) (sim.Time, error) {
+	return ProtocolShowcaseCausal(plat, reg, nil)
+}
+
+// ProtocolShowcaseCausal is ProtocolShowcase with a causal-event
+// recorder installed across every layer: the golden workload for the
+// cross-rank causal profiler, exercising all protocol classes, a
+// deliberate late sender/late receiver pair, and a rendezvous
+// misprediction stall. Recording is passive, so the run's fingerprint
+// matches ProtocolShowcase's.
+func ProtocolShowcaseCausal(plat *perfmodel.Platform, reg *metrics.Registry, rec *causal.Recorder) (sim.Time, error) {
 	c := cluster.New(plat, 2)
 	c.SetMetrics(reg)
+	c.SetCausal(rec)
 	w := c.DCFAWorld(2, true)
 	err := w.Run(func(r *core.Rank) error {
 		p := r.Proc()
@@ -90,6 +105,23 @@ func ProtocolShowcase(plat *perfmodel.Platform, reg *metrics.Registry) (sim.Time
 				return err
 			}
 		} else if _, err := r.Recv(p, other, 5, core.Whole(huge)); err != nil {
+			return err
+		}
+
+		// Phase 6: forced rendezvous misprediction. The receiver posts a
+		// rendezvous-sized buffer early (so it predicts receiver-first
+		// rendezvous and emits an RTR), but the late sender only ships an
+		// eager-sized payload: the RTR round trip was wasted and both
+		// sides record a mispredict.
+		if err := r.Barrier(p); err != nil {
+			return err
+		}
+		if r.ID() == 0 {
+			p.Sleep(delay)
+			if err := r.Send(p, other, 6, core.Whole(small)); err != nil {
+				return err
+			}
+		} else if _, err := r.Recv(p, other, 6, core.Whole(big)); err != nil {
 			return err
 		}
 		return r.Barrier(p)

@@ -1,0 +1,362 @@
+package causal
+
+// Unit tests over hand-built event streams: graph construction, the
+// consistency checker, the critical-path partition invariant, each
+// pattern detector, and report determinism. The integration-level
+// counterparts (real workloads, fingerprint neutrality) live in
+// internal/bench and internal/core.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// eagerExchange is a minimal well-formed run: rank 0 eagerly sends one
+// 64-byte message to rank 1, which had pre-posted the receive. A
+// node-layer HW CQE rides along to exercise the Rank == -1 exclusion.
+func eagerExchange() []Event {
+	return []Event{
+		{T: 50, Kind: EvRecvPost, Rank: 1, Peer: 0, Tag: 5, CID: 1},
+		{T: 100, Kind: EvSendPost, Rank: 0, Peer: 1, Tag: 5, Seq: 0, CID: 1, Bytes: 64},
+		{T: 120, Kind: EvPktSend, Rank: 0, Peer: 1, Pkt: PktEager, PSN: 1, Bytes: 64},
+		{T: 130, Kind: EvSendDone, Rank: 0, Peer: 1, Tag: 5, Seq: 0, CID: 1, Proto: ProtoEager},
+		{T: 180, Kind: EvHWCQE, Rank: -1, Peer: 2, Aux: 7},
+		{T: 200, Kind: EvRecvBind, Rank: 1, Peer: 0, Tag: 5, Seq: 0, CID: 1},
+		{T: 200, Kind: EvPktRecv, Rank: 1, Peer: 0, Pkt: PktEager, PSN: 1, Bytes: 64},
+		{T: 210, Kind: EvRecvDone, Rank: 1, Peer: 0, Tag: 5, Seq: 0, CID: 1, Proto: ProtoEager},
+	}
+}
+
+func TestBuildTimelinesAndCrossEdges(t *testing.T) {
+	evs := eagerExchange()
+	g := Build(evs, 300)
+
+	if len(g.Ranks) != 2 || g.Ranks[0] != 0 || g.Ranks[1] != 1 {
+		t.Fatalf("ranks = %v, want [0 1]", g.Ranks)
+	}
+	// Node-layer events stay off rank timelines.
+	if got := len(g.Timelines[0]) + len(g.Timelines[1]); got != len(evs)-1 {
+		t.Errorf("timelines hold %d events, want %d (HW CQE excluded)", got, len(evs)-1)
+	}
+	// The packet consume must have the packet send as cross predecessor.
+	var pktRecv, pktSend int = -1, -1
+	for i := range evs {
+		switch evs[i].Kind {
+		case EvPktSend:
+			pktSend = i
+		case EvPktRecv:
+			pktRecv = i
+		}
+	}
+	if g.CrossPred[pktRecv] != pktSend {
+		t.Errorf("pkt-recv cross pred = %d, want %d", g.CrossPred[pktRecv], pktSend)
+	}
+	// One fully matched message with the eager protocol resolved.
+	if len(g.Messages) != 1 {
+		t.Fatalf("got %d messages, want 1", len(g.Messages))
+	}
+	m := g.Messages[0]
+	if m.Src != 0 || m.Dst != 1 || m.Proto != ProtoEager ||
+		m.SendPost < 0 || m.SendDone < 0 || m.RecvBind < 0 || m.RecvDone < 0 {
+		t.Errorf("message not fully matched: %+v", m)
+	}
+	if issues := g.Check(); len(issues) != 0 {
+		t.Errorf("clean stream reported issues: %v", issues)
+	}
+}
+
+func TestBuildWRCompletionEdge(t *testing.T) {
+	evs := []Event{
+		{T: 100, Kind: EvWRPost, Rank: 0, Peer: 1, Pkt: WRRndvRead, Aux: 42},
+		{T: 900, Kind: EvCQE, Rank: 0, Peer: 1, Pkt: WRRndvRead, Aux: 42, Wait: true},
+	}
+	g := Build(evs, 1000)
+	if g.CrossPred[1] != 0 {
+		t.Errorf("CQE cross pred = %d, want 0 (its WR post)", g.CrossPred[1])
+	}
+}
+
+func TestCheckDetectsInconsistencies(t *testing.T) {
+	evs := []Event{
+		// A send posted but never completed.
+		{T: 100, Kind: EvSendPost, Rank: 0, Peer: 1, Tag: 1, Seq: 0, Bytes: 8},
+		// A receive bound but never completed.
+		{T: 150, Kind: EvRecvBind, Rank: 1, Peer: 0, Tag: 1, Seq: 0},
+		// A packet consumed with no recorded send.
+		{T: 200, Kind: EvPktRecv, Rank: 1, Peer: 0, Pkt: PktEager, PSN: 9},
+	}
+	g := Build(evs, 300)
+	found := map[string]bool{}
+	for _, is := range g.Check() {
+		found[is.Kind] = true
+	}
+	for _, want := range []string{"unmatched-send", "unmatched-recv", "orphan-packet"} {
+		if !found[want] {
+			t.Errorf("Check missed %q; got %v", want, found)
+		}
+	}
+}
+
+func TestCheckBackwardEdge(t *testing.T) {
+	evs := []Event{
+		{T: 500, Kind: EvPktSend, Rank: 0, Peer: 1, Pkt: PktEager, PSN: 1},
+		{T: 400, Kind: EvPktRecv, Rank: 1, Peer: 0, Pkt: PktEager, PSN: 1},
+	}
+	g := Build(evs, 600)
+	found := false
+	for _, is := range g.Check() {
+		if is.Kind == "backward-edge" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Check missed the backward cross edge")
+	}
+}
+
+// checkPartition asserts the critical-path steps tile [0, end] exactly
+// and the per-category breakdown sums to end.
+func checkPartition(t *testing.T, g *Graph) {
+	t.Helper()
+	steps := g.CriticalPath()
+	if len(steps) == 0 {
+		if g.End != 0 {
+			t.Fatalf("no steps for a run ending at %d", g.End)
+		}
+		return
+	}
+	if steps[0].Start != 0 {
+		t.Errorf("path starts at %d, want 0", steps[0].Start)
+	}
+	for i := 1; i < len(steps); i++ {
+		if steps[i].Start != steps[i-1].End {
+			t.Errorf("step %d starts at %d but step %d ended at %d",
+				i, steps[i].Start, i-1, steps[i-1].End)
+		}
+	}
+	if last := steps[len(steps)-1].End; last != g.End {
+		t.Errorf("path ends at %d, want %d", last, g.End)
+	}
+	bd := Breakdown(steps)
+	var sum sim.Duration
+	for _, c := range Categories {
+		sum += bd[c]
+	}
+	if sim.Time(sum) != g.End {
+		t.Errorf("breakdown sums to %d, want %d", sum, g.End)
+	}
+}
+
+func TestCriticalPathPartition(t *testing.T) {
+	checkPartition(t, Build(eagerExchange(), 300))
+}
+
+func TestCriticalPathEmptyStream(t *testing.T) {
+	g := Build(nil, 500)
+	steps := g.CriticalPath()
+	if len(steps) != 1 || steps[0].Start != 0 || steps[0].End != 500 || steps[0].Cat != CatCompute {
+		t.Fatalf("empty stream path = %+v, want one compute step [0,500]", steps)
+	}
+	checkPartition(t, g)
+}
+
+func TestCriticalPathDurationSplit(t *testing.T) {
+	// A command-channel call that finished at t=1000 after taking 300ns:
+	// only the trailing 300ns is cmd-channel, the rest rank progress.
+	evs := []Event{
+		{T: 100, Kind: EvSendPost, Rank: 0, Peer: 1, Seq: 0},
+		{T: 1000, Kind: EvCmdDone, Rank: 0, Peer: -1, Aux: 300},
+	}
+	g := Build(evs, 1000)
+	checkPartition(t, g)
+	bd := Breakdown(g.CriticalPath())
+	if bd[CatCmd] != 300 {
+		t.Errorf("cmd-channel attributed %dns, want 300", bd[CatCmd])
+	}
+	if bd[CatCompute] != 700 {
+		t.Errorf("compute attributed %dns, want 700", bd[CatCompute])
+	}
+}
+
+func TestCriticalPathCrossesRanks(t *testing.T) {
+	// rank 1 finishes last, unblocked by a rendezvous packet from
+	// rank 0 — the path must hop onto rank 0 through the cross edge.
+	evs := []Event{
+		{T: 100, Kind: EvSendPost, Rank: 0, Peer: 1, Seq: 0},
+		{T: 400, Kind: EvPktSend, Rank: 0, Peer: 1, Pkt: PktRTS, PSN: 1},
+		{T: 900, Kind: EvPktRecv, Rank: 1, Peer: 0, Pkt: PktRTS, PSN: 1, Wait: true},
+		{T: 950, Kind: EvRecvDone, Rank: 1, Peer: 0, Seq: 0, Proto: ProtoSenderRzv},
+	}
+	g := Build(evs, 1000)
+	checkPartition(t, g)
+	steps := g.CriticalPath()
+	sawCross := false
+	ranks := map[int32]bool{}
+	for _, s := range steps {
+		ranks[s.Rank] = true
+		if s.Cross {
+			sawCross = true
+			if s.Cat != CatRndvRTT {
+				t.Errorf("RTS wire segment categorized %q, want %q", s.Cat, CatRndvRTT)
+			}
+		}
+	}
+	if !sawCross {
+		t.Error("critical path never followed the cross edge")
+	}
+	if !ranks[0] || !ranks[1] {
+		t.Errorf("critical path visits ranks %v, want both 0 and 1", ranks)
+	}
+}
+
+func TestDetectLateSender(t *testing.T) {
+	evs := []Event{
+		{T: 100, Kind: EvRecvBind, Rank: 1, Peer: 0, Tag: 3, Seq: 0},
+		{T: 500, Kind: EvSendPost, Rank: 0, Peer: 1, Tag: 3, Seq: 0, Bytes: 8},
+		{T: 510, Kind: EvSendDone, Rank: 0, Peer: 1, Tag: 3, Seq: 0, Proto: ProtoEager},
+		{T: 600, Kind: EvRecvDone, Rank: 1, Peer: 0, Tag: 3, Seq: 0, Proto: ProtoEager},
+	}
+	g := Build(evs, 700)
+	p := (&Report{Patterns: mustPatterns(g)}).Pattern(PatLateSender)
+	if p == nil || p.Count != 1 || p.Cost != 400 {
+		t.Fatalf("late-sender = %+v, want count 1 cost 400", p)
+	}
+	if len(p.Worst) != 1 || p.Worst[0].Cost != 400 {
+		t.Errorf("worst instance = %+v", p.Worst)
+	}
+}
+
+func TestDetectLateReceiverRendezvousOnly(t *testing.T) {
+	evs := []Event{
+		// Rendezvous send waits 500ns for its receiver: detected.
+		{T: 100, Kind: EvSendPost, Rank: 0, Peer: 1, Tag: 1, Seq: 0, Bytes: 1 << 20},
+		{T: 600, Kind: EvRecvBind, Rank: 1, Peer: 0, Tag: 1, Seq: 0},
+		{T: 700, Kind: EvSendDone, Rank: 0, Peer: 1, Tag: 1, Seq: 0, Proto: ProtoSenderRzv},
+		{T: 700, Kind: EvRecvDone, Rank: 1, Peer: 0, Tag: 1, Seq: 0, Proto: ProtoSenderRzv},
+		// Eager send with a late receiver: fire-and-forget, excluded.
+		{T: 800, Kind: EvSendPost, Rank: 0, Peer: 1, Tag: 2, Seq: 1, Bytes: 8},
+		{T: 810, Kind: EvSendDone, Rank: 0, Peer: 1, Tag: 2, Seq: 1, Proto: ProtoEager},
+		{T: 1500, Kind: EvRecvBind, Rank: 1, Peer: 0, Tag: 2, Seq: 1},
+		{T: 1500, Kind: EvRecvDone, Rank: 1, Peer: 0, Tag: 2, Seq: 1, Proto: ProtoEager},
+	}
+	g := Build(evs, 1600)
+	p := (&Report{Patterns: mustPatterns(g)}).Pattern(PatLateReceiver)
+	if p == nil || p.Count != 1 || p.Cost != 500 {
+		t.Fatalf("late-receiver = %+v, want count 1 cost 500 (eager excluded)", p)
+	}
+}
+
+func TestDetectWaitAtCollective(t *testing.T) {
+	evs := []Event{
+		{T: 100, Kind: EvCollEnter, Rank: 0, Tag: CollBarrier, Aux: 1},
+		{T: 400, Kind: EvCollEnter, Rank: 1, Tag: CollBarrier, Aux: 1},
+		{T: 410, Kind: EvCollExit, Rank: 0, Tag: CollBarrier, Aux: 1},
+		{T: 410, Kind: EvCollExit, Rank: 1, Tag: CollBarrier, Aux: 1},
+	}
+	g := Build(evs, 500)
+	pats, load := g.Analyze()
+	p := (&Report{Patterns: pats}).Pattern(PatWaitAtCollective)
+	if p == nil || p.Count != 1 || p.Cost != 300 {
+		t.Fatalf("wait-at-collective = %+v, want count 1 cost 300", p)
+	}
+	if want := "barrier #1 straggler=rank1"; p.Worst[0].Where != want {
+		t.Errorf("worst = %q, want %q", p.Worst[0].Where, want)
+	}
+	// The early rank carries the collective wait in the load summary.
+	for _, l := range load {
+		want := sim.Duration(0)
+		if l.Rank == 0 {
+			want = 300
+		}
+		if l.CollWait != want {
+			t.Errorf("rank %d coll-wait = %d, want %d", l.Rank, l.CollWait, want)
+		}
+	}
+}
+
+func TestDetectMispredictStall(t *testing.T) {
+	evs := []Event{
+		// Receiver-first: rank 1 sent an RTR that rank 0 will drop.
+		{T: 1000, Kind: EvPktSend, Rank: 1, Peer: 0, Pkt: PktRTR, PSN: 4, Seq: 3},
+		{T: 1400, Kind: EvMispredict, Rank: 0, Peer: 1, Seq: 3},
+	}
+	g := Build(evs, 1500)
+	p := (&Report{Patterns: mustPatterns(g)}).Pattern(PatMispredictStall)
+	if p == nil || p.Count != 1 || p.Cost != 400 {
+		t.Fatalf("mispredict-stall = %+v, want count 1 cost 400", p)
+	}
+}
+
+func TestDetectAnySourceSerialization(t *testing.T) {
+	evs := []Event{
+		{T: 100, Kind: EvAnyLock, Rank: 1, Peer: -1, CID: 1},
+		{T: 150, Kind: EvDefer, Rank: 1, Peer: 0, CID: 2},
+		{T: 900, Kind: EvRecvBind, Rank: 1, Peer: 0, Seq: 5, CID: 2},
+		{T: 950, Kind: EvRecvDone, Rank: 1, Peer: 0, Seq: 5, CID: 2, Proto: ProtoEager},
+	}
+	g := Build(evs, 1000)
+	p := (&Report{Patterns: mustPatterns(g)}).Pattern(PatAnySerialization)
+	if p == nil || p.Count != 1 || p.Cost != 750 {
+		t.Fatalf("any-source-serialization = %+v, want count 1 cost 750", p)
+	}
+}
+
+func TestLoadSummaryWaitTime(t *testing.T) {
+	evs := []Event{
+		{T: 100, Kind: EvWaitStart, Rank: 0, Peer: -1, CID: 1},
+		{T: 350, Kind: EvWaitEnd, Rank: 0, Peer: -1, CID: 1},
+		{T: 400, Kind: EvWaitStart, Rank: 1, Peer: -1, CID: 1},
+		{T: 450, Kind: EvWaitEnd, Rank: 1, Peer: -1, CID: 1},
+	}
+	g := Build(evs, 500)
+	_, load := g.Analyze()
+	if len(load) != 2 {
+		t.Fatalf("got %d rank loads, want 2", len(load))
+	}
+	if load[0].WaitTime != 250 || load[1].WaitTime != 50 {
+		t.Errorf("wait times = %d, %d; want 250, 50", load[0].WaitTime, load[1].WaitTime)
+	}
+}
+
+func TestReportDeterminism(t *testing.T) {
+	evs := eagerExchange()
+	write := func() (text, js []byte) {
+		rep := Analyze("unit", evs, 300)
+		var tb, jb bytes.Buffer
+		if err := rep.WriteText(&tb); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.WriteJSON(&jb); err != nil {
+			t.Fatal(err)
+		}
+		return tb.Bytes(), jb.Bytes()
+	}
+	t1, j1 := write()
+	t2, j2 := write()
+	if !bytes.Equal(t1, t2) {
+		t.Error("text report not byte-identical across runs")
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Error("JSON report not byte-identical across runs")
+	}
+	if len(t1) == 0 || len(j1) == 0 {
+		t.Error("empty report output")
+	}
+}
+
+func TestRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit(Event{T: 1, Kind: EvSendPost})
+	if r.Len() != 0 || r.Events() != nil {
+		t.Error("nil recorder should drop events")
+	}
+	r.Reset()
+}
+
+// mustPatterns runs the analyzers and returns only the patterns.
+func mustPatterns(g *Graph) []Pattern {
+	pats, _ := g.Analyze()
+	return pats
+}

@@ -13,6 +13,7 @@ package cluster
 import (
 	"fmt"
 
+	"repro/internal/causal"
 	"repro/internal/core"
 	"repro/internal/dcfa"
 	"repro/internal/faults"
@@ -40,6 +41,9 @@ type Cluster struct {
 	// the PCIe complexes and the DCFA daemons (nil = no faults);
 	// install it with SetFaults before building worlds.
 	Faults *faults.Injector
+	// Causal is the causal-profiler event recorder shared by every
+	// layer (nil = disabled); install it with SetCausal.
+	Causal *causal.Recorder
 }
 
 // New builds an n-node cluster on a fresh engine.
@@ -67,6 +71,18 @@ func (c *Cluster) SetMetrics(reg *metrics.Registry) {
 	c.Fabric.Metrics = reg
 	for _, b := range c.Buses {
 		b.Metrics = reg
+	}
+}
+
+// SetCausal installs one causal-event recorder across the cluster's
+// fabric and PCIe complexes; worlds built afterwards inherit it down to
+// every rank and DCFA verbs interface. Recording is passive, so a run
+// with a recorder installed keeps the fingerprint of a run without.
+func (c *Cluster) SetCausal(rec *causal.Recorder) {
+	c.Causal = rec
+	c.Fabric.Causal = rec
+	for _, b := range c.Buses {
+		b.Causal = rec
 	}
 }
 
@@ -98,6 +114,7 @@ func (c *Cluster) DCFAEnvs(ranks int) []core.Env {
 		mic, _ := dcfa.New(c.Eng, c.Plat, c.Nodes[ni], c.HCAs[ni], c.Buses[ni])
 		mic.SetMetrics(c.Metrics)
 		mic.SetFaults(c.Faults)
+		mic.SetCausal(c.Causal, i)
 		envs[i] = core.Env{V: core.DCFAVerbs{V: mic}, Node: c.Nodes[ni]}
 	}
 	return envs
@@ -123,6 +140,7 @@ func (c *Cluster) DCFAWorld(ranks int, offload bool) *core.World {
 	cfg.Offload = offload
 	cfg.Metrics = c.Metrics
 	cfg.Faults = c.Faults
+	cfg.Causal = c.Causal
 	return core.NewWorld(c.Eng, c.Plat, cfg, c.DCFAEnvs(ranks))
 }
 
@@ -132,6 +150,7 @@ func (c *Cluster) HostWorld(ranks int) *core.World {
 	cfg.Offload = false
 	cfg.Metrics = c.Metrics
 	cfg.Faults = c.Faults
+	cfg.Causal = c.Causal
 	return core.NewWorld(c.Eng, c.Plat, cfg, c.HostEnvs(ranks))
 }
 

@@ -1,0 +1,234 @@
+package core
+
+import (
+	"repro/internal/causal"
+	"repro/internal/sim"
+)
+
+// rankCausal is the rank's handle on the causal-event recorder. Its
+// zero value (profiling disabled) makes every emit a nil-check no-op,
+// mirroring rankMetrics. All methods take values, never interfaces, so
+// hot-path call sites allocate nothing.
+type rankCausal struct {
+	rec  *causal.Recorder
+	rank int32
+
+	// cid numbers requests rank-locally so lifecycle events of one
+	// request can be correlated.
+	cid uint64
+	// collSeq numbers symmetric collective calls; SPMD programs call
+	// them in the same order on every rank, which is what lets the
+	// graph fan collective entries into exits without communicator
+	// introspection.
+	collSeq uint64
+	// waitDepth > 0 marks events emitted while the rank is blocked in
+	// Wait (the progress engine runs in the waiter's context).
+	waitDepth int
+}
+
+func newRankCausal(rec *causal.Recorder, rank int) rankCausal {
+	return rankCausal{rec: rec, rank: int32(rank)}
+}
+
+func (c *rankCausal) on() bool { return c.rec != nil }
+
+func (c *rankCausal) emit(e causal.Event) {
+	e.Rank = c.rank
+	e.Wait = c.waitDepth > 0
+	c.rec.Emit(e)
+}
+
+// nextCID allocates the next request id. Only called when profiling
+// is on, so disabled runs carry cid 0 everywhere.
+func (c *rankCausal) nextCID() uint64 {
+	c.cid++
+	return c.cid
+}
+
+func (c *rankCausal) sendPost(t sim.Time, req *Request) {
+	if c.rec == nil {
+		return
+	}
+	c.emit(causal.Event{T: t, Kind: causal.EvSendPost, Peer: int32(req.peer),
+		Tag: int32(req.tag), Seq: req.seq, CID: req.cid, Bytes: int32(req.slice.N)})
+}
+
+func (c *rankCausal) recvPost(t sim.Time, req *Request) {
+	if c.rec == nil {
+		return
+	}
+	c.emit(causal.Event{T: t, Kind: causal.EvRecvPost, Peer: int32(req.peer),
+		Tag: int32(req.tag), CID: req.cid, Bytes: int32(req.slice.N)})
+}
+
+func (c *rankCausal) recvBind(t sim.Time, req *Request) {
+	c.recvBindTo(t, req, req.peer)
+}
+
+// recvBindTo emits the bind with an explicit source for wildcard
+// receives, whose req.peer is updated later by the protocol.
+func (c *rankCausal) recvBindTo(t sim.Time, req *Request, src int) {
+	if c.rec == nil {
+		return
+	}
+	c.emit(causal.Event{T: t, Kind: causal.EvRecvBind, Peer: int32(src),
+		Tag: int32(req.tag), Seq: req.seq, CID: req.cid, Bytes: int32(req.slice.N)})
+}
+
+func (c *rankCausal) done(t sim.Time, req *Request, failed bool) {
+	if c.rec == nil {
+		return
+	}
+	kind := causal.EvRecvDone
+	if req.isSend {
+		kind = causal.EvSendDone
+	}
+	aux := uint64(0)
+	if failed {
+		aux = 1
+	}
+	c.emit(causal.Event{T: t, Kind: kind, Peer: int32(req.peer), Tag: int32(req.tag),
+		Seq: req.seq, CID: req.cid, Proto: req.proto, Aux: aux, Bytes: int32(req.slice.N)})
+}
+
+func (c *rankCausal) pktSend(t sim.Time, dst int, h header, payload int) {
+	if c.rec == nil {
+		return
+	}
+	c.emit(causal.Event{T: t, Kind: causal.EvPktSend, Peer: int32(dst),
+		Tag: h.tag, Pkt: h.kind, Seq: h.seq, PSN: h.psn, Bytes: int32(payload)})
+}
+
+func (c *rankCausal) pktRecv(t sim.Time, src int, h header) {
+	if c.rec == nil {
+		return
+	}
+	c.emit(causal.Event{T: t, Kind: causal.EvPktRecv, Peer: int32(src),
+		Tag: h.tag, Pkt: h.kind, Seq: h.seq, PSN: h.psn, Bytes: int32(h.payload)})
+}
+
+func (c *rankCausal) wrPost(t sim.Time, peer int, kind wrKind, wrid uint64, bytes int) {
+	if c.rec == nil {
+		return
+	}
+	c.emit(causal.Event{T: t, Kind: causal.EvWRPost, Peer: int32(peer),
+		Pkt: uint8(kind) + 1, Aux: wrid, Bytes: int32(bytes)})
+}
+
+func (c *rankCausal) cqe(t sim.Time, peer int, kind wrKind, wrid uint64) {
+	if c.rec == nil {
+		return
+	}
+	c.emit(causal.Event{T: t, Kind: causal.EvCQE, Peer: int32(peer),
+		Pkt: uint8(kind) + 1, Aux: wrid})
+}
+
+func (c *rankCausal) waitStart(t sim.Time, cid uint64) {
+	if c.rec == nil {
+		return
+	}
+	c.emit(causal.Event{T: t, Kind: causal.EvWaitStart, Peer: -1, CID: cid})
+	c.waitDepth++
+}
+
+func (c *rankCausal) waitEnd(t sim.Time, cid uint64) {
+	if c.rec == nil {
+		return
+	}
+	c.waitDepth--
+	c.emit(causal.Event{T: t, Kind: causal.EvWaitEnd, Peer: -1, CID: cid})
+}
+
+// collEnter emits the entry event and returns the collective sequence
+// id the matching collExit must carry.
+func (c *rankCausal) collEnter(t sim.Time, op int32) uint64 {
+	if c.rec == nil {
+		return 0
+	}
+	c.collSeq++
+	c.emit(causal.Event{T: t, Kind: causal.EvCollEnter, Peer: -1, Tag: op, Aux: c.collSeq})
+	return c.collSeq
+}
+
+func (c *rankCausal) collExit(t sim.Time, op int32, seq uint64) {
+	if c.rec == nil {
+		return
+	}
+	c.emit(causal.Event{T: t, Kind: causal.EvCollExit, Peer: -1, Tag: op, Aux: seq})
+}
+
+func (c *rankCausal) anyLock(t sim.Time, cid uint64) {
+	if c.rec == nil {
+		return
+	}
+	c.emit(causal.Event{T: t, Kind: causal.EvAnyLock, Peer: -1, CID: cid})
+}
+
+func (c *rankCausal) anyDefer(t sim.Time, cid uint64) {
+	if c.rec == nil {
+		return
+	}
+	c.emit(causal.Event{T: t, Kind: causal.EvDefer, Peer: -1, CID: cid})
+}
+
+func (c *rankCausal) mispredict(t sim.Time, peer int, seq uint64) {
+	if c.rec == nil {
+		return
+	}
+	c.emit(causal.Event{T: t, Kind: causal.EvMispredict, Peer: int32(peer), Seq: seq})
+}
+
+func (c *rankCausal) qpReset(t sim.Time, peer int) {
+	if c.rec == nil {
+		return
+	}
+	c.emit(causal.Event{T: t, Kind: causal.EvQPReset, Peer: int32(peer)})
+}
+
+func (c *rankCausal) replay(t sim.Time, peer int, wrid uint64) {
+	if c.rec == nil {
+		return
+	}
+	c.emit(causal.Event{T: t, Kind: causal.EvReplay, Peer: int32(peer), Aux: wrid})
+}
+
+func (c *rankCausal) replayDrop(t sim.Time, src int, psn uint64) {
+	if c.rec == nil {
+		return
+	}
+	c.emit(causal.Event{T: t, Kind: causal.EvReplayDrop, Peer: int32(src), PSN: psn})
+}
+
+func (c *rankCausal) fallback(t sim.Time, peer int, bytes int) {
+	if c.rec == nil {
+		return
+	}
+	c.emit(causal.Event{T: t, Kind: causal.EvFallback, Peer: int32(peer), Bytes: int32(bytes)})
+}
+
+func (c *rankCausal) dmaSync(t sim.Time, dur sim.Duration, bytes int) {
+	if c.rec == nil {
+		return
+	}
+	c.emit(causal.Event{T: t, Kind: causal.EvDMASync, Peer: -1, Aux: uint64(dur), Bytes: int32(bytes)})
+}
+
+// protoOf maps a span-kind string to the causal protocol code; called
+// from rankMetrics.resolve so req.proto is set exactly where the
+// metrics layer classifies the request.
+func protoOf(kind string) uint8 {
+	switch kind {
+	case KindEager:
+		return causal.ProtoEager
+	case KindSenderRzv:
+		return causal.ProtoSenderRzv
+	case KindRecvRzv:
+		return causal.ProtoRecvRzv
+	case KindSimulRzv:
+		return causal.ProtoSimulRzv
+	case KindSelf:
+		return causal.ProtoSelf
+	default:
+		return causal.ProtoUnknown
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/causal"
 	"repro/internal/sim"
 )
 
@@ -23,6 +24,13 @@ const (
 // Barrier blocks until every rank has entered it (dissemination
 // algorithm: ⌈log2 P⌉ rounds of pairwise exchanges).
 func (r *Rank) Barrier(p *sim.Proc) error {
+	cs := r.c.collEnter(p.Now(), causal.CollBarrier)
+	err := r.barrier(p)
+	r.c.collExit(p.Now(), causal.CollBarrier, cs)
+	return err
+}
+
+func (r *Rank) barrier(p *sim.Proc) error {
 	n := r.w.Size()
 	if n == 1 {
 		return nil
@@ -113,6 +121,13 @@ func (r *Rank) Reduce(p *sim.Proc, root int, s Slice, op Op) error {
 // Allreduce is Reduce to rank 0 followed by Bcast; every rank ends with
 // the combined result in s.
 func (r *Rank) Allreduce(p *sim.Proc, s Slice, op Op) error {
+	cs := r.c.collEnter(p.Now(), causal.CollAllreduce)
+	err := r.allreduce(p, s, op)
+	r.c.collExit(p.Now(), causal.CollAllreduce, cs)
+	return err
+}
+
+func (r *Rank) allreduce(p *sim.Proc, s Slice, op Op) error {
 	if err := r.Reduce(p, 0, s, op); err != nil {
 		return err
 	}
@@ -174,6 +189,13 @@ func (r *Rank) Scatter(p *sim.Proc, root int, src Slice, recv Slice) error {
 // Allgather concatenates every rank's s into dst (Size()*s.N bytes) on
 // every rank, using the ring algorithm.
 func (r *Rank) Allgather(p *sim.Proc, s Slice, dst Slice) error {
+	cs := r.c.collEnter(p.Now(), causal.CollAllgather)
+	err := r.allgather(p, s, dst)
+	r.c.collExit(p.Now(), causal.CollAllgather, cs)
+	return err
+}
+
+func (r *Rank) allgather(p *sim.Proc, s Slice, dst Slice) error {
 	n := r.w.Size()
 	if dst.N < n*s.N {
 		return fmt.Errorf("core: allgather destination too small: %d < %d", dst.N, n*s.N)
@@ -324,6 +346,13 @@ func (r *Rank) ReduceScatter(p *sim.Proc, src Slice, dst Slice, op Op) error {
 // Alltoall sends block i of src to rank i and receives rank i's block
 // into block i of dst; src and dst hold Size() blocks of blockN bytes.
 func (r *Rank) Alltoall(p *sim.Proc, src, dst Slice, blockN int) error {
+	cs := r.c.collEnter(p.Now(), causal.CollAlltoall)
+	err := r.alltoall(p, src, dst, blockN)
+	r.c.collExit(p.Now(), causal.CollAlltoall, cs)
+	return err
+}
+
+func (r *Rank) alltoall(p *sim.Proc, src, dst Slice, blockN int) error {
 	n := r.w.Size()
 	if src.N < n*blockN || dst.N < n*blockN {
 		return fmt.Errorf("core: alltoall buffers too small")

@@ -89,6 +89,7 @@ func (m *rankMetrics) span(t sim.Time, name string) *metrics.Span {
 // counter and stamps the lifecycle span. Each request resolves exactly
 // once (the call sites are the protocol-decision points).
 func (m *rankMetrics) resolve(req *Request, kind string) {
+	req.proto = protoOf(kind)
 	switch kind {
 	case KindEager:
 		m.protoEager.Inc()

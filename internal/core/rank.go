@@ -121,6 +121,10 @@ type Rank struct {
 	// makes every record a nil-check no-op.
 	m rankMetrics
 
+	// c holds the causal-profiling handle; its zero value (profiling
+	// disabled) makes every emit a nil-check no-op.
+	c rankCausal
+
 	// fatal is set when transport recovery gives up on a WR that has
 	// no owning request to fail (control packets): the rank cannot
 	// guarantee protocol progress anymore, so Wait and finalize abort
@@ -168,6 +172,40 @@ func (r *Rank) trace(kind, format string, args ...any) {
 	}
 }
 
+// trace1/trace2/trace3 are the non-variadic fast paths of trace
+// (DESIGN.md §7e): hot call sites pass up to three integers without
+// boxing them into interface values; the boxing happens once inside
+// the cold body, off the per-event budget.
+//
+//simlint:cold
+func (r *Rank) trace1(kind, format string, a int64) {
+	if tr := r.w.Cfg.Trace; tr != nil {
+		tr.Log(r.proc.Now(), fmt.Sprintf("rank%d", r.id), kind, format, a)
+	}
+}
+
+//simlint:cold
+func (r *Rank) trace2(kind, format string, a, b int64) {
+	if tr := r.w.Cfg.Trace; tr != nil {
+		tr.Log(r.proc.Now(), fmt.Sprintf("rank%d", r.id), kind, format, a, b)
+	}
+}
+
+//simlint:cold
+func (r *Rank) trace3(kind, format string, a, b, c int64) {
+	if tr := r.w.Cfg.Trace; tr != nil {
+		tr.Log(r.proc.Now(), fmt.Sprintf("rank%d", r.id), kind, format, a, b, c)
+	}
+}
+
+// wrFailErr builds the completion-failure error. Split out so the
+// status value is boxed in a cold frame, not in handleCQE itself.
+//
+//simlint:cold
+func wrFailErr(s ib.Status) error {
+	return fmt.Errorf("core: work request failed: %v", s)
+}
+
 // MRCacheStats reports buffer-cache-pool hits and misses.
 func (r *Rank) MRCacheStats() (hits, misses int64) {
 	return r.mrCache.Hits, r.mrCache.Misses
@@ -185,6 +223,7 @@ func (r *Rank) setup(p *sim.Proc) error {
 	}
 	r.mrCache = NewMRCache(r.v, r.pd, cfg.MRCacheCap)
 	r.m = newRankMetrics(cfg.Metrics, r.id)
+	r.c = newRankCausal(cfg.Causal, r.id)
 	r.mrCache.instrument(cfg.Metrics, r.m.actor)
 	n := r.w.Size()
 	r.peers = make([]*peerState, n)
@@ -351,6 +390,7 @@ func (r *Rank) recoverWR(p *sim.Proc, wrid uint64, act wrAction) {
 		}
 		r.Stats.QPResets++
 		r.m.qpResets.Inc()
+		r.c.qpReset(p.Now(), act.peer)
 		r.trace("qp-reset", "peer=%d reconnected", act.peer)
 	}
 	act.tries++
@@ -361,6 +401,7 @@ func (r *Rank) recoverWR(p *sim.Proc, wrid uint64, act wrAction) {
 	r.wrMap[wrid] = act
 	r.Stats.Retries++
 	r.m.faultRetries.Inc()
+	r.c.replay(p.Now(), act.peer, wrid)
 	r.trace("wr-replay", "peer=%d kind=%s try=%d", act.peer, act.kind, act.tries)
 	if err := r.reissue(p, wrid, act); err != nil {
 		delete(r.wrMap, wrid)
@@ -422,13 +463,16 @@ func (r *Rank) sendPacket(p *sim.Proc, dst int, h header, payload []byte, act wr
 		sgl = append(sgl, ib.SGE{Addr: ps.staging.Addr + hdrSize, Len: len(payload), LKey: ps.stagingMR.LKey})
 	}
 	sgl = append(sgl, ib.SGE{Addr: ps.staging.Addr + uint64(hdrSize+len(payload)), Len: tailSize, LKey: ps.stagingMR.LKey})
+	wrid := r.nextWR(act)
 	wr := &ib.SendWR{
-		WRID:     r.nextWR(act),
+		WRID:     wrid,
 		Opcode:   ib.OpRDMAWrite,
 		SGL:      sgl,
 		Remote:   ib.RemoteAddr{Addr: ps.out.slotAddr(slot), RKey: ps.out.rkey},
 		Signaled: true,
 	}
+	r.c.pktSend(p.Now(), dst, h, len(payload))
+	r.c.wrPost(p.Now(), dst, act.kind, wrid, len(payload))
 	return r.post(p, dst, wr)
 }
 
@@ -444,11 +488,15 @@ func (r *Rank) Isend(p *sim.Proc, dst, tag int, s Slice) (*Request, error) {
 		req.span = r.m.span(req.startT, "send")
 		req.span.AttrInt("peer", int64(dst)).AttrInt("bytes", int64(s.N))
 	}
+	if r.c.on() {
+		req.cid = r.c.nextCID()
+	}
 	p.Sleep(r.w.Plat.MPIPerMsg(r.v.Loc()))
 	r.Stats.MsgsSent++
 	r.Stats.BytesSent += int64(s.N)
 	if dst == r.id {
 		r.m.resolve(req, KindSelf)
+		r.c.sendPost(p.Now(), req)
 		r.selfSend(p, req)
 		return req, nil
 	}
@@ -456,6 +504,7 @@ func (r *Rank) Isend(p *sim.Proc, dst, tag int, s Slice) (*Request, error) {
 	r.sendSeq[dst]++
 	req.hasSeq = true
 	req.span.AttrInt("seq", int64(req.seq))
+	r.c.sendPost(p.Now(), req)
 	// Drain arrived packets first: an RTR for this very sequence id may
 	// already be waiting (receiver-first), which changes the protocol.
 	r.progress(p)
@@ -476,6 +525,7 @@ func (r *Rank) trySendEager(p *sim.Proc, req *Request) {
 	if _, ok := r.earlyRTR[req.peer][req.seq]; ok {
 		delete(r.earlyRTR[req.peer], req.seq)
 		r.m.mispredicts.Inc()
+		r.c.mispredict(p.Now(), req.peer, req.seq)
 		r.trace("mispredict-rtr-drop", "from=%d seq=%d (pre-posted)", req.peer, req.seq)
 	}
 	ps := r.peers[req.peer]
@@ -504,7 +554,8 @@ func (r *Rank) startRendezvousSend(p *sim.Proc, req *Request) error {
 		if reg := r.arena.alloc(s.N); reg != nil {
 			// sync_offload_mr: stage the latest data into the host
 			// bounce buffer through the DMA engine before any send.
-			ss := req.span.Child(p.Now(), "offload-sync")
+			syncT := p.Now()
+			ss := req.span.Child(syncT, "offload-sync")
 			err := r.arena.sync(p, reg, s.Bytes())
 			ss.AttrInt("bytes", int64(s.N))
 			ss.End(p.Now())
@@ -516,6 +567,7 @@ func (r *Rank) startRendezvousSend(p *sim.Proc, req *Request) error {
 				req.advKey = reg.rkey()
 				r.Stats.OffloadedSends++
 				r.m.offStaged.Add(int64(s.N))
+				r.c.dmaSync(p.Now(), p.Now()-syncT, s.N)
 				r.trace("offload-sync", "to=%d seq=%d n=%d staged", req.peer, req.seq, s.N)
 			case errors.As(err, &abort):
 				// The DMA engine aborted the staging copy: release the
@@ -524,6 +576,7 @@ func (r *Rank) startRendezvousSend(p *sim.Proc, req *Request) error {
 				r.arena.release(reg)
 				useOffload = false
 				r.m.offFallback.Inc()
+				r.c.fallback(p.Now(), req.peer, s.N)
 				r.trace("offload-abort", "to=%d seq=%d n=%d falling back", req.peer, req.seq, s.N)
 			default:
 				return err
@@ -597,7 +650,8 @@ func (r *Rank) rndvWrite(p *sim.Proc, req *Request, rtr header) error {
 	if r.m.reg != nil {
 		req.xferSpan = req.span.Child(p.Now(), "rdma-write").AttrInt("bytes", int64(req.slice.N))
 	}
-	r.trace("rdma-write", "to=%d seq=%d n=%d", req.peer, req.seq, req.slice.N)
+	r.c.wrPost(p.Now(), req.peer, wrRndvWrite, wrid, req.slice.N)
+	r.trace3("rdma-write", "to=%d seq=%d n=%d", int64(req.peer), int64(req.seq), int64(req.slice.N))
 	return r.post(p, req.peer, wr)
 }
 
@@ -625,6 +679,10 @@ func (r *Rank) Irecv(p *sim.Proc, src, tag int, s Slice) (*Request, error) {
 		req.span = r.m.span(req.startT, "recv")
 		req.span.AttrInt("src", int64(src)).AttrInt("bytes", int64(s.N))
 	}
+	if r.c.on() {
+		req.cid = r.c.nextCID()
+		r.c.recvPost(p.Now(), req)
+	}
 	if src == r.id {
 		r.m.resolve(req, KindSelf)
 		r.selfRecv(p, req)
@@ -639,15 +697,18 @@ func (r *Rank) Irecv(p *sim.Proc, src, tag int, s Slice) (*Request, error) {
 		if r.anyActive == nil {
 			r.anyActive = req
 			r.m.anyLocks.Inc()
+			r.c.anyLock(p.Now(), req.cid)
 			r.matchAnyAgainstUnexpected(p)
 		} else {
 			r.deferred = append(r.deferred, req)
+			r.c.anyDefer(p.Now(), req.cid)
 		}
 		return req, nil
 	}
 	if r.anyActive != nil {
 		// Locked: later receives cannot get a sequence id yet.
 		r.deferred = append(r.deferred, req)
+		r.c.anyDefer(p.Now(), req.cid)
 		return req, nil
 	}
 	r.bindRecv(p, req, src)
@@ -662,6 +723,7 @@ func (r *Rank) bindRecv(p *sim.Proc, req *Request, src int) {
 	r.recvSeq[src]++
 	req.hasSeq = true
 	req.span.AttrInt("seq", int64(req.seq))
+	r.c.recvBind(p.Now(), req)
 	if a, ok := r.unexpected[src][req.seq]; ok {
 		delete(r.unexpected[src], req.seq)
 		r.matchArrival(p, req, a)
@@ -685,7 +747,7 @@ func (r *Rank) bindRecv(p *sim.Proc, req *Request, src int) {
 			return
 		}
 		req.state = stRTRWait
-		r.trace("rtr-send", "to=%d seq=%d n=%d", src, req.seq, req.slice.N)
+		r.trace3("rtr-send", "to=%d seq=%d n=%d", int64(src), int64(req.seq), int64(req.slice.N))
 	}
 }
 
@@ -771,7 +833,8 @@ func (r *Rank) startRead(p *sim.Proc, req *Request, rts header) {
 	if r.m.reg != nil {
 		req.xferSpan = req.span.Child(p.Now(), "rdma-read").AttrInt("bytes", int64(rts.rsize))
 	}
-	r.trace("rdma-read", "from=%d seq=%d n=%d", rts.src, rts.seq, rts.rsize)
+	r.c.wrPost(p.Now(), int(rts.src), wrRndvRead, wrid, rts.rsize)
+	r.trace3("rdma-read", "from=%d seq=%d n=%d", int64(rts.src), int64(rts.seq), int64(rts.rsize))
 	if err := r.post(p, int(rts.src), wr); err != nil {
 		req.complete(p, err)
 	}
@@ -799,6 +862,7 @@ func (r *Rank) matchAnyAgainstUnexpected(p *sim.Proc) {
 		req.hasSeq = true
 		req.seq = next
 		r.anyActive = nil
+		r.c.recvBindTo(p.Now(), req, src)
 		r.matchArrival(p, req, a)
 		r.drainDeferred(p)
 		return
@@ -815,6 +879,7 @@ func (r *Rank) drainDeferred(p *sim.Proc) {
 		if req.peer == AnySource {
 			r.anyActive = req
 			r.m.anyLocks.Inc()
+			r.c.anyLock(p.Now(), req.cid)
 			r.matchAnyAgainstUnexpected(p)
 			return
 		}
@@ -908,7 +973,8 @@ func (r *Rank) progress(p *sim.Proc) bool {
 				ps.in.discard()
 				r.Stats.ReplaysDeduped++
 				r.m.replaysDeduped.Inc()
-				r.trace("replay-drop", "from=%d psn=%d expect=%d", i, h.psn, ps.recvPSN)
+				r.c.replayDrop(p.Now(), i, h.psn)
+				r.trace3("replay-drop", "from=%d psn=%d expect=%d", int64(i), int64(h.psn), int64(ps.recvPSN))
 				did = true
 				continue
 			}
@@ -917,6 +983,7 @@ func (r *Rank) progress(p *sim.Proc) bool {
 			}
 			ps.recvPSN++
 			p.Sleep(r.w.Plat.PollCost(r.v.Loc()) + r.v.RecvOverhead(h.payload))
+			r.c.pktRecv(p.Now(), i, h)
 			r.handlePacket(p, i, h, payload)
 			ps.in.consume()
 			ps.toReturn++
@@ -988,7 +1055,7 @@ func (r *Rank) progress(p *sim.Proc) bool {
 			h := header{kind: pktCredit, seq: 0}
 			if err := r.sendPacket(p, i, h, nil, wrAction{kind: wrCtrl, peer: i}); err == nil {
 				r.Stats.CreditPackets++
-				r.trace("credit", "to=%d returned", i)
+				r.trace1("credit", "to=%d returned", int64(i))
 				did = true
 			}
 		}
@@ -1015,6 +1082,7 @@ func (r *Rank) handlePacket(p *sim.Proc, src int, h header, payload []byte) {
 				// data and completes; its earlier RTR will be dropped by
 				// the sender thanks to the sequence id.
 				r.m.mispredicts.Inc()
+				r.c.mispredict(p.Now(), src, h.seq)
 				r.matchArrival(p, req, &arrival{h: h, data: payload})
 				return
 			}
@@ -1024,12 +1092,13 @@ func (r *Rank) handlePacket(p *sim.Proc, src int, h header, payload []byte) {
 		// Then the ANY_SOURCE receive: it takes its sequence id from the
 		// first matching packet.
 		if r.anyActive != nil && h.seq == r.recvSeq[src] && tagsMatch(r.anyActive, h) {
-			r.trace("any-source-match", "from=%d seq=%d", src, h.seq)
+			r.trace2("any-source-match", "from=%d seq=%d", int64(src), int64(h.seq))
 			req := r.anyActive
 			r.anyActive = nil
 			r.recvSeq[src]++
 			req.seq = h.seq
 			req.hasSeq = true
+			r.c.recvBindTo(p.Now(), req, src)
 			r.matchArrival(p, req, &arrival{h: h, data: payload})
 			r.drainDeferred(p)
 			return
@@ -1052,12 +1121,13 @@ func (r *Rank) handlePacket(p *sim.Proc, src int, h header, payload []byte) {
 				// disregards the RTR and waits for the receiver's read.
 				req.simul = true
 				r.m.resolve(req, KindSimulRzv)
-				r.trace("simultaneous-rtr-drop", "from=%d seq=%d", src, h.seq)
+				r.trace2("simultaneous-rtr-drop", "from=%d seq=%d", int64(src), int64(h.seq))
 			case stEagerSent, stEagerQueued, stDone:
 				// Sender-eager mis-prediction: drop the RTR; the
 				// sequence id guarantees it belonged to this send only.
 				r.m.mispredicts.Inc()
-				r.trace("mispredict-rtr-drop", "from=%d seq=%d", src, h.seq)
+				r.c.mispredict(p.Now(), src, h.seq)
+				r.trace2("mispredict-rtr-drop", "from=%d seq=%d", int64(src), int64(h.seq))
 			default:
 				if err := r.rndvWrite(p, req, h); err != nil {
 					req.complete(p, err)
@@ -1120,13 +1190,14 @@ func (r *Rank) handleCQE(p *sim.Proc, e ib.CQE) {
 		panic(fmt.Sprintf("core: rank %d: completion for unknown WR %d", r.id, e.WRID))
 	}
 	delete(r.wrMap, e.WRID)
+	r.c.cqe(p.Now(), act.peer, act.kind, e.WRID)
 	if e.Status != ib.StatusSuccess {
 		if e.Status == ib.StatusRetryExcErr && r.faultsOn() {
 			r.recoverWR(p, e.WRID, act)
 			return
 		}
 		if act.req != nil {
-			act.req.complete(p, fmt.Errorf("core: work request failed: %v", e.Status))
+			act.req.complete(p, wrFailErr(e.Status))
 		}
 		return
 	}
@@ -1161,16 +1232,27 @@ func (r *Rank) handleCQE(p *sim.Proc, e ib.CQE) {
 
 // Wait blocks until the request completes, driving progress.
 func (r *Rank) Wait(p *sim.Proc, req *Request) (Status, error) {
+	waiting := false
+	if !req.completed && r.c.on() {
+		r.c.waitStart(p.Now(), req.cid)
+		waiting = true
+	}
 	for !req.completed {
 		if r.fatal != nil {
 			// Transport recovery gave up on a control packet: protocol
 			// progress is no longer guaranteed, so abort instead of
-			// spinning into a deadlock.
-			return req.status, r.fatal
+			// spinning into a deadlock. Completing the request here
+			// closes its spans and releases its pins — without it, every
+			// request in flight at the fatal error leaks an open span.
+			req.complete(p, r.fatal)
+			break
 		}
 		if !r.progress(p) {
 			r.v.HCA().Doorbell.Wait(p)
 		}
+	}
+	if waiting {
+		r.c.waitEnd(p.Now(), req.cid)
 	}
 	return req.status, req.err
 }

@@ -92,6 +92,12 @@ type Request struct {
 	// was dropped in state stRTSSent), so the later DONE does not
 	// re-classify it as sender-first.
 	simul bool
+
+	// Causal profiling (zero when profiling is disabled): cid is the
+	// rank-local request id correlating this request's lifecycle
+	// events, proto the resolved protocol code (causal.Proto*).
+	cid   uint64
+	proto uint8
 }
 
 // Done reports completion (poll without progress; use Rank.Test to also
@@ -133,6 +139,7 @@ func (q *Request) complete(p *sim.Proc, err error) {
 			m.recvLat.ObserveDuration(now - q.startT)
 		}
 	}
+	q.r.c.done(p.Now(), q, err != nil)
 }
 
 // arrival is a packet that reached the rank before its matching receive

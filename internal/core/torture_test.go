@@ -216,6 +216,14 @@ func runTorture(t *testing.T, seed uint64, plan *faults.Plan, reg *metrics.Regis
 	if err != nil {
 		t.Fatalf("torture run (seed %d): %v", seed, err)
 	}
+	// Span hygiene: every message-lifecycle span opened during the run —
+	// including ones that crossed a QP reset, WR replay or DMA-abort
+	// fallback — must have been closed.
+	if reg != nil {
+		if open := reg.OpenSpans(); open != 0 {
+			t.Fatalf("torture run (seed %d): %d spans left open", seed, open)
+		}
+	}
 	res := tortureResult{fp: c.Eng.Fingerprint(), events: c.Eng.EventsRun(), now: c.Eng.Now(), inj: inj}
 	for i := 0; i < ranks; i++ {
 		s := w.Rank(i).Stats

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/causal"
 	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/metrics"
@@ -51,6 +52,11 @@ type Config struct {
 	// injection decisions. A nil or zero-rate injector leaves every
 	// code path and fingerprint unchanged.
 	Faults *faults.Injector
+	// Causal, when non-nil, records structured lifecycle events for
+	// the cross-rank causal profiler (internal/causal). Recording is
+	// passive — value appends only, no engine interaction — so enabling
+	// it must not change the fingerprint.
+	Causal *causal.Recorder
 }
 
 // ConfigFromPlatform derives the paper-tuned configuration.

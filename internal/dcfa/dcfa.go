@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"slices"
 
+	"repro/internal/causal"
 	"repro/internal/faults"
 	"repro/internal/ib"
 	"repro/internal/machine"
@@ -268,6 +269,12 @@ type MicVerbs struct {
 	// faults supplies the CMD retry policy and drives the daemon's
 	// rejections (nil = sunny day).
 	faults *faults.Injector
+
+	// causal, when non-nil, receives one EvCmdDone per completed
+	// delegated command, attributed to causalRank's timeline (the CMD
+	// round trip runs in the rank's process context).
+	causal     *causal.Recorder
+	causalRank int32
 }
 
 // SetMetrics installs (or removes, with nil) the telemetry registry on
@@ -282,6 +289,14 @@ func (v *MicVerbs) SetMetrics(reg *metrics.Registry) {
 		v.actor = fmt.Sprintf("dcfa/node%d", v.Node.ID)
 		v.daemon.actor = fmt.Sprintf("dcfad/node%d", v.Node.ID)
 	}
+}
+
+// SetCausal installs (or removes, with nil) the causal-event recorder.
+// rank is the MPI rank this verbs interface serves; completed CMD
+// round trips land on that rank's causal timeline as EvCmdDone.
+func (v *MicVerbs) SetCausal(rec *causal.Recorder, rank int) {
+	v.causal = rec
+	v.causalRank = int32(rank)
 }
 
 // SetFaults installs (or removes, with nil) the fault injector on both
@@ -340,6 +355,8 @@ func (v *MicVerbs) call(p *sim.Proc, kind int, payload any) (scif.Msg, error) {
 				v.metrics.Counter(v.actor, "cmd."+name).Inc()
 				v.metrics.Histogram(v.actor, "cmd-rtt."+name, metrics.TimeBuckets).ObserveDuration(now - start)
 			}
+			v.causal.Emit(causal.Event{T: now, Kind: causal.EvCmdDone,
+				Rank: v.causalRank, Peer: -1, Tag: int32(kind), Aux: uint64(now - start)})
 			return resp, nil
 		}
 		// Transient rejection: back off and retry, unless the next

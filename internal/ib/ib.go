@@ -14,6 +14,7 @@ package ib
 import (
 	"fmt"
 
+	"repro/internal/causal"
 	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/metrics"
@@ -37,6 +38,11 @@ type Fabric struct {
 	// posted RDMA work requests (the fault plan's "ib" layer). Nil
 	// means sunny-day behavior.
 	Faults *faults.Injector
+
+	// Causal, when non-nil, receives one node-layer EvHWCQE record
+	// (Rank == -1, Peer = HCA LID) per completion the hardware pushes,
+	// for the causal profiler's hardware-side tally.
+	Causal *causal.Recorder
 }
 
 // NewFabric creates an empty subnet.

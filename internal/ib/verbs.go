@@ -3,6 +3,7 @@ package ib
 import (
 	"fmt"
 
+	"repro/internal/causal"
 	"repro/internal/machine"
 	"repro/internal/sim"
 )
@@ -97,6 +98,10 @@ func (q *CQ) push(e CQE) {
 		if qp, ok := h.qps[e.QPN]; ok {
 			qp.completedC.Inc()
 		}
+	}
+	if h := q.ctx.HCA; h.fab.Causal != nil {
+		h.fab.Causal.Emit(causal.Event{T: h.fab.Eng.Now(), Kind: causal.EvHWCQE,
+			Rank: -1, Peer: int32(h.LID), Aux: e.WRID, Bytes: int32(e.ByteLen)})
 	}
 	q.entries = append(q.entries, e)
 	q.Notify.Broadcast()

@@ -13,6 +13,10 @@ import (
 // "ph":"i" instant events so they stay visible. Each actor (rank,
 // daemon, HCA, PCIe complex) is its own process track, named via
 // "ph":"M" metadata events. Timestamps are virtual microseconds.
+//
+// Flow events ("ph":"s" start / "ph":"f" finish with bp:"e") draw
+// arrows between tracks — the causal profiler uses them to render
+// send→recv message edges and the critical path in the trace viewer.
 
 type traceEvent struct {
 	Name string            `json:"name"`
@@ -23,6 +27,8 @@ type traceEvent struct {
 	Pid  int               `json:"pid"`
 	Tid  int               `json:"tid"`
 	S    string            `json:"s,omitempty"`
+	ID   string            `json:"id,omitempty"`
+	BP   string            `json:"bp,omitempty"`
 	Args map[string]string `json:"args,omitempty"`
 }
 
@@ -31,19 +37,44 @@ type chromeTrace struct {
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
 }
 
+// Flow is one arrow between two actor tracks: a "ph":"s" event at
+// (FromActor, FromTS) bound to a "ph":"f" event at (ToActor, ToTS).
+// IDs must be unique per flow within one trace.
+type Flow struct {
+	ID   uint64
+	Name string
+	Cat  string
+
+	FromActor string
+	FromTS    int64 // virtual nanoseconds
+	ToActor   string
+	ToTS      int64 // virtual nanoseconds
+}
+
 // WriteChromeTrace exports every span as Chrome trace-event JSON.
 // Output is deterministic: actors are assigned pids in sorted order and
 // events are emitted in span-begin order. (encoding/json writes map
 // keys sorted, so the args objects are stable too.) A nil registry
 // writes an empty trace.
 func (r *Registry) WriteChromeTrace(w io.Writer) error {
+	return r.WriteChromeTraceWithFlows(w, nil)
+}
+
+// WriteChromeTraceWithFlows exports the span trace plus flow arrows.
+// Flow endpoints referencing actors with no spans still get a track.
+func (r *Registry) WriteChromeTraceWithFlows(w io.Writer, flows []Flow) error {
 	tr := chromeTrace{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ns"}
 	spans := r.Spans()
 
-	// Assign one pid per actor, sorted for stability.
+	// Assign one pid per actor, sorted for stability. Flow endpoints
+	// count as actors so their tracks exist even without spans.
 	actorSet := make(map[string]bool)
 	for _, s := range spans {
 		actorSet[s.Actor] = true
+	}
+	for _, f := range flows {
+		actorSet[f.FromActor] = true
+		actorSet[f.ToActor] = true
 	}
 	actors := make([]string, 0, len(actorSet))
 	for a := range actorSet {
@@ -88,6 +119,16 @@ func (r *Registry) WriteChromeTrace(w io.Writer) error {
 			ev.S = "t"
 		}
 		tr.TraceEvents = append(tr.TraceEvents, ev)
+	}
+
+	for _, f := range flows {
+		id := strconv.FormatUint(f.ID, 10)
+		tr.TraceEvents = append(tr.TraceEvents,
+			traceEvent{Name: f.Name, Cat: f.Cat, Ph: "s", Ts: usec(f.FromTS),
+				Pid: pids[f.FromActor], Tid: 1, ID: id},
+			traceEvent{Name: f.Name, Cat: f.Cat, Ph: "f", BP: "e", Ts: usec(f.ToTS),
+				Pid: pids[f.ToActor], Tid: 1, ID: id},
+		)
 	}
 
 	enc := json.NewEncoder(w)

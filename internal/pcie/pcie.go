@@ -16,6 +16,7 @@ package pcie
 import (
 	"fmt"
 
+	"repro/internal/causal"
 	"repro/internal/faults"
 	"repro/internal/machine"
 	"repro/internal/metrics"
@@ -60,6 +61,11 @@ type Bus struct {
 	// Faults, when non-nil, can delay or abort DMA descriptors and
 	// delay COI transfers (the fault plan's "pcie" layer).
 	Faults *faults.Injector
+
+	// Causal, when non-nil, receives node-layer EvDMADone records
+	// (Rank == -1, Peer = node id) at copy-completion time for the
+	// cross-rank causal profiler's DMA/COI tally.
+	Causal *causal.Recorder
 }
 
 // Attach builds the PCIe complex for node n.
@@ -115,6 +121,7 @@ func (b *Bus) StartDMA(dst, src []byte) *DMAOp {
 	arrive := b.dma.Reserve(len(src)) + delay
 	b.DMACopies++
 	b.DMABytes += int64(len(src))
+	start := b.Eng.Now()
 	b.Eng.At(arrive, func() {
 		sp.End(b.Eng.Now())
 		if abort {
@@ -123,6 +130,8 @@ func (b *Bus) StartDMA(dst, src []byte) *DMAOp {
 		} else {
 			copy(dst, src)
 		}
+		b.Causal.Emit(causal.Event{T: b.Eng.Now(), Kind: causal.EvDMADone, Rank: -1,
+			Peer: int32(b.Node.ID), Aux: uint64(b.Eng.Now() - start), Bytes: int32(len(src))})
 		op.done.Fire()
 	})
 	return op
@@ -155,9 +164,12 @@ func (b *Bus) StartOffloadTransfer(dst, src []byte) *sim.Event {
 	arrive := b.off.Reserve(len(src)) + delay
 	b.OffloadOps++
 	b.OffloadByte += int64(len(src))
+	start := b.Eng.Now()
 	b.Eng.At(arrive, func() {
 		sp.End(b.Eng.Now())
 		copy(dst, src)
+		b.Causal.Emit(causal.Event{T: b.Eng.Now(), Kind: causal.EvDMADone, Rank: -1,
+			Peer: int32(b.Node.ID), Aux: uint64(b.Eng.Now() - start), Bytes: int32(len(src))})
 		done.Fire()
 	})
 	return done

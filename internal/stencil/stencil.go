@@ -320,6 +320,12 @@ func RunDCFA(plat *perfmodel.Platform, pr Params, offload bool) (Result, error) 
 	return runMPI(c.DCFAWorld(pr.Procs, offload), pr)
 }
 
+// RunWorld runs the stencil body on a caller-built world, so harnesses
+// (cmd/simprof) can install instrumentation on the cluster first.
+func RunWorld(w *core.World, pr Params) (Result, error) {
+	return runMPI(w, pr)
+}
+
 // RunPhiMPI runs the stencil under the 'Intel MPI on Xeon Phi' mode.
 func RunPhiMPI(plat *perfmodel.Platform, pr Params) (Result, error) {
 	c := cluster.New(plat, pr.Procs)
