@@ -8,6 +8,7 @@
 //	go run ./cmd/simlint -rules nondet,maporder ./internal/bench
 //	go run ./cmd/simlint -rules all,-floatsum ./...
 //	go run ./cmd/simlint -json ./...
+//	go run ./cmd/simlint -stats ./...
 //	go run ./cmd/simlint -baseline lint.baseline ./...
 //	go run ./cmd/simlint -list
 //
@@ -38,6 +39,32 @@
 // excludes a function (a fault-recovery or retransmission path) from
 // the hot set even when hot code calls it.
 //
+// The lifecycle rules read declarative contracts. The recognized API
+// surface lives in one checked-in table (internal/analysis
+// builtinContracts), and source can extend it on any function or
+// interface method — a directive on an interface method covers every
+// call dispatched through that interface:
+//
+//	//simlint:contract <rule> acquire|release|advance|test|borrow|pass [reason]
+//
+// Interface method calls are devirtualized: when every package-local
+// implementation of the interface is known, the call site gets the
+// meet of the implementations' summaries, so obligations survive
+// dispatch through a Transport-style seam.
+//
+// The fsmcheck rule reads protocol state machines declared next to a
+// typed-constant enum:
+//
+//	//simlint:fsm -> Initial
+//	//simlint:fsm From -> To [reason]
+//
+// and checks switch exhaustiveness over the enum, transition edges
+// against the declared table, and state reachability.
+//
+// With -stats, the finding list is replaced by a JSON cost report:
+// per-rule wall time and finding counts plus the end-to-end load and
+// analysis time, for CI artifacts and perf tracking.
+//
 // The analyzers (see repro/internal/analysis):
 //
 //	nondet    wall-clock time, math/rand globals, env reads in sim-driven packages
@@ -55,6 +82,7 @@
 //	collorder collectives reachable only under rank-dependent branches or early exits
 //	hotalloc  per-event allocations, interface boxing, and redundant same-domain copies on the event-dispatch hot path
 //	globalmut package-level mutable state shared across simulator instances
+//	fsmcheck  exhaustive switches over protocol enums, declared transition tables, unreachable states
 //
 // Every rule carries a scope, printed by -list: intraprocedural rules
 // judge one function body at a time, interprocedural rules consult
@@ -81,6 +109,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/analysis"
 )
@@ -112,6 +141,22 @@ type jsonReport struct {
 	Total    int            `json:"total"`
 }
 
+// ruleStat is one rule's row in the -stats report.
+type ruleStat struct {
+	Findings int     `json:"findings"`
+	MS       float64 `json:"ms"`
+}
+
+// statsReport is the -stats document: per-rule analysis cost and
+// finding counts (post-baseline), plus the end-to-end wall time
+// including loading and type checking.
+type statsReport struct {
+	Packages int                 `json:"packages"`
+	WallMS   float64             `json:"wall_ms"`
+	Rules    map[string]ruleStat `json:"rules"`
+	Total    int                 `json:"total_findings"`
+}
+
 // run executes the linter and returns the process exit code — the
 // single exit path for every outcome.
 func run(args []string, stdout, stderr io.Writer) int {
@@ -121,6 +166,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	tests := fs.Bool("tests", true, "also lint _test.go files")
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	asJSON := fs.Bool("json", false, "emit findings as a JSON report on stdout")
+	stats := fs.Bool("stats", false, "emit a per-rule JSON cost report (finding counts and analysis wall time) on stdout instead of the finding list")
 	baseline := fs.String("baseline", "", "JSON file of accepted findings to subtract (matched by rule+file+message, line-independent)")
 	updateBaseline := fs.Bool("update-baseline", false, "rewrite the -baseline file from the current findings and exit clean")
 	if err := fs.Parse(args); err != nil {
@@ -170,11 +216,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	loader.IncludeTests = *tests
+	if *stats {
+		loader.Stats = &analysis.RunStats{RuleTime: map[string]time.Duration{}}
+	}
 
+	t0 := time.Now()
 	findings, err := loader.Check(patterns, analyzers)
 	if err != nil {
 		return fail(err)
 	}
+	wall := time.Since(t0)
 
 	if *updateBaseline {
 		if err := analysis.WriteBaseline(*baseline, root, findings); err != nil {
@@ -191,7 +242,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 		findings = b.Filter(root, findings)
 	}
 
-	if *asJSON {
+	if *stats {
+		report := statsReport{
+			Packages: loader.Stats.Packages,
+			WallMS:   float64(wall.Microseconds()) / 1000,
+			Rules:    map[string]ruleStat{},
+			Total:    len(findings),
+		}
+		counts := map[string]int{}
+		for _, f := range findings {
+			counts[f.Rule]++
+		}
+		// Keyed by the analyzer list, not the timing map, so every rule
+		// that ran appears even with zero findings.
+		for _, a := range analyzers {
+			report.Rules[a.Name] = ruleStat{
+				Findings: counts[a.Name],
+				MS:       float64(loader.Stats.RuleTime[a.Name].Microseconds()) / 1000,
+			}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return fail(err)
+		}
+	} else if *asJSON {
 		report := jsonReport{
 			Findings: []jsonFinding{},
 			Counts:   map[string]int{},

@@ -25,6 +25,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"time"
 )
 
 // A Finding is one rule violation at a source position.
@@ -72,7 +73,7 @@ type Analyzer struct {
 
 // All returns every analyzer in the suite, in report order.
 func All() []*Analyzer {
-	return []*Analyzer{Nondet, MapOrder, RawGo, ErrCheck, FloatSum, MRLeak, MRPin, Offload, ReqWait, Memdomain, BufHazard, BlockCycle, CollOrder, HotAlloc, GlobalMut}
+	return []*Analyzer{Nondet, MapOrder, RawGo, ErrCheck, FloatSum, MRLeak, MRPin, Offload, ReqWait, Memdomain, BufHazard, BlockCycle, CollOrder, HotAlloc, GlobalMut, FSMCheck}
 }
 
 // ByName selects analyzers from a comma-separated list, or All() when
@@ -141,6 +142,12 @@ type Pass struct {
 	// constFuncs caches the const-returning helper summaries of the
 	// communication-safety rules' constant evaluator.
 	constFuncs map[*types.Func]ConstVal
+	// devirt caches interface devirtualization targets and the
+	// function-valued-local bindings (devirt.go).
+	devirt *devirtIndex
+	// contracts caches the //simlint:contract directive index
+	// (contracts.go).
+	contracts *contractIndex
 }
 
 // NewPass assembles a pass and indexes its suppression comments.
@@ -212,15 +219,34 @@ func (p *Pass) Reportf(at token.Pos, format string, args ...any) {
 	})
 }
 
+// RunStats aggregates analysis cost when the caller asks for it
+// (simlint -stats): wall time per rule, summed over packages.
+type RunStats struct {
+	Packages int
+	RuleTime map[string]time.Duration
+}
+
 // Run executes the analyzers that apply to this package and returns
 // the findings sorted by position.
 func (p *Pass) Run(analyzers []*Analyzer) []Finding {
+	return p.RunTimed(analyzers, nil)
+}
+
+// RunTimed is Run with per-rule wall-time attribution added to stats
+// (which may be nil).
+func (p *Pass) RunTimed(analyzers []*Analyzer, stats *RunStats) []Finding {
 	for _, a := range analyzers {
 		if a.AppliesTo != nil && !a.AppliesTo(p) {
 			continue
 		}
 		p.rule = a.Name
+		if stats == nil {
+			a.Run(p)
+			continue
+		}
+		t0 := time.Now()
 		a.Run(p)
+		stats.RuleTime[a.Name] += time.Since(t0)
 	}
 	sort.Slice(p.findings, func(i, j int) bool {
 		a, b := p.findings[i], p.findings[j]

@@ -12,7 +12,7 @@ import (
 )
 
 // ruleDirs pairs each analyzer with its testdata corpus.
-var ruleDirs = []*Analyzer{Nondet, MapOrder, RawGo, ErrCheck, FloatSum, MRLeak, MRPin, Offload, ReqWait, Memdomain, BufHazard, BlockCycle, CollOrder, HotAlloc, GlobalMut}
+var ruleDirs = []*Analyzer{Nondet, MapOrder, RawGo, ErrCheck, FloatSum, MRLeak, MRPin, Offload, ReqWait, Memdomain, BufHazard, BlockCycle, CollOrder, HotAlloc, GlobalMut, FSMCheck}
 
 // loadTestdata type-checks testdata/src/<rule> as a synthetic package
 // outside the module, which every analyzer treats as in scope.
@@ -143,6 +143,42 @@ func TestInterprocedural(t *testing.T) {
 	}
 }
 
+// TestInterfaceResolution runs the four lifecycle rules plus bufhazard
+// pooled over the interface corpus: every acquiring or releasing call
+// there crosses an interface boundary (devirtualized targets, contract
+// directives, or builtin verbs on an interface receiver), so both the
+// findings and the silences prove the interface-aware layers.
+func TestInterfaceResolution(t *testing.T) {
+	_, pass := loadTestdata(t, "iface")
+	findings := pass.Run(append(append([]*Analyzer{}, lifecycleAnalyzers...), BufHazard))
+	wants := wantComments(pass)
+
+	matched := map[string]bool{}
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", filepath.Base(f.Pos.Filename), f.Pos.Line)
+		subs, ok := wants[key]
+		if !ok {
+			t.Errorf("unexpected finding at %s: %v", key, f)
+			continue
+		}
+		found := false
+		for _, sub := range subs {
+			if strings.Contains(f.Message, sub) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("finding at %s does not match any want %q: %s", key, subs, f.Message)
+		}
+		matched[key] = true
+	}
+	for key := range wants {
+		if !matched[key] {
+			t.Errorf("no finding at annotated line %s", key)
+		}
+	}
+}
+
 // TestSummaryDumpDeterministic loads the interprocedural corpus twice
 // through independent loaders and requires byte-identical summary
 // dumps for every rule — the cache must not depend on map iteration
@@ -230,6 +266,42 @@ func TestSummaryDumpDeterministic(t *testing.T) {
 			t.Errorf("scalability summary dump missing %q\ndump:\n%s", want, s1)
 		}
 	}
+
+	// The interface layers add devirtualized call edges and
+	// directive-contract summaries; both feed the lifecycle summaries,
+	// so all three dumps must also be load-independent.
+	ifaceDump := func() string {
+		_, pass := loadTestdata(t, "iface")
+		var b strings.Builder
+		for _, spec := range lifecycleSpecs() {
+			b.WriteString("== " + spec.rule + "\n")
+			b.WriteString(pass.summariesFor(spec).Dump())
+			b.WriteString("== contracts/" + spec.rule + "\n")
+			b.WriteString(ContractSummaryDump(pass, spec.rule))
+		}
+		b.WriteString("== devirt\n")
+		b.WriteString(DevirtDump(pass))
+		return b.String()
+	}
+	i1, i2 := ifaceDump(), ifaceDump()
+	if i1 != i2 {
+		t.Errorf("interface-layer dumps differ between loads:\n--- first\n%s\n--- second\n%s", i1, i2)
+	}
+	for _, want := range []string{
+		// Devirtualized edges, sorted, all targets listed.
+		"(iface.Transport).Open -> (*iface.ibTransport).Open",
+		"(iface.Closer).Shut -> (*iface.nullCloser).Shut | (*iface.realCloser).Shut",
+		"(iface.Poster).Post -> (*iface.rankPoster).Post",
+		// A directive on an interface method synthesizes its summary.
+		"(iface.Registrar).Acquire contract(acquire)",
+		"(iface.Registrar).Free contract(release)",
+		// The devirtualized constructor's summary acquires.
+		"(*iface.rankPoster).Post (borrow,borrow) -> (acquire,-)",
+	} {
+		if !strings.Contains(i1, want) {
+			t.Errorf("interface-layer dump missing %q\ndump:\n%s", want, i1)
+		}
+	}
 }
 
 // TestExactlyOneAnalyzer verifies the corpus seeds are disjoint: on
@@ -310,9 +382,10 @@ func TestEveryRuleHasCorpus(t *testing.T) {
 	for _, a := range ruleDirs {
 		inRuleDirs[a.Name] = true
 	}
-	// The shared interprocedural corpus is not tied to a single rule
-	// but is a completeness requirement like the per-rule directories.
-	names := []string{"interp"}
+	// The shared interprocedural and interface corpora are not tied to
+	// a single rule but are completeness requirements like the per-rule
+	// directories.
+	names := []string{"interp", "iface"}
 	for _, a := range All() {
 		if !inRuleDirs[a.Name] {
 			t.Errorf("rule %q is registered but missing from ruleDirs", a.Name)

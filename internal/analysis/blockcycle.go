@@ -103,6 +103,10 @@ func checkBlockCycle(p *Pass, env *constEnv, events []*commEvent) {
 				p.Reportf(a.call.Pos(), "every rank blocks in Recv from %s before the matching Send runs anywhere: order the pair by rank or use Sendrecv", peerString(a.peer))
 				reported[a] = true
 			}
+		default:
+			// Only the blocking point-to-point verbs can head a symmetric
+			// cycle; nonblocking posts, Sendrecv, and collectives are
+			// handled by their own rules.
 		}
 	}
 }

@@ -30,7 +30,7 @@ var BufHazard = &Analyzer{
 func runBufHazard(p *Pass) {
 	sums := p.summariesFor(reqwaitSpec)
 	forEachFuncBody(p, func(body *ast.BlockStmt) {
-		if !mentionsCreate(reqwaitSpec, body) && !sums.mentionsAcquirer(p, body) {
+		if !mentionsCreate(p, reqwaitSpec, body) && !sums.mentionsAcquirer(p, body) {
 			return
 		}
 		env := newConstEnv(p, body)
@@ -71,6 +71,9 @@ func prescanBufs(p *Pass, env *constEnv, sums *SummarySet, body *ast.BlockStmt) 
 				recv[call] = classifyComm(p, call) == commIrecv
 			}
 			return true
+		default:
+			// Only the nonblocking posts capture a buffer across
+			// statements; everything else is checked as an access below.
 		}
 		// A helper constructor that acquires a request (per its reqwait
 		// summary): the captured buffer is its Slice argument. More than
@@ -159,6 +162,12 @@ func (bf *bufFlow) inFlight(f *Facts) []ast.Node {
 // check scans one statement for buffer accesses and new request
 // postings against the current in-flight set.
 func (bf *bufFlow) check(n ast.Node, f *Facts) {
+	switch n.(type) {
+	case *ExitCheck, *DeferRun, *ImplicitReturn:
+		// Synthetic CFG nodes touch no buffer bytes; a request still in
+		// flight at exit is reqwait's leak, not a hazard.
+		return
+	}
 	live := bf.inFlight(f)
 	if len(live) == 0 {
 		return
@@ -212,6 +221,9 @@ func (bf *bufFlow) check(n ast.Node, f *Facts) {
 			bf.access(call.Args[3], false, live, f)
 			bf.access(call.Args[6], true, live, f)
 			return false
+		default:
+			// Nonblocking posts were handled by the prescan; non-comm
+			// calls fall through to the builtin access patterns below.
 		}
 		switch fn := unparen(call.Fun).(type) {
 		case *ast.Ident:

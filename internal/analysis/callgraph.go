@@ -9,11 +9,15 @@ import (
 // This file builds the package-level call graph the interprocedural
 // summaries are computed over. Nodes are the functions and methods
 // declared with bodies in the pass's files; edges are direct calls
-// resolved through go/types (method calls included, calls through
-// function values, interfaces, and other packages excluded — those
-// stay conservative at the call site). Strongly connected components
-// are ordered bottom-up (callees before callers) so summary
-// computation processes a function only after everything it calls.
+// resolved through go/types (method calls included), calls through
+// singly-bound function-valued locals (`f := rank.Isend; f(...)`,
+// resolved by devirt.go's method-value scan), and calls through
+// interface values devirtualized to every in-package implementation
+// (devirt.go). Cross-package calls stay conservative at the call
+// site. Strongly connected components are ordered bottom-up (callees
+// before callers) so summary computation processes a function only
+// after everything it calls — including all devirtualized targets of
+// its interface calls.
 
 // CallGraph is the package-level call graph of one pass.
 type CallGraph struct {
@@ -61,14 +65,25 @@ func (p *Pass) CallGraph() *CallGraph {
 				return true
 			}
 			callee := p.calledFunc(call)
-			if callee == nil || seen[callee] {
+			if callee == nil {
 				return true
 			}
 			if _, declared := g.Funcs[callee]; !declared {
+				// An interface method has no body here; its
+				// devirtualized targets become the edges so the SCC
+				// order still computes every possible callee first.
+				for _, t := range p.ifaceTargetsOf(callee) {
+					if _, ok := g.Funcs[t]; ok && !seen[t] {
+						seen[t] = true
+						g.Calls[fn] = append(g.Calls[fn], t)
+					}
+				}
 				return true
 			}
-			seen[callee] = true
-			g.Calls[fn] = append(g.Calls[fn], callee)
+			if !seen[callee] {
+				seen[callee] = true
+				g.Calls[fn] = append(g.Calls[fn], callee)
+			}
 			return true
 		})
 		sort.Slice(g.Calls[fn], func(i, j int) bool {
@@ -81,12 +96,17 @@ func (p *Pass) CallGraph() *CallGraph {
 }
 
 // calledFunc resolves a call expression to the *types.Func it invokes
-// directly, or nil for builtins, function values, and conversions.
+// directly, or nil for builtins, conversions, and function values with
+// no statically known binding. A call through a local variable that
+// every assignment binds to the same function or method value
+// (`f := rank.Isend; f(...)`) resolves to that function.
 func (p *Pass) calledFunc(call *ast.CallExpr) *types.Func {
 	switch fun := unparen(call.Fun).(type) {
 	case *ast.Ident:
-		fn, _ := p.Info.Uses[fun].(*types.Func)
-		return fn
+		if fn, ok := p.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+		return p.methodValue(fun)
 	case *ast.SelectorExpr:
 		fn, _ := p.Info.Uses[fun.Sel].(*types.Func)
 		return fn

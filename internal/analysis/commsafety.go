@@ -293,6 +293,25 @@ func (env *constEnv) eval(e ast.Expr) ConstVal {
 			if v, ok := env.consts[fn]; ok {
 				return v
 			}
+			// A call through an interface folds only when every
+			// devirtualized target provably returns the same constant.
+			if targets := env.p.ifaceTargetsOf(fn); targets != nil {
+				v := UnknownConst()
+				foldable := true
+				for _, t := range targets {
+					tv, ok := env.consts[t]
+					if !ok {
+						foldable = false
+						break
+					}
+					v = v.Join(tv)
+				}
+				if foldable {
+					if _, known := v.Known(); known {
+						return v
+					}
+				}
+			}
 		}
 		// Conversions like int(x) are transparent.
 		if len(e.Args) == 1 {
@@ -879,6 +898,9 @@ func (w *commWalker) scanCalls(n ast.Node) {
 		case commSendrecv:
 			ev.peer = call.Args[1]
 			ev.size = w.env.sliceSize(call.Args[3])
+		default:
+			// Wait/Test and collectives carry no peer or payload extent;
+			// the event records only its kind and guards.
 		}
 		w.events = append(w.events, ev)
 		return true

@@ -358,6 +358,15 @@ func (ef *escFlow) sinkCall(call *ast.CallExpr) bool {
 	}
 	bits, known := ef.sums[callee]
 	if !known {
+		// An interface method devirtualizes to its in-package targets:
+		// an argument escapes iff it escapes in at least one target
+		// (may-escape OR-join), and the receiver only borrows — every
+		// target's receiver is the frame-local interface value itself.
+		if targets := ef.p.ifaceTargetsOf(callee); targets != nil {
+			bits, known = orEscapeBits(ef.sums, targets)
+		}
+	}
+	if !known {
 		// Other-package callee: no summary, assume the worst. The
 		// receiver of a method call may retain too.
 		changed := ef.escapeCall(call, false)
@@ -382,6 +391,30 @@ func (ef *escFlow) sinkCall(call *ast.CallExpr) bool {
 		changed = ef.escapeSet(ef.holdsOf(a)) || changed
 	}
 	return changed
+}
+
+// orEscapeBits joins the escape summaries of an interface call's
+// devirtualized targets: a parameter may escape if any target lets it
+// escape. ok is false when any target lacks a summary or the shapes
+// disagree — the call then stays conservative.
+func orEscapeBits(sums map[*types.Func][]bool, targets []*types.Func) (out []bool, ok bool) {
+	for _, t := range targets {
+		bits, known := sums[t]
+		if !known {
+			return nil, false
+		}
+		if out == nil {
+			out = append([]bool(nil), bits...)
+			continue
+		}
+		if len(out) != len(bits) {
+			return nil, false
+		}
+		for i := range out {
+			out[i] = out[i] || bits[i]
+		}
+	}
+	return out, out != nil
 }
 
 // escapeSummaries computes the per-parameter escape summaries for

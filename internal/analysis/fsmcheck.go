@@ -1,0 +1,438 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FSMCheck treats the package's typed-constant enums — protocol
+// states, WR opcodes, packet kinds, fault-recovery phases — as finite
+// state machines and checks every switch over them:
+//
+//   - A switch over an enum type must either cover every constant or
+//     carry a default. An *empty* default with no comment is treated
+//     as hiding the missing cases, not handling them: protocol code
+//     that silently ignores an unexpected opcode is exactly how the
+//     DCFA/IB stack loses messages.
+//
+//   - A transition table can be declared anywhere in the package:
+//
+//     //simlint:fsm StateA -> StateB
+//     //simlint:fsm -> StateA        (declared initial state)
+//
+//     Assignments back into the switched variable inside a case arm
+//     are then checked against the table (writing stDone from a
+//     stNew case needs the edge stNew -> stDone), and enum states no
+//     table edge can ever reach — not a target, not the initial, not
+//     the zero value — are reported as unreachable.
+//
+// Scope and false-negative boundaries: an enum is a package-scope
+// named type with an integer underlying type and at least two
+// package-level constants. Switches over enums imported from another
+// package, switches with any non-constant case label, and transitions
+// written through helpers or non-constant expressions are not checked
+// (DESIGN.md §7f).
+var FSMCheck = &Analyzer{
+	Name:  "fsmcheck",
+	Scope: ScopeWholePackage,
+	Doc:   "switches over state/event enums must be exhaustive or justify their default; //simlint:fsm tables gate transitions and expose unreachable states",
+	Run:   runFSMCheck,
+}
+
+// fsmEnum is one package-scope typed-constant enum.
+type fsmEnum struct {
+	named  *types.Named
+	consts []*types.Const // declaration order
+	byVal  map[int64]*types.Const
+	byName map[string]*types.Const
+}
+
+func (e *fsmEnum) name() string { return e.named.Obj().Name() }
+
+// fsmTable is one enum's declared transition table.
+type fsmTable struct {
+	enum    *fsmEnum
+	initial map[string]bool
+	edges   map[string]map[string]bool
+	targets map[string]bool
+}
+
+func runFSMCheck(p *Pass) {
+	enums, ordered := collectEnums(p)
+	if len(ordered) == 0 {
+		return
+	}
+	tables := collectFSMTables(p, ordered)
+	for _, f := range p.Files {
+		checkEnumSwitches(p, f, enums, tables)
+	}
+	checkUnreachable(p, tables)
+}
+
+// collectEnums finds every package-scope named integer type with at
+// least two package-level constants. The slice holds the kept enums in
+// declaration order, for deterministic directive resolution.
+func collectEnums(p *Pass) (map[*types.Named]*fsmEnum, []*fsmEnum) {
+	scope := p.Types.Scope()
+	out := map[*types.Named]*fsmEnum{}
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		b, ok := named.Underlying().(*types.Basic)
+		if !ok || b.Info()&types.IsInteger == 0 {
+			continue
+		}
+		out[named] = &fsmEnum{named: named, byVal: map[int64]*types.Const{}, byName: map[string]*types.Const{}}
+	}
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok {
+			continue
+		}
+		named, ok := c.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		e, tracked := out[named]
+		if !tracked {
+			continue
+		}
+		e.consts = append(e.consts, c)
+		e.byName[c.Name()] = c
+	}
+	ordered := make([]*fsmEnum, 0, len(out))
+	for _, e := range out {
+		ordered = append(ordered, e)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].named.Obj().Pos() < ordered[j].named.Obj().Pos() })
+	kept := ordered[:0]
+	for _, e := range ordered {
+		if len(e.consts) < 2 {
+			delete(out, e.named)
+			continue
+		}
+		kept = append(kept, e)
+		sort.Slice(e.consts, func(i, j int) bool { return e.consts[i].Pos() < e.consts[j].Pos() })
+		for _, c := range e.consts {
+			if v, exact := constant.Int64Val(constant.ToInt(c.Val())); exact {
+				if _, seen := e.byVal[v]; !seen {
+					e.byVal[v] = c // first declaration wins for aliased values
+				}
+			}
+		}
+	}
+	return out, kept
+}
+
+const fsmPrefix = "//simlint:fsm"
+
+// collectFSMTables parses every //simlint:fsm directive in the pass.
+// States are resolved by constant name across all enums; a name that
+// matches no enum constant is itself a finding.
+func collectFSMTables(p *Pass, enums []*fsmEnum) map[*fsmEnum]*fsmTable {
+	tables := map[*fsmEnum]*fsmTable{}
+	lookup := func(name string) (*fsmEnum, bool) {
+		var found *fsmEnum
+		for _, e := range enums {
+			if _, ok := e.byName[name]; ok {
+				if found != nil {
+					return nil, false // ambiguous across enums
+				}
+				found = e
+			}
+		}
+		return found, found != nil
+	}
+	tableFor := func(e *fsmEnum) *fsmTable {
+		t := tables[e]
+		if t == nil {
+			t = &fsmTable{enum: e, initial: map[string]bool{}, edges: map[string]map[string]bool{}, targets: map[string]bool{}}
+			tables[e] = t
+		}
+		return t
+	}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, fsmPrefix) {
+					continue
+				}
+				spec := strings.ReplaceAll(strings.TrimPrefix(c.Text, fsmPrefix), "→", "->")
+				from, to, ok := strings.Cut(spec, "->")
+				if !ok || strings.TrimSpace(to) == "" {
+					p.Reportf(c.Pos(), "malformed //simlint:fsm directive: want \"From -> To\" or \"-> Initial\"")
+					continue
+				}
+				from = strings.TrimSpace(from)
+				// Everything after the target state is free prose
+				// ("//simlint:fsm stNew -> stPost the retransmit path").
+				to = strings.Fields(to)[0]
+				toEnum, toOK := lookup(to)
+				if !toOK {
+					p.Reportf(c.Pos(), "//simlint:fsm names unknown or ambiguous state %s: no unique package constant has that name", to)
+					continue
+				}
+				if from == "" {
+					tableFor(toEnum).initial[to] = true
+					continue
+				}
+				fromEnum, fromOK := lookup(from)
+				if !fromOK {
+					p.Reportf(c.Pos(), "//simlint:fsm names unknown or ambiguous state %s: no unique package constant has that name", from)
+					continue
+				}
+				if fromEnum != toEnum {
+					p.Reportf(c.Pos(), "//simlint:fsm transition %s -> %s mixes states of %s and %s", from, to, fromEnum.name(), toEnum.name())
+					continue
+				}
+				t := tableFor(toEnum)
+				if t.edges[from] == nil {
+					t.edges[from] = map[string]bool{}
+				}
+				t.edges[from][to] = true
+				t.targets[to] = true
+			}
+		}
+	}
+	return tables
+}
+
+// checkEnumSwitches checks every switch in one file whose tag is an
+// enum-typed expression.
+func checkEnumSwitches(p *Pass, f *ast.File, enums map[*types.Named]*fsmEnum, tables map[*fsmEnum]*fsmTable) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return true
+		}
+		tv, ok := p.Info.Types[unparen(sw.Tag)]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		named, ok := tv.Type.(*types.Named)
+		if !ok {
+			return true
+		}
+		e, tracked := enums[named]
+		if !tracked {
+			return true
+		}
+		covered := map[int64]bool{}
+		var caseNames [][]string // per clause, the matched constant names
+		var defaultClause *ast.CaseClause
+		allConst := true
+		for _, stmt := range sw.Body.List {
+			cc, ok := stmt.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			if cc.List == nil {
+				defaultClause = cc
+				caseNames = append(caseNames, nil)
+				continue
+			}
+			var names []string
+			for _, le := range cc.List {
+				ltv, ok := p.Info.Types[le]
+				if !ok || ltv.Value == nil {
+					allConst = false
+					break
+				}
+				v, exact := constant.Int64Val(constant.ToInt(ltv.Value))
+				if !exact {
+					allConst = false
+					break
+				}
+				covered[v] = true
+				if c, ok := e.byVal[v]; ok {
+					names = append(names, c.Name())
+				}
+			}
+			caseNames = append(caseNames, names)
+			if !allConst {
+				break
+			}
+		}
+		if !allConst {
+			// A non-constant label means the match set is not statically
+			// known: exhaustiveness cannot be judged.
+			return true
+		}
+		var missing []string
+		for _, c := range e.consts {
+			v, exact := constant.Int64Val(constant.ToInt(c.Val()))
+			if !exact || covered[v] {
+				continue
+			}
+			if e.byVal[v] != c {
+				continue // alias of a value already listed
+			}
+			missing = append(missing, c.Name())
+			covered[v] = true // list each missing value once
+		}
+		if len(missing) > 0 {
+			switch {
+			case defaultClause == nil:
+				p.Reportf(sw.Pos(), "switch over %s is not exhaustive: missing %s (add the cases or a default explaining why they cannot occur)",
+					e.name(), strings.Join(missing, ", "))
+			case len(defaultClause.Body) == 0 && !commentInClause(p, f, sw, defaultClause):
+				p.Reportf(sw.Pos(), "empty default hides a non-exhaustive switch over %s: missing %s (handle them or comment why the default is safe)",
+					e.name(), strings.Join(missing, ", "))
+			}
+		}
+		if t := tables[e]; t != nil {
+			checkTransitions(p, sw, e, t, caseNames)
+		}
+		return true
+	})
+}
+
+// commentInClause reports whether any comment sits inside the clause —
+// between its colon and the next clause (or the switch's closing
+// brace). A commented default counts as a justified one.
+func commentInClause(p *Pass, f *ast.File, sw *ast.SwitchStmt, cc *ast.CaseClause) bool {
+	limit := sw.Body.Rbrace
+	for _, stmt := range sw.Body.List {
+		if stmt.Pos() > cc.Colon && stmt.Pos() < limit {
+			if _, isClause := stmt.(*ast.CaseClause); isClause {
+				limit = stmt.Pos()
+			}
+		}
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if c.Pos() > cc.Colon && c.Pos() < limit {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkTransitions verifies that every constant assignment back into
+// the switched expression inside a case arm follows the enum's
+// declared //simlint:fsm table.
+func checkTransitions(p *Pass, sw *ast.SwitchStmt, e *fsmEnum, t *fsmTable, caseNames [][]string) {
+	ci := 0
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		froms := caseNames[ci]
+		ci++
+		if len(froms) == 0 {
+			continue // default arm, or labels that alias no named state
+		}
+		for _, body := range cc.Body {
+			ast.Inspect(body, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok || len(as.Lhs) != len(as.Rhs) {
+					return true
+				}
+				for i := range as.Lhs {
+					if !sameStateExpr(p, as.Lhs[i], sw.Tag) {
+						continue
+					}
+					to := constStateName(p, e, as.Rhs[i])
+					if to == "" {
+						continue // non-constant write: out of scope
+					}
+					for _, from := range froms {
+						if !t.edges[from][to] {
+							p.Reportf(as.Pos(), "transition %s -> %s is not declared in the //simlint:fsm table for %s",
+								from, to, e.name())
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// constStateName resolves an expression to the name of an enum
+// constant, or "".
+func constStateName(p *Pass, e *fsmEnum, expr ast.Expr) string {
+	expr = unparen(expr)
+	switch x := expr.(type) {
+	case *ast.Ident:
+		if c, ok := p.Info.Uses[x].(*types.Const); ok {
+			if _, mine := e.byName[c.Name()]; mine {
+				return c.Name()
+			}
+		}
+	case *ast.SelectorExpr:
+		if c, ok := p.Info.Uses[x.Sel].(*types.Const); ok {
+			if _, mine := e.byName[c.Name()]; mine {
+				return c.Name()
+			}
+		}
+	}
+	if tv, ok := p.Info.Types[expr]; ok && tv.Value != nil {
+		if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+			if c, ok := e.byVal[v]; ok {
+				return c.Name()
+			}
+		}
+	}
+	return ""
+}
+
+// sameStateExpr reports whether two expressions statically denote the
+// same storage: matching identifiers, or matching selector chains over
+// the same base.
+func sameStateExpr(p *Pass, a, b ast.Expr) bool {
+	a, b = unparen(a), unparen(b)
+	switch av := a.(type) {
+	case *ast.Ident:
+		bv, ok := b.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		ao, bo := p.objOf(av), p.objOf(bv)
+		return ao != nil && ao == bo
+	case *ast.SelectorExpr:
+		bv, ok := b.(*ast.SelectorExpr)
+		return ok && av.Sel.Name == bv.Sel.Name && sameStateExpr(p, av.X, bv.X)
+	}
+	return false
+}
+
+// checkUnreachable reports enum states no declared transition can ever
+// reach: not a target of any edge, not a declared initial state, and
+// not the type's zero value (the implicit start of any zero-initialized
+// machine).
+func checkUnreachable(p *Pass, tables map[*fsmEnum]*fsmTable) {
+	var ordered []*fsmTable
+	for _, t := range tables {
+		if len(t.edges) > 0 {
+			ordered = append(ordered, t)
+		}
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].enum.named.Obj().Pos() < ordered[j].enum.named.Obj().Pos() })
+	for _, t := range ordered {
+		for _, c := range t.enum.consts {
+			v, exact := constant.Int64Val(constant.ToInt(c.Val()))
+			if !exact || v == 0 {
+				continue
+			}
+			if t.enum.byVal[v] != c {
+				continue // alias: judged under its first name
+			}
+			if t.initial[c.Name()] || t.targets[c.Name()] {
+				continue
+			}
+			p.Reportf(c.Pos(), "state %s of %s is unreachable: no //simlint:fsm transition targets it and it is not a declared initial state", c.Name(), t.enum.name())
+		}
+	}
+}

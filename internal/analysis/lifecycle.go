@@ -130,7 +130,7 @@ func runLifecycle(p *Pass, spec *lifecycleSpec) {
 			}
 			// Prescreen: run only where a creation verb appears directly
 			// or a helper constructor (per its summary) can acquire.
-			if body != nil && (mentionsCreate(spec, body) || sums.mentionsAcquirer(p, body)) {
+			if body != nil && (mentionsCreate(p, spec, body) || sums.mentionsAcquirer(p, body)) {
 				lf := &lifecycleFlow{p: p, spec: spec, reported: map[reportKey]bool{}, sums: sums}
 				Solve(NewCFG(body), lf)
 			}
@@ -140,15 +140,18 @@ func runLifecycle(p *Pass, spec *lifecycleSpec) {
 }
 
 // mentionsCreate cheaply pre-screens a body for the spec's creation
-// verbs so the CFG + solver only run where they can matter. Nested
-// function literals are skipped: they are analyzed on their own.
-func mentionsCreate(spec *lifecycleSpec, body *ast.BlockStmt) bool {
+// verbs — builtin names plus any names declared acquire by a
+// //simlint:contract directive in this pass — so the CFG + solver only
+// run where they can matter. Nested function literals are skipped:
+// they are analyzed on their own.
+func mentionsCreate(p *Pass, spec *lifecycleSpec, body *ast.BlockStmt) bool {
+	acquirers := p.contractAcquireNames(spec.rule)
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if found {
 			return false
 		}
-		if sel, ok := n.(*ast.SelectorExpr); ok && spec.createNames[sel.Sel.Name] {
+		if sel, ok := n.(*ast.SelectorExpr); ok && (spec.createNames[sel.Sel.Name] || acquirers[sel.Sel.Name]) {
 			found = true
 			return false
 		}
@@ -192,32 +195,67 @@ func (lf *lifecycleFlow) reportOnce(pos token.Pos, kind byte, format string, arg
 	lf.p.Reportf(pos, format, args...)
 }
 
-// classify resolves what a call does under this spec.
+// classify resolves what a call does under this spec: the builtin
+// verb tables first (selector calls and calls through method-valued
+// locals), then any //simlint:contract directive on the resolved
+// callee.
 func (lf *lifecycleFlow) classify(call *ast.CallExpr) verb {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
+	spec := lf.spec
+	var name, recv string
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+		recv = recvTypeName(lf.p, call)
+	case *ast.Ident:
+		// A call through a function-valued local classifies only when
+		// it is singly bound to a method value (`f := rank.Isend`);
+		// plain local function calls are governed by their summaries.
+		if _, direct := lf.p.Info.Uses[fun].(*types.Func); !direct {
+			if fn := lf.p.methodValue(fun); fn != nil {
+				if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+					name = fn.Name()
+					recv = namedTypeName(sig.Recv().Type())
+				}
+			}
+		}
+	default:
 		return verbNone
 	}
-	name := sel.Sel.Name
-	spec := lf.spec
-	switch {
-	case spec.createNames[name]:
-		if spec.createRecv != "" && recvTypeName(lf.p, call) != spec.createRecv {
-			return verbNone
+	if name != "" {
+		switch {
+		case spec.createNames[name]:
+			if (spec.createRecv == "" || recv == spec.createRecv) &&
+				callResultTypeName(lf.p, call, 0) == spec.resultType {
+				return verbCreate
+			}
+		case spec.releaseNames[name]:
+			if spec.releaseRecv == "" || recv == spec.releaseRecv {
+				return verbRelease
+			}
+		case spec.advanceNames[name]:
+			return verbAdvance
+		case spec.testNames[name]:
+			return verbTestRelease
 		}
-		if callResultTypeName(lf.p, call, 0) != spec.resultType {
-			return verbNone
+	}
+	if fn := lf.p.calledFunc(call); fn != nil {
+		if role, ok := lf.p.contractRoleOf(fn, spec.rule); ok {
+			switch role {
+			case roleAcquire:
+				if callResultTypeName(lf.p, call, 0) == spec.resultType {
+					return verbCreate
+				}
+			case roleRelease:
+				return verbRelease
+			case roleAdvance:
+				return verbAdvance
+			case roleTest:
+				return verbTestRelease
+			default:
+				// borrow and pass carry no verb: they act through the
+				// synthesized summary (contractSummary) instead.
+			}
 		}
-		return verbCreate
-	case spec.releaseNames[name]:
-		if spec.releaseRecv != "" && recvTypeName(lf.p, call) != spec.releaseRecv {
-			return verbNone
-		}
-		return verbRelease
-	case spec.advanceNames[name]:
-		return verbAdvance
-	case spec.testNames[name]:
-		return verbTestRelease
 	}
 	return verbNone
 }
@@ -697,6 +735,9 @@ func (lf *lifecycleFlow) deferStmt(n *ast.DeferStmt, f *Facts, report bool) {
 					}
 				case EffEscape:
 					lf.escapeObj(obj, f)
+				default:
+					// Borrow keeps every obligation with the caller, and a
+					// deferred advance has no protocol meaning here.
 				}
 			}
 			return

@@ -33,6 +33,9 @@ type Loader struct {
 	// IncludeTests also loads _test.go files (both in-package and
 	// external test packages) for analysis.
 	IncludeTests bool
+	// Stats, when non-nil, accumulates per-rule wall time and the
+	// package count across Check (simlint -stats).
+	Stats *RunStats
 
 	std     types.Importer
 	pkgs    map[string]*Package // by import path
@@ -335,7 +338,10 @@ func (l *Loader) Check(patterns []string, analyzers []*Analyzer) ([]Finding, err
 		}
 		for _, pk := range pkgs {
 			pass := NewPass(l.Fset, pk.Path, l.ModulePath, pk.Files, pk.Types, pk.Info)
-			fs := pass.Run(analyzers)
+			if l.Stats != nil {
+				l.Stats.Packages++
+			}
+			fs := pass.RunTimed(analyzers, l.Stats)
 			for i := range fs {
 				if rel, err := filepath.Rel(l.ModuleRoot, fs[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 					fs[i].Pos.Filename = rel

@@ -6,17 +6,17 @@ package analysis
 // be used after deregistration. Registration crosses the PCIe command
 // channel, so a leaked MR pins card-side resources for the life of the
 // process.
+// The verb tables (RegMR/RegMRBuffer acquire, DeregMR release) are
+// populated from builtinContracts at init — see contracts.go.
 var mrleakSpec = &lifecycleSpec{
-	rule:         "mrleak",
-	what:         "memory region",
-	resultType:   "MR",
-	createNames:  map[string]bool{"RegMR": true, "RegMRBuffer": true},
-	releaseNames: map[string]bool{"DeregMR": true},
-	checkUse:     true,
-	leakMsg:      "memory region from %s is not deregistered on every path: call DeregMR or transfer ownership before returning",
-	discardMsg:   "result of %s discarded: the memory region can never be deregistered",
-	useMsg:       "use of memory region after DeregMR",
-	doubleMsg:    "memory region may already be deregistered: double DeregMR",
+	rule:       "mrleak",
+	what:       "memory region",
+	resultType: "MR",
+	checkUse:   true,
+	leakMsg:    "memory region from %s is not deregistered on every path: call DeregMR or transfer ownership before returning",
+	discardMsg: "result of %s discarded: the memory region can never be deregistered",
+	useMsg:     "use of memory region after DeregMR",
+	doubleMsg:  "memory region may already be deregistered: double DeregMR",
 }
 
 var MRLeak = &Analyzer{

@@ -5,17 +5,15 @@ package analysis
 // Get pins the cache entry against eviction; an unbalanced pin
 // permanently shrinks the evictable portion of the cache, and an
 // unbalanced Release panics at runtime.
+// The verb tables (MRCache.Get acquire, MRCache.Release release) are
+// populated from builtinContracts at init — see contracts.go.
 var mrpinSpec = &lifecycleSpec{
-	rule:         "mrpin",
-	what:         "pinned MR",
-	resultType:   "MR",
-	createNames:  map[string]bool{"Get": true},
-	createRecv:   "MRCache",
-	releaseNames: map[string]bool{"Release": true},
-	releaseRecv:  "MRCache",
-	leakMsg:      "pinned MR from MRCache.%s is not released on every path: unbalanced pins permanently shrink the cache",
-	discardMsg:   "result of MRCache.%s discarded: the pinned MR can never be released",
-	doubleMsg:    "pinned MR may already be released: an unbalanced MRCache.Release panics",
+	rule:       "mrpin",
+	what:       "pinned MR",
+	resultType: "MR",
+	leakMsg:    "pinned MR from MRCache.%s is not released on every path: unbalanced pins permanently shrink the cache",
+	discardMsg: "result of MRCache.%s discarded: the pinned MR can never be released",
+	doubleMsg:  "pinned MR may already be released: an unbalanced MRCache.Release panics",
 }
 
 var MRPin = &Analyzer{

@@ -14,6 +14,7 @@ var simDrivenPkgs = []string{
 	"internal/pcie",
 	"internal/scif",
 	"internal/machine",
+	"internal/causal",
 	"dcfampi",
 }
 

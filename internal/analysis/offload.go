@@ -5,13 +5,13 @@ package analysis
 // from an offload MR before its host mirror is synced transfers stale
 // bytes; using one after deregistration touches freed card memory; and
 // a leaked offload MR holds both host and card buffers forever.
+// The verb tables (RegOffloadMR acquire, SyncOffloadMR advance,
+// DeregOffloadMR release) are populated from builtinContracts at init
+// — see contracts.go.
 var offloadSpec = &lifecycleSpec{
 	rule:          "offload",
 	what:          "offload MR",
 	resultType:    "OffloadMR",
-	createNames:   map[string]bool{"RegOffloadMR": true},
-	advanceNames:  map[string]bool{"SyncOffloadMR": true},
-	releaseNames:  map[string]bool{"DeregOffloadMR": true},
 	trackUnsynced: true,
 	postPrefix:    "Post",
 	orderFields:   map[string]bool{"HostBuf": true, "HostMR": true},

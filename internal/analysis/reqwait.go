@@ -5,16 +5,15 @@ package analysis
 // to a caller that will) on every path. An uncompleted request leaks
 // its pinned buffers and, for Irecv, silently drops the message its
 // sender believes was delivered.
+// The verb tables (Isend/Irecv acquire, Wait/WaitAll release, Test
+// test) are populated from builtinContracts at init — see contracts.go.
 var reqwaitSpec = &lifecycleSpec{
-	rule:         "reqwait",
-	what:         "request",
-	resultType:   "Request",
-	createNames:  map[string]bool{"Isend": true, "Irecv": true},
-	releaseNames: map[string]bool{"Wait": true, "WaitAll": true},
-	testNames:    map[string]bool{"Test": true},
-	leakMsg:      "request from %s is not completed on every path: call Wait, WaitAll, or Test before returning",
-	discardMsg:   "request from %s discarded: the nonblocking operation can never be completed",
-	doubleMsg:    "request may already be completed: waiting twice on the same request",
+	rule:       "reqwait",
+	what:       "request",
+	resultType: "Request",
+	leakMsg:    "request from %s is not completed on every path: call Wait, WaitAll, or Test before returning",
+	discardMsg: "request from %s discarded: the nonblocking operation can never be completed",
+	doubleMsg:  "request may already be completed: waiting twice on the same request",
 }
 
 var ReqWait = &Analyzer{

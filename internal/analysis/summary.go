@@ -176,9 +176,14 @@ type SummarySet struct {
 	funcs map[*types.Func]*FuncSummary
 }
 
-// forCall returns the summary of the function a call invokes directly,
-// or nil when the callee is unknown, external, or a function value —
-// the call site then falls back to the conservative escape rule.
+// forCall returns the summary governing a call site: the declared
+// contract of the callee (a //simlint:contract directive is
+// authoritative and overrides any inferred summary), the computed
+// summary of a directly resolved callee (method-value calls included),
+// or — for a call through an interface — the meet of every
+// devirtualized target's summary. Nil means the callee is unknown or
+// external and the call site falls back to the conservative escape
+// rule.
 func (ss *SummarySet) forCall(p *Pass, call *ast.CallExpr) *FuncSummary {
 	if ss == nil {
 		return nil
@@ -187,7 +192,110 @@ func (ss *SummarySet) forCall(p *Pass, call *ast.CallExpr) *FuncSummary {
 	if fn == nil {
 		return nil
 	}
+	if s := ss.summaryOf(p, fn); s != nil {
+		return s
+	}
+	return ss.meetOf(p, p.ifaceTargetsOf(fn))
+}
+
+// summaryOf resolves one function to its governing summary: directive
+// contract first, then the computed bottom-up summary.
+func (ss *SummarySet) summaryOf(p *Pass, fn *types.Func) *FuncSummary {
+	if role, ok := p.contractRoleOf(fn, ss.spec.rule); ok {
+		return contractSummary(ss.spec, fn, role)
+	}
 	return ss.funcs[fn]
+}
+
+// meetOf combines the summaries of an interface call's devirtualized
+// targets into the weakest obligation every target upholds — the meet:
+// a parameter is released only if every target releases it, any
+// disagreement that could strand or double-discharge an obligation
+// degrades to escape, and a result acquires only the obligation bits
+// all targets acquire. Any target without a summary makes the whole
+// call conservative (nil).
+func (ss *SummarySet) meetOf(p *Pass, targets []*types.Func) *FuncSummary {
+	var out *FuncSummary
+	for _, t := range targets {
+		s := ss.summaryOf(p, t)
+		if s == nil {
+			return nil
+		}
+		if out == nil {
+			out = cloneSummary(s)
+			continue
+		}
+		if !meetInto(out, s) {
+			return nil
+		}
+	}
+	return out
+}
+
+func cloneSummary(s *FuncSummary) *FuncSummary {
+	c := &FuncSummary{
+		Params:  append([]ParamEffect(nil), s.Params...),
+		Results: make([]ResultEffect, len(s.Results)),
+	}
+	for i, r := range s.Results {
+		c.Results[i] = ResultEffect{
+			Acquires:   r.Acquires,
+			FromParams: append([]int(nil), r.FromParams...),
+		}
+	}
+	return c
+}
+
+// meetInto folds s into acc. It reports false on a signature-shape
+// mismatch, which sends the call site back to the conservative rule.
+func meetInto(acc, s *FuncSummary) bool {
+	if len(acc.Params) != len(s.Params) || len(acc.Results) != len(s.Results) {
+		return false
+	}
+	for i := range acc.Params {
+		acc.Params[i] = meetEffect(acc.Params[i], s.Params[i])
+	}
+	for i := range acc.Results {
+		acc.Results[i].Acquires &= s.Results[i].Acquires
+		acc.Results[i].FromParams = unionInts(acc.Results[i].FromParams, s.Results[i].FromParams)
+	}
+	return true
+}
+
+// meetEffect combines two targets' effects on one parameter. Matching
+// effects keep their meaning; a release on only some targets means the
+// caller can neither rely on it nor release again, so it degrades to
+// escape (exactly like a conditional release within one function); any
+// escape wins; the remaining mix (borrow vs. advance) keeps only what
+// both promise — borrow.
+func meetEffect(a, b ParamEffect) ParamEffect {
+	switch {
+	case a == b:
+		return a
+	case a == EffEscape || b == EffEscape:
+		return EffEscape
+	case a == EffRelease || b == EffRelease:
+		return EffEscape
+	default:
+		return EffBorrow
+	}
+}
+
+// unionInts merges two sorted index slices, deduplicated and sorted.
+func unionInts(a, b []int) []int {
+	seen := map[int]bool{}
+	for _, v := range a {
+		seen[v] = true
+	}
+	for _, v := range b {
+		seen[v] = true
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // mentionsAcquirer reports whether the body calls a function whose
@@ -342,7 +450,7 @@ func summarizeFunc(p *Pass, spec *lifecycleSpec, ss *SummarySet, fn *types.Func,
 	// Cheap skip: a function that holds no tracked parameter, mentions
 	// no creation verb, and calls nothing with an interesting summary
 	// cannot affect this rule's obligations.
-	if !tracked && !mentionsCreate(spec, fd.Body) && !callsInteresting(p, ss, fd.Body) {
+	if !tracked && !mentionsCreate(p, spec, fd.Body) && !callsInteresting(p, ss, fd.Body) {
 		return neutralSummary(sig)
 	}
 	lf := &lifecycleFlow{p: p, spec: spec, reported: map[reportKey]bool{}, sums: ss, sum: rec}

@@ -26,6 +26,29 @@ func Drops(r *Rank, p *Proc) {
 	r.Render() // returns nothing: not flagged
 }
 
+// DropsAliased calls through a method-valued local: the alias is still
+// the MPI operation, and its dropped error is still a finding.
+func DropsAliased(r *Rank, p *Proc) {
+	send := r.Send
+	send(p, 1, 0) // want "error result of Send dropped"
+
+	st, _ := r.Recv(p, 1, 0) // want "error result of Recv assigned to _"
+	_ = st.Len
+}
+
+// localHelper is a plain function whose name is not an MPI operation;
+// calling it through its identifier is never flagged.
+func localHelper(p *Proc) error { return nil }
+
+// NotAliased: plain local function calls and rebound locals stay out
+// of scope.
+func NotAliased(r *Rank, p *Proc) {
+	_ = localHelper(p)
+	f := r.Barrier
+	f = localHelper // rebound: no single method value governs f
+	f(p)            // conflicting bindings resolve to nothing: not flagged
+}
+
 // Checked propagates errors properly: not flagged.
 func Checked(r *Rank, p *Proc) error {
 	if err := r.Send(p, 1, 0); err != nil {

@@ -1,0 +1,172 @@
+// Package fsmcheck seeds the protocol-FSM rule: switches over
+// typed-constant enums must be exhaustive or justify their default, a
+// //simlint:fsm table gates the transitions written back into the
+// switched variable, and states no declared edge reaches are dead.
+package fsmcheck
+
+// State is the request protocol machine; its table is declared below.
+type State int
+
+const (
+	stIdle State = iota // zero value: the implicit start
+	stPost
+	stWait
+	stDone
+)
+
+// stStale is kept for trace decoding but no edge targets it.
+const stStale State = 99 // want "state stStale of State is unreachable"
+
+//simlint:fsm stIdle -> stPost the send is posted
+//simlint:fsm stPost -> stWait
+//simlint:fsm stWait -> stDone completion observed
+
+// Step follows the declared table exactly: no findings.
+func Step(s State) State {
+	switch s {
+	case stIdle:
+		s = stPost
+	case stPost:
+		s = stWait
+	case stWait:
+		s = stDone
+	case stDone:
+	case stStale:
+	}
+	return s
+}
+
+// Skip writes a transition the table does not declare.
+func Skip(s State) State {
+	switch s {
+	case stIdle:
+		s = stDone // want "transition stIdle -> stDone is not declared in the //simlint:fsm table for State"
+	case stPost:
+		s = stWait
+	case stWait, stDone, stStale:
+	}
+	return s
+}
+
+// conn drives the same machine through a struct field: selector
+// matching must see c.st on both sides.
+type conn struct{ st State }
+
+func (c *conn) poke() {
+	switch c.st {
+	case stIdle:
+		c.st = stPost
+	case stPost:
+		c.st = stIdle // want "transition stPost -> stIdle is not declared in the //simlint:fsm table for State"
+	case stWait, stDone, stStale:
+	}
+}
+
+// Opcode has no transition table: only exhaustiveness applies.
+type Opcode int
+
+const (
+	OpSend Opcode = iota
+	OpRecv
+	OpRead
+	OpWrite
+)
+
+// OpFetch aliases OpRead's value; covering either name covers both.
+const OpFetch = OpRead
+
+// name drops OpWrite with no default: every opcode the switch does not
+// expect is silently misdecoded.
+func name(op Opcode) string {
+	switch op { // want "switch over Opcode is not exhaustive: missing OpWrite"
+	case OpSend:
+		return "send"
+	case OpRecv:
+		return "recv"
+	case OpRead:
+		return "read"
+	}
+	return "?"
+}
+
+// route hides three missing opcodes behind a bare default.
+func route(op Opcode) int {
+	switch op { // want "empty default hides a non-exhaustive switch over Opcode: missing OpRecv, OpRead, OpWrite"
+	case OpSend:
+		return 1
+	default:
+	}
+	return 0
+}
+
+// class justifies its empty default with a comment: no finding.
+func class(op Opcode) int {
+	switch op {
+	case OpSend, OpWrite:
+		return 1
+	default:
+		// reads never reach the send queue, so dropping them is correct
+	}
+	return 0
+}
+
+// must handles the unexpected opcodes loudly: a non-empty default is
+// always a valid completion.
+func must(op Opcode) int {
+	switch op {
+	case OpSend:
+		return 1
+	default:
+		panic("unexpected opcode")
+	}
+}
+
+// aliased covers OpRead through its alias OpFetch: exhaustive.
+func aliased(op Opcode) int {
+	switch op {
+	case OpSend, OpRecv, OpFetch, OpWrite:
+		return 1
+	}
+	return 0
+}
+
+// dynamic has a non-constant label: exhaustiveness cannot be judged,
+// so the switch is out of scope.
+func dynamic(op, other Opcode) int {
+	switch op {
+	case other:
+		return 1
+	}
+	return 0
+}
+
+// Phase starts at a declared non-zero initial state: the directive is
+// what keeps phBoot from being reported unreachable.
+type Phase int
+
+const (
+	phBoot Phase = iota + 1
+	phRun
+	phHalt
+)
+
+//simlint:fsm -> phBoot
+//simlint:fsm phBoot -> phRun
+//simlint:fsm phRun -> phHalt
+
+// advance follows the Phase table: no findings.
+func advance(ph Phase) Phase {
+	switch ph {
+	case phBoot:
+		ph = phRun
+	case phRun:
+		ph = phHalt
+	case phHalt:
+	}
+	return ph
+}
+
+// Directive findings: malformed, unknown state, cross-machine edge.
+//simlint:fsm onlyonestate // want "malformed //simlint:fsm directive"
+//simlint:fsm stNope -> stIdle // want "unknown or ambiguous state stNope"
+//simlint:fsm phBoot -> stPost // want "mixes states of Phase and State"

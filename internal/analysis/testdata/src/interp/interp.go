@@ -352,3 +352,39 @@ func RequestConstructorOK(r *Rank, p *Proc, b []byte) {
 func RequestConstructorDiscard(r *Rank, p *Proc, b []byte) {
 	_, _ = sendAsync(r, p, b) // want "request from sendAsync discarded"
 }
+
+// ---- method values ----
+
+// AliasedIsendLeak binds the method value first: the call through the
+// local still classifies as an Isend, so the missing Wait is visible.
+func AliasedIsendLeak(r *Rank, p *Proc, b []byte) {
+	send := r.Isend
+	q, err := send(p, 1, 1, b) // want "request from send is not completed on every path"
+	if err != nil {
+		return
+	}
+	_ = q
+}
+
+// AliasedWaitOK completes the request through a method-valued local.
+func AliasedWaitOK(r *Rank, p *Proc, b []byte) {
+	q, err := r.Isend(p, 1, 1, b)
+	if err != nil {
+		return
+	}
+	wait := r.Wait
+	_ = wait(p, q)
+}
+
+// AliasedRebindQuiet rebinds the local between two method values: it
+// resolves to nothing, the call stays conservative, and no leak may be
+// claimed.
+func AliasedRebindQuiet(r *Rank, p *Proc, b []byte) {
+	post := r.Isend
+	post = r.Irecv
+	q, err := post(p, 1, 1, b)
+	if err != nil {
+		return
+	}
+	_ = q
+}

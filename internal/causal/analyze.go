@@ -257,6 +257,10 @@ func (g *Graph) detectAnySerialization() Pattern {
 					Cost:  cost,
 				})
 			}
+		default:
+			// Only a defer opens a wildcard-serialization window and only
+			// a bind or lock closes it; all other kinds are irrelevant to
+			// this pattern.
 		}
 	}
 	return finish(p)
@@ -284,6 +288,9 @@ func (g *Graph) loadSummary() []RankLoad {
 					l.WaitTime += sim.Duration(e.T - t0)
 				}
 			}
+		default:
+			// Wait regions are bracketed solely by WaitStart/WaitEnd;
+			// collective straggling is tallied in its own pass below.
 		}
 	}
 	// Collective straggling per rank, in collective order.

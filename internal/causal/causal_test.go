@@ -48,6 +48,8 @@ func TestBuildTimelinesAndCrossEdges(t *testing.T) {
 			pktSend = i
 		case EvPktRecv:
 			pktRecv = i
+		default:
+			// This scan only locates the one wire pair in the fixture.
 		}
 	}
 	if g.CrossPred[pktRecv] != pktSend {

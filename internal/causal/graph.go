@@ -126,6 +126,10 @@ func Build(events []Event, end sim.Time) *Graph {
 			collEnter[e.Aux] = append(collEnter[e.Aux], i)
 		case EvCollExit:
 			// Defer until all enters are collected.
+		default:
+			// Every other event kind orders only within its own rank
+			// timeline; cross edges exist solely for the wire, WR
+			// completion, and collective fan-in pairs handled above.
 		}
 	}
 	for i := range events {
@@ -185,6 +189,10 @@ func (g *Graph) buildMessages() {
 			m := get(msgKey{e.Peer, e.Rank, e.Seq})
 			m.RecvDone = i
 			m.Proto = e.Proto
+		default:
+			// Only the four post/done endpoints define a message's
+			// lifecycle; waits, packets, and collectives never key a
+			// message record.
 		}
 	}
 	sort.Slice(g.Messages, func(a, b int) bool {

@@ -2,7 +2,7 @@ package core
 
 import (
 	"errors"
-	"fmt"
+	"strconv"
 )
 
 // Exported error conditions of the MPI layer.
@@ -32,7 +32,10 @@ type TransportError struct {
 }
 
 func (e *TransportError) Error() string {
-	return fmt.Sprintf("core: %s transfer to rank %d failed after %d attempts", e.Op, e.Peer, e.Tries)
+	// Reachable from the progress loop through the error interface, so
+	// avoid fmt's interface boxing.
+	return "core: " + e.Op + " transfer to rank " + strconv.Itoa(e.Peer) +
+		" failed after " + strconv.Itoa(e.Tries) + " attempts"
 }
 
 // Special rank and tag wildcards, mirroring MPI_ANY_SOURCE/MPI_ANY_TAG.

@@ -110,6 +110,10 @@ type Rank struct {
 	selfSendSeq    uint64
 	selfRecvSeq    uint64
 
+	// arrivalFree recycles arrival records after their match, so
+	// steady-state unexpected traffic allocates no record per packet.
+	arrivalFree []*arrival
+
 	wrSeq uint64
 	wrMap map[uint64]wrAction
 
@@ -760,9 +764,34 @@ func tagsMatch(req *Request, h header) bool {
 	return int32(req.tag) == h.tag
 }
 
+// newArrival hands out a pooled arrival record. handlePacket builds one
+// per inbound data packet, so an unpooled record would be a per-event
+// heap allocation on the progress path.
+func (r *Rank) newArrival(h header, data []byte) *arrival {
+	n := len(r.arrivalFree)
+	if n == 0 {
+		//simlint:ignore hotalloc pool refill: matchArrival recycles every record, amortizing this over the run
+		return &arrival{h: h, data: data}
+	}
+	a := r.arrivalFree[n-1]
+	r.arrivalFree = r.arrivalFree[:n-1]
+	a.h, a.data = h, data
+	return a
+}
+
+// recycleArrival returns a consumed arrival to the free list. Callers
+// must have copied the payload out first; dropping the data reference
+// here lets the ring buffer (or copied-out slice) be reclaimed.
+func (r *Rank) recycleArrival(a *arrival) {
+	a.data = nil
+	r.arrivalFree = append(r.arrivalFree, a)
+}
+
 // matchArrival pairs a posted receive with an unexpected arrival
-// (eager payload or RTS).
+// (eager payload or RTS). The arrival record is recycled on return:
+// both arms copy what they need out of it before completing.
 func (r *Rank) matchArrival(p *sim.Proc, req *Request, a *arrival) {
+	defer r.recycleArrival(a)
 	if !tagsMatch(req, a.h) {
 		req.complete(p, ErrTagMismatch)
 		return
@@ -1083,10 +1112,10 @@ func (r *Rank) handlePacket(p *sim.Proc, src int, h header, payload []byte) {
 				// the sender thanks to the sequence id.
 				r.m.mispredicts.Inc()
 				r.c.mispredict(p.Now(), src, h.seq)
-				r.matchArrival(p, req, &arrival{h: h, data: payload})
+				r.matchArrival(p, req, r.newArrival(h, payload))
 				return
 			}
-			r.matchArrival(p, req, &arrival{h: h, data: payload})
+			r.matchArrival(p, req, r.newArrival(h, payload))
 			return
 		}
 		// Then the ANY_SOURCE receive: it takes its sequence id from the
@@ -1099,13 +1128,13 @@ func (r *Rank) handlePacket(p *sim.Proc, src int, h header, payload []byte) {
 			req.seq = h.seq
 			req.hasSeq = true
 			r.c.recvBindTo(p.Now(), req, src)
-			r.matchArrival(p, req, &arrival{h: h, data: payload})
+			r.matchArrival(p, req, r.newArrival(h, payload))
 			r.drainDeferred(p)
 			return
 		}
 		// Unexpected: copy eager payloads out of the ring so the slot
 		// can be recycled.
-		a := &arrival{h: h}
+		a := r.newArrival(h, nil)
 		if h.kind == pktEager && h.payload > 0 {
 			a.data = make([]byte, h.payload)
 			copy(a.data, payload)

@@ -464,6 +464,10 @@ func (qp *QP) PostSend(p *sim.Proc, wr *SendWR) error {
 				if old == wr.CompareAdd {
 					binary.LittleEndian.PutUint64(target, wr.Swap)
 				}
+			default:
+				// Unreachable: this closure only runs from the atomics arm
+				// of the opcode dispatch above, so op is one of the two
+				// atomic opcodes.
 			}
 			rem.ctx.HCA.Doorbell.Broadcast()
 			eng.At(eng.Now()+plat.IBLatency, func() {
