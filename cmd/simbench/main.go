@@ -1,6 +1,7 @@
 // Command simbench times the deterministic engine-throughput workloads
-// (internal/bench: pingpong flood + 4-rank torture suite) against the
-// wall clock and reports events/sec and simulated-bytes/sec.
+// (internal/bench: pingpong flood, 4-rank torture suite, and the
+// fat-tree scale allreduce at 64 and 1000 ranks) against the wall
+// clock and reports events/sec and simulated-bytes/sec.
 //
 // Usage:
 //
@@ -73,36 +74,89 @@ func main() {
 	ppSize := flag.Int("pp-size", 1024, "ping-pong message size in bytes")
 	rounds := flag.Int("torture-rounds", 10, "torture rounds")
 	msgs := flag.Int("torture-msgs", 24, "messages per torture round")
+	scaleRanks := flag.Int("scale-ranks", 1000, "ranks in the large scale-allreduce workload (0 skips it)")
+	scaleElems := flag.Int("scale-elems", 1000, "f64 elements per rank in the scale-allreduce workloads")
+	scaleSeed := flag.Uint64("scale-seed", 7, "payload seed for the scale-allreduce workloads")
+	scaleTopo := flag.String("scale-topo", "fattree", "fabric topology for the scale-allreduce workloads")
+	scaleAlgo := flag.String("scale-algo", "ring", "allreduce algorithm for the scale-allreduce workloads")
 	flag.Parse()
 
 	plat := perfmodel.Default()
+	scaleCfg := func(ranks int) bench.ScaleConfig {
+		return bench.ScaleConfig{
+			Ranks: ranks, Elems: *scaleElems, Seed: *scaleSeed,
+			Topo: *scaleTopo, Algo: *scaleAlgo, Verify: true,
+		}
+	}
 	workloads := []struct {
 		name string
-		run  func() bench.PerfResult
-		prof func(rec *causal.Recorder) (bench.PerfResult, error)
+		// maxReps caps this workload's repetitions (0 = the -reps flag);
+		// the 1000-rank allreduce is capped at one timed rep to keep the
+		// whole bench inside CI budgets.
+		maxReps int
+		run     func() bench.PerfResult
+		prof    func(rec *causal.Recorder) (bench.PerfResult, error)
 	}{
 		{
-			"pingpong-flood",
+			"pingpong-flood", 0,
 			func() bench.PerfResult { return bench.PingPongFlood(plat, *ppSize, *ppIters) },
 			func(rec *causal.Recorder) (bench.PerfResult, error) {
 				return bench.PingPongFloodProfiled(plat, *ppSize, *ppIters, nil, rec)
 			},
 		},
 		{
-			"torture-4rank",
+			"torture-4rank", 0,
 			func() bench.PerfResult { return bench.TortureFlood(plat, 7, *rounds, *msgs) },
 			func(rec *causal.Recorder) (bench.PerfResult, error) {
 				return bench.TortureFloodProfiled(plat, 7, *rounds, *msgs, nil, nil, rec)
 			},
 		},
+		{
+			"allreduce-64rank", 0,
+			func() bench.PerfResult {
+				r, err := bench.ScaleAllreduce(plat, scaleCfg(64))
+				if err != nil {
+					panic(err)
+				}
+				return r
+			},
+			func(rec *causal.Recorder) (bench.PerfResult, error) {
+				return bench.ScaleAllreduceProfiled(plat, scaleCfg(64), nil, rec)
+			},
+		},
+	}
+	if *scaleRanks > 0 {
+		workloads = append(workloads, struct {
+			name    string
+			maxReps int
+			run     func() bench.PerfResult
+			prof    func(rec *causal.Recorder) (bench.PerfResult, error)
+		}{
+			// One timed rep, no profiled rep: a causal recording of the
+			// ~20M-event thousand-rank run would hold tens of millions of
+			// records; the 64-rank row above carries the breakdown.
+			fmt.Sprintf("allreduce-%drank", *scaleRanks), 1,
+			func() bench.PerfResult {
+				r, err := bench.ScaleAllreduce(plat, scaleCfg(*scaleRanks))
+				if err != nil {
+					panic(err)
+				}
+				return r
+			},
+			nil,
+		})
 	}
 
-	rep := report{Bench: 8, GoVersion: runtime.Version(), Reps: *reps}
+	rep := report{Bench: 9, GoVersion: runtime.Version(), Reps: *reps}
 	for _, wl := range workloads {
 		var best time.Duration
 		var res bench.PerfResult
 		var fp uint64
-		for i := 0; i < *reps; i++ {
+		wlReps := *reps
+		if wl.maxReps > 0 && wlReps > wl.maxReps {
+			wlReps = wl.maxReps
+		}
+		for i := 0; i < wlReps; i++ {
 			start := time.Now()
 			r := wl.run()
 			wall := time.Since(start)
@@ -131,7 +185,7 @@ func main() {
 			row.SimBytesPerSec = float64(res.PayloadBytes) / secs
 		}
 		var bdLines []string
-		if *breakdown {
+		if *breakdown && wl.prof != nil {
 			// One untimed rep with the causal profiler attached. Recording
 			// is passive: a diverging fingerprint means instrumentation
 			// perturbed the schedule, which is a bug worth failing on.

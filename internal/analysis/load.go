@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -89,6 +91,44 @@ func FindModuleRoot(dir string) (string, error) {
 	}
 }
 
+// buildTagSatisfied evaluates one build tag against the default build
+// configuration the analyzers model: the host GOOS/GOARCH, the gc
+// toolchain, and any minimum-Go-version tag. Everything else — notably
+// "race" — is off, matching what `go build` (no -race, no -tags)
+// would select.
+func buildTagSatisfied(tag string) bool {
+	if tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc" {
+		return true
+	}
+	return strings.HasPrefix(tag, "go1.")
+}
+
+// fileIncluded reports whether the file's build constraint (if any)
+// admits it under the default build configuration, so tag-gated shims
+// (e.g. a `//go:build race` constant pair) are excluded exactly as the
+// compiler would exclude them instead of colliding at type-check time.
+func fileIncluded(path string) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return true // let the parser report the real error
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "//") {
+			if constraint.IsGoBuild(trimmed) {
+				expr, err := constraint.Parse(trimmed)
+				if err != nil {
+					return true
+				}
+				return expr.Eval(buildTagSatisfied)
+			}
+			continue
+		}
+		break // package clause or code: constraints only appear above it
+	}
+	return true
+}
+
 // Import implements types.Importer: module-local paths load from
 // source, everything else falls through to the standard library.
 func (l *Loader) Import(path string) (*types.Package, error) {
@@ -132,6 +172,9 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	for _, ent := range entries {
 		name := ent.Name()
 		if ent.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if !fileIncluded(filepath.Join(dir, name)) {
 			continue
 		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
@@ -187,6 +230,9 @@ func (l *Loader) LoadTests(path string) ([]*Package, error) {
 	for _, ent := range entries {
 		name := ent.Name()
 		if ent.IsDir() || !strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if !fileIncluded(filepath.Join(base.Dir, name)) {
 			continue
 		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(base.Dir, name), nil, parser.ParseComments)

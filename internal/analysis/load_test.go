@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestLoadRespectsBuildConstraints: the loader must evaluate //go:build
+// lines against the default (non-race, host GOOS/GOARCH) configuration
+// — otherwise a tag-gated constant pair like core's race_on/race_off
+// shim type-checks as a redeclaration.
+func TestLoadRespectsBuildConstraints(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tagmod\n\ngo 1.22\n")
+	write("on.go", "//go:build race\n\npackage tagmod\n\nconst raceEnabled = true\n")
+	write("off.go", "//go:build !race\n\npackage tagmod\n\nconst raceEnabled = false\n")
+	write("plain.go", "package tagmod\n\nvar _ = raceEnabled\n")
+	write("osgated.go", "//go:build "+runtime.GOOS+"\n\npackage tagmod\n\nvar hostOnly = 1\n")
+	write("othros.go", "//go:build plan9x\n\npackage tagmod\n\nconst raceEnabled = 7 // would redeclare if loaded\n")
+
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(dir, "tagmod")
+	if err != nil {
+		t.Fatalf("tag-gated package failed to load: %v", err)
+	}
+	if got, want := len(pkg.Files), 3; got != want {
+		t.Errorf("loaded %d files, want %d (off.go, plain.go, osgated.go)", got, want)
+	}
+	if pkg.Types.Scope().Lookup("hostOnly") == nil {
+		t.Error("host-GOOS-gated file was excluded")
+	}
+	if obj := pkg.Types.Scope().Lookup("raceEnabled"); obj == nil {
+		t.Error("raceEnabled missing: !race half not loaded")
+	}
+}

@@ -326,12 +326,14 @@ func (g *Graph) loadSummary() []RankLoad {
 	return out
 }
 
-// Collective op codes carried in EvCollEnter/EvCollExit Tag.
+// Collective op codes carried in EvCollEnter/EvCollExit Tag. New codes
+// append at the end: recorded traces identify ops by value.
 const (
 	CollBarrier int32 = iota + 1
 	CollAllreduce
 	CollAllgather
 	CollAlltoall
+	CollBcast
 )
 
 func collOpName(op int32) string {
@@ -344,6 +346,8 @@ func collOpName(op int32) string {
 		return "allgather"
 	case CollAlltoall:
 		return "alltoall"
+	case CollBcast:
+		return "bcast"
 	default:
 		return "collective"
 	}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/pcie"
 	"repro/internal/perfmodel"
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // Cluster is the physical testbed: nodes, fabric, PCIe complexes.
@@ -59,6 +60,20 @@ func New(plat *perfmodel.Platform, n int) *Cluster {
 		c.HCAs = append(c.HCAs, c.Fabric.AttachHCA(node))
 		c.Buses = append(c.Buses, pcie.Attach(eng, plat, node))
 	}
+	return c
+}
+
+// NewWithTopo builds an n-node cluster whose fabric interior is the
+// named topology from internal/topo ("flat", "fattree", "fattree4"; see
+// topo.Names). It panics on an unknown name — topology selection is a
+// test/bench-harness decision, not runtime input.
+func NewWithTopo(plat *perfmodel.Platform, n int, topology string) *Cluster {
+	c := New(plat, n)
+	t, err := topo.ByName(c.Eng, topology, n)
+	if err != nil {
+		panic(err)
+	}
+	c.Fabric.Topo = t
 	return c
 }
 

@@ -140,21 +140,23 @@ func (c *rankCausal) waitEnd(t sim.Time, cid uint64) {
 }
 
 // collEnter emits the entry event and returns the collective sequence
-// id the matching collExit must carry.
-func (c *rankCausal) collEnter(t sim.Time, op int32) uint64 {
+// id the matching collExit must carry. algo is the selected algorithm
+// code (algoNone when the op has no algorithm choice), carried in Pkt
+// so profiles can attribute straggling per algorithm.
+func (c *rankCausal) collEnter(t sim.Time, op int32, algo uint8) uint64 {
 	if c.rec == nil {
 		return 0
 	}
 	c.collSeq++
-	c.emit(causal.Event{T: t, Kind: causal.EvCollEnter, Peer: -1, Tag: op, Aux: c.collSeq})
+	c.emit(causal.Event{T: t, Kind: causal.EvCollEnter, Peer: -1, Tag: op, Pkt: algo, Aux: c.collSeq})
 	return c.collSeq
 }
 
-func (c *rankCausal) collExit(t sim.Time, op int32, seq uint64) {
+func (c *rankCausal) collExit(t sim.Time, op int32, algo uint8, seq uint64) {
 	if c.rec == nil {
 		return
 	}
-	c.emit(causal.Event{T: t, Kind: causal.EvCollExit, Peer: -1, Tag: op, Aux: seq})
+	c.emit(causal.Event{T: t, Kind: causal.EvCollExit, Peer: -1, Tag: op, Pkt: algo, Aux: seq})
 }
 
 func (c *rankCausal) anyLock(t sim.Time, cid uint64) {

@@ -1,0 +1,401 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Internal tag space for the algorithm-specific collective phases
+// (continuing the -100.. block in collectives.go).
+const (
+	tagARScat    = -109 // ring allreduce, reduce-scatter phase
+	tagARGath    = -110 // ring allreduce, allgather phase
+	tagARFold    = -111 // recursive-doubling allreduce exchanges
+	tagBcastScat = -112 // scatter-allgather bcast
+)
+
+// Collective algorithm codes, carried in causal events (Event.Pkt) and
+// selected per call by size and world shape — or pinned through the
+// Coll* config strings. New codes append at the end: recorded traces
+// identify algorithms by value.
+const (
+	algoNone uint8 = iota
+	algoNaive
+	algoRing
+	algoRD
+	algoBinomial
+	algoScatterAG
+	algoDissem
+	algoTree
+	algoPairwise
+	algoLinear
+)
+
+func algoName(a uint8) string {
+	switch a {
+	case algoNaive:
+		return "naive"
+	case algoRing:
+		return "ring"
+	case algoRD:
+		return "rd"
+	case algoBinomial:
+		return "binomial"
+	case algoScatterAG:
+		return "scatter-allgather"
+	case algoDissem:
+		return "dissemination"
+	case algoTree:
+		return "tree"
+	case algoPairwise:
+		return "pairwise"
+	case algoLinear:
+		return "linear"
+	default:
+		return "none"
+	}
+}
+
+// ---- Selection ----
+//
+// The selectors mirror the classic MPICH/OpenMPI decision structure:
+// latency-bound regimes (small payloads, or fewer elements than ranks)
+// take logarithmic-depth algorithms, bandwidth-bound regimes take the
+// bandwidth-optimal ring/scatter family whose per-rank traffic is
+// 2·(n-1)/n · N instead of 2·log₂(n) · N.
+
+func (r *Rank) pickAllreduce(s Slice, op Op) (uint8, error) {
+	switch r.w.Cfg.CollAllreduce {
+	case "naive":
+		return algoNaive, nil
+	case "ring":
+		return algoRing, nil
+	case "rd":
+		return algoRD, nil
+	case "":
+	default:
+		return 0, fmt.Errorf("core: unknown allreduce algorithm %q", r.w.Cfg.CollAllreduce)
+	}
+	n := r.w.Size()
+	if n == 1 {
+		return algoNaive, nil
+	}
+	if s.N/op.ElemSize < n || s.N <= r.w.Cfg.EagerMax {
+		return algoRD, nil
+	}
+	return algoRing, nil
+}
+
+func (r *Rank) pickBcast(s Slice) (uint8, error) {
+	switch r.w.Cfg.CollBcast {
+	case "binomial":
+		return algoBinomial, nil
+	case "scatter-allgather":
+		return algoScatterAG, nil
+	case "":
+	default:
+		return 0, fmt.Errorf("core: unknown bcast algorithm %q", r.w.Cfg.CollBcast)
+	}
+	n := r.w.Size()
+	if s.N > r.w.Cfg.EagerMax && n >= 8 {
+		return algoScatterAG, nil
+	}
+	return algoBinomial, nil
+}
+
+func (r *Rank) pickBarrier() (uint8, error) {
+	switch r.w.Cfg.CollBarrier {
+	case "dissemination":
+		return algoDissem, nil
+	case "tree":
+		return algoTree, nil
+	case "":
+	default:
+		return 0, fmt.Errorf("core: unknown barrier algorithm %q", r.w.Cfg.CollBarrier)
+	}
+	if r.w.Size() > 32 {
+		// Dissemination is O(n log n) messages across the job (every
+		// rank talks to log n distinct peers, so lazy connect degrades
+		// to n log n endpoint pairs); the tree keeps both logarithmic.
+		return algoTree, nil
+	}
+	return algoDissem, nil
+}
+
+func (r *Rank) pickAlltoall() (uint8, error) {
+	switch r.w.Cfg.CollAlltoall {
+	case "pairwise":
+		return algoPairwise, nil
+	case "linear", "naive":
+		return algoLinear, nil
+	case "":
+	default:
+		return 0, fmt.Errorf("core: unknown alltoall algorithm %q", r.w.Cfg.CollAlltoall)
+	}
+	return algoPairwise, nil
+}
+
+// ---- Allreduce algorithms ----
+
+// allreduceNaive is reduce-to-0 plus broadcast — the reference the
+// property tests hold every other algorithm to. It calls the binomial
+// bodies directly so the oracle never re-enters the selector.
+func (r *Rank) allreduceNaive(p *sim.Proc, s Slice, op Op) error {
+	if err := r.Reduce(p, 0, s, op); err != nil {
+		return err
+	}
+	return r.bcastBinomial(p, 0, s)
+}
+
+// allreduceRing is the bandwidth-optimal ring: a reduce-scatter pass
+// leaves chunk i fully combined on rank i, then an allgather pass
+// circulates the combined chunks. Each rank moves 2·(n-1)/n · N bytes
+// regardless of n, which is why it wins for large payloads.
+func (r *Rank) allreduceRing(p *sim.Proc, s Slice, op Op) error {
+	n := r.w.Size()
+	if n == 1 {
+		return nil
+	}
+	elems := s.N / op.ElemSize
+	// Chunk c covers elements [c·elems/n, (c+1)·elems/n): contiguous,
+	// element-aligned, and within one byte-per-element of balanced.
+	off := func(c int) int { return c * elems / n * op.ElemSize }
+	clen := func(c int) int { return off(c+1) - off(c) }
+	maxChunk := 0
+	for c := 0; c < n; c++ {
+		if l := clen(c); l > maxChunk {
+			maxChunk = l
+		}
+	}
+	var tmp Slice
+	if maxChunk > 0 {
+		buf := r.Mem(maxChunk)
+		defer r.v.Domain().Free(buf)
+		tmp = Whole(buf)
+	}
+	right := (r.id + 1) % n
+	left := (r.id - 1 + n) % n
+	// Reduce-scatter: after step k we hold the combination of k+2
+	// contributions for chunk (id-k-1) mod n.
+	for step := 0; step < n-1; step++ {
+		sc := (r.id - step + n) % n
+		rc := (r.id - step - 1 + n) % n
+		if _, err := r.Sendrecv(p,
+			right, tagARScat, s.Sub(off(sc), clen(sc)),
+			left, tagARScat, tmp.Sub(0, clen(rc))); err != nil {
+			return err
+		}
+		op.applyChecked(s.Sub(off(rc), clen(rc)).Bytes(), tmp.Sub(0, clen(rc)).Bytes())
+	}
+	// Allgather: circulate the finished chunks around the same ring.
+	for step := 0; step < n-1; step++ {
+		sc := (r.id + 1 - step + n) % n
+		rc := (r.id - step + n) % n
+		if _, err := r.Sendrecv(p,
+			right, tagARGath, s.Sub(off(sc), clen(sc)),
+			left, tagARGath, s.Sub(off(rc), clen(rc))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// allreduceRD is recursive doubling with the MPICH non-power-of-two
+// fold: the first rem = n - 2^⌊log₂n⌋ even ranks fold into their odd
+// neighbor, the surviving 2^⌊log₂n⌋ ranks exchange-and-combine across
+// doubling distances, and the folded ranks get the result back. Depth
+// log₂(n) with full-size exchanges — the latency-bound choice. Assumes
+// a commutative op (every built-in Op is).
+func (r *Rank) allreduceRD(p *sim.Proc, s Slice, op Op) error {
+	n := r.w.Size()
+	if n == 1 {
+		return nil
+	}
+	buf := r.Mem(s.N)
+	defer r.v.Domain().Free(buf)
+	tmp := Whole(buf)
+	pof2 := 1
+	for pof2*2 <= n {
+		pof2 *= 2
+	}
+	rem := n - pof2
+	id := r.id
+	newrank := -1
+	switch {
+	case id < 2*rem && id%2 == 0:
+		if err := r.Send(p, id+1, tagARFold, s); err != nil {
+			return err
+		}
+	case id < 2*rem:
+		if _, err := r.Recv(p, id-1, tagARFold, tmp); err != nil {
+			return err
+		}
+		op.applyChecked(s.Bytes(), tmp.Bytes())
+		newrank = id / 2
+	default:
+		newrank = id - rem
+	}
+	if newrank != -1 {
+		for mask := 1; mask < pof2; mask *= 2 {
+			pn := newrank ^ mask
+			partner := pn + rem
+			if pn < rem {
+				partner = pn*2 + 1
+			}
+			if _, err := r.Sendrecv(p,
+				partner, tagARFold, s,
+				partner, tagARFold, tmp); err != nil {
+				return err
+			}
+			op.applyChecked(s.Bytes(), tmp.Bytes())
+		}
+	}
+	if id < 2*rem {
+		if id%2 != 0 {
+			return r.Send(p, id-1, tagARFold, s)
+		}
+		_, err := r.Recv(p, id+1, tagARFold, s)
+		return err
+	}
+	return nil
+}
+
+// ---- Bcast algorithms ----
+
+// bcastScatterAG is the MPICH large-message broadcast: a binomial
+// scatter leaves byte chunk v on the rank with root-relative rank v,
+// then a ring allgather reassembles the full payload everywhere. Total
+// per-rank traffic ~2·(n-1)/n · N versus the binomial tree's log₂(n)·N.
+func (r *Rank) bcastScatterAG(p *sim.Proc, root int, s Slice) error {
+	n := r.w.Size()
+	if n == 1 {
+		return nil
+	}
+	v := vrank(r.id, root, n)
+	ss := (s.N + n - 1) / n
+	// Binomial scatter in root-relative space: each rank receives the
+	// trailing region it is responsible for from the parent at its
+	// lowest set bit, then forwards the halves below that bit.
+	curr := 0
+	if v == 0 {
+		curr = s.N
+	}
+	mask := 1
+	for mask < n {
+		if v&mask != 0 {
+			if recvSize := s.N - v*ss; recvSize > 0 {
+				st, err := r.Recv(p, arank(v-mask, root, n), tagBcastScat, s.Sub(v*ss, recvSize))
+				if err != nil {
+					return err
+				}
+				curr = st.Len
+			}
+			break
+		}
+		mask *= 2
+	}
+	for mask /= 2; mask > 0; mask /= 2 {
+		if v+mask >= n {
+			continue
+		}
+		if sendSize := curr - ss*mask; sendSize > 0 {
+			if err := r.Send(p, arank(v+mask, root, n), tagBcastScat, s.Sub((v+mask)*ss, sendSize)); err != nil {
+				return err
+			}
+			curr -= sendSize
+		}
+	}
+	// Ring allgather over the scattered chunks (chunk c is bytes
+	// [c·ss, min((c+1)·ss, N)); trailing chunks may be empty).
+	off := func(c int) int {
+		if o := c * ss; o < s.N {
+			return o
+		}
+		return s.N
+	}
+	clen := func(c int) int { return off(c+1) - off(c) }
+	right := arank((v+1)%n, root, n)
+	left := arank((v-1+n)%n, root, n)
+	for step := 0; step < n-1; step++ {
+		sc := (v - step + n) % n
+		rc := (v - step - 1 + n) % n
+		if _, err := r.Sendrecv(p,
+			right, tagBcastScat, s.Sub(off(sc), clen(sc)),
+			left, tagBcastScat, s.Sub(off(rc), clen(rc))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- Barrier algorithms ----
+
+// barrierTree is a binomial fan-in/fan-out barrier: ranks report up a
+// binomial tree to rank 0 and the release walks back down. 2·log₂(n)
+// zero-byte messages per rank worst case, and — unlike dissemination —
+// each rank only ever talks to its tree neighbors, keeping the job's
+// connection graph O(n) under lazy connect.
+func (r *Rank) barrierTree(p *sim.Proc) error {
+	n := r.w.Size()
+	if n == 1 {
+		return nil
+	}
+	zero := Slice{}
+	mask := 1
+	for mask < n {
+		if r.id&mask != 0 {
+			parent := r.id ^ mask
+			if err := r.Send(p, parent, tagBarrier, zero); err != nil {
+				return err
+			}
+			if _, err := r.Recv(p, parent, tagBarrier, zero); err != nil {
+				return err
+			}
+			break
+		}
+		if child := r.id | mask; child < n {
+			if _, err := r.Recv(p, child, tagBarrier, zero); err != nil {
+				return err
+			}
+		}
+		mask *= 2
+	}
+	for mask /= 2; mask >= 1; mask /= 2 {
+		child := r.id | mask
+		if child < n && r.id&mask == 0 {
+			if err := r.Send(p, child, tagBarrier, zero); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ---- Alltoall algorithms ----
+
+// alltoallLinear posts every receive, then every send, and waits — the
+// oracle the pairwise exchange is tested against.
+func (r *Rank) alltoallLinear(p *sim.Proc, src, dst Slice, blockN int) error {
+	n := r.w.Size()
+	if src.N < n*blockN || dst.N < n*blockN {
+		return fmt.Errorf("core: alltoall buffers too small")
+	}
+	reqs := make([]*Request, 0, 2*n)
+	for i := 0; i < n; i++ {
+		q, err := r.Irecv(p, i, tagAlltoall, dst.Sub(i*blockN, blockN))
+		if err != nil {
+			return errors.Join(err, r.WaitAll(p, reqs...))
+		}
+		reqs = append(reqs, q)
+	}
+	for i := 0; i < n; i++ {
+		q, err := r.Isend(p, i, tagAlltoall, src.Sub(i*blockN, blockN))
+		if err != nil {
+			return errors.Join(err, r.WaitAll(p, reqs...))
+		}
+		reqs = append(reqs, q)
+	}
+	return r.WaitAll(p, reqs...)
+}

@@ -21,16 +21,29 @@ const (
 	tagRedScat   = -108
 )
 
-// Barrier blocks until every rank has entered it (dissemination
-// algorithm: ⌈log2 P⌉ rounds of pairwise exchanges).
+// Barrier blocks until every rank has entered it. The algorithm —
+// dissemination for small worlds, binomial tree for large ones — comes
+// from the selector unless Config.CollBarrier pins it.
 func (r *Rank) Barrier(p *sim.Proc) error {
-	cs := r.c.collEnter(p.Now(), causal.CollBarrier)
-	err := r.barrier(p)
-	r.c.collExit(p.Now(), causal.CollBarrier, cs)
+	algo, err := r.pickBarrier()
+	if err != nil {
+		return err
+	}
+	cs := r.c.collEnter(p.Now(), causal.CollBarrier, algo)
+	sp := r.m.collBegin(p.Now(), "barrier", algoName(algo))
+	if algo == algoTree {
+		err = r.barrierTree(p)
+	} else {
+		err = r.barrierDissem(p)
+	}
+	sp.End(p.Now())
+	r.c.collExit(p.Now(), causal.CollBarrier, algo, cs)
 	return err
 }
 
-func (r *Rank) barrier(p *sim.Proc) error {
+// barrierDissem is the dissemination barrier: ⌈log₂ P⌉ rounds of
+// pairwise exchanges at doubling distances.
+func (r *Rank) barrierDissem(p *sim.Proc) error {
 	n := r.w.Size()
 	if n == 1 {
 		return nil
@@ -60,9 +73,30 @@ func (r *Rank) barrier(p *sim.Proc) error {
 func vrank(id, root, n int) int { return (id - root + n) % n }
 func arank(v, root, n int) int  { return (v + root) % n }
 
-// Bcast broadcasts root's s to everyone (binomial tree). All ranks must
-// pass a slice of the same length.
+// Bcast broadcasts root's s to everyone. All ranks must pass a slice
+// of the same length. The algorithm — binomial tree for latency-bound
+// payloads, scatter-allgather for bandwidth-bound ones — comes from
+// the selector unless Config.CollBcast pins it.
 func (r *Rank) Bcast(p *sim.Proc, root int, s Slice) error {
+	algo, err := r.pickBcast(s)
+	if err != nil {
+		return err
+	}
+	cs := r.c.collEnter(p.Now(), causal.CollBcast, algo)
+	sp := r.m.collBegin(p.Now(), "bcast", algoName(algo))
+	if algo == algoScatterAG {
+		err = r.bcastScatterAG(p, root, s)
+	} else {
+		err = r.bcastBinomial(p, root, s)
+	}
+	sp.End(p.Now())
+	r.c.collExit(p.Now(), causal.CollBcast, algo, cs)
+	return err
+}
+
+// bcastBinomial is the binomial-tree broadcast: each rank receives from
+// the parent at its lowest set (root-relative) bit and forwards down.
+func (r *Rank) bcastBinomial(p *sim.Proc, root int, s Slice) error {
 	n := r.w.Size()
 	if n == 1 {
 		return nil
@@ -118,20 +152,28 @@ func (r *Rank) Reduce(p *sim.Proc, root int, s Slice, op Op) error {
 	return nil
 }
 
-// Allreduce is Reduce to rank 0 followed by Bcast; every rank ends with
-// the combined result in s.
+// Allreduce leaves the element-wise combination of every rank's s in s
+// on every rank. The algorithm — recursive doubling when latency-bound,
+// ring when bandwidth-bound — comes from the selector unless
+// Config.CollAllreduce pins it.
 func (r *Rank) Allreduce(p *sim.Proc, s Slice, op Op) error {
-	cs := r.c.collEnter(p.Now(), causal.CollAllreduce)
-	err := r.allreduce(p, s, op)
-	r.c.collExit(p.Now(), causal.CollAllreduce, cs)
-	return err
-}
-
-func (r *Rank) allreduce(p *sim.Proc, s Slice, op Op) error {
-	if err := r.Reduce(p, 0, s, op); err != nil {
+	algo, err := r.pickAllreduce(s, op)
+	if err != nil {
 		return err
 	}
-	return r.Bcast(p, 0, s)
+	cs := r.c.collEnter(p.Now(), causal.CollAllreduce, algo)
+	sp := r.m.collBegin(p.Now(), "allreduce", algoName(algo))
+	switch algo {
+	case algoRing:
+		err = r.allreduceRing(p, s, op)
+	case algoRD:
+		err = r.allreduceRD(p, s, op)
+	default:
+		err = r.allreduceNaive(p, s, op)
+	}
+	sp.End(p.Now())
+	r.c.collExit(p.Now(), causal.CollAllreduce, algo, cs)
+	return err
 }
 
 // Gather concatenates every rank's s (all the same length) into dst on
@@ -189,9 +231,11 @@ func (r *Rank) Scatter(p *sim.Proc, root int, src Slice, recv Slice) error {
 // Allgather concatenates every rank's s into dst (Size()*s.N bytes) on
 // every rank, using the ring algorithm.
 func (r *Rank) Allgather(p *sim.Proc, s Slice, dst Slice) error {
-	cs := r.c.collEnter(p.Now(), causal.CollAllgather)
+	cs := r.c.collEnter(p.Now(), causal.CollAllgather, algoRing)
+	sp := r.m.collBegin(p.Now(), "allgather", algoName(algoRing))
 	err := r.allgather(p, s, dst)
-	r.c.collExit(p.Now(), causal.CollAllgather, cs)
+	sp.End(p.Now())
+	r.c.collExit(p.Now(), causal.CollAllgather, algoRing, cs)
 	return err
 }
 
@@ -345,14 +389,26 @@ func (r *Rank) ReduceScatter(p *sim.Proc, src Slice, dst Slice, op Op) error {
 
 // Alltoall sends block i of src to rank i and receives rank i's block
 // into block i of dst; src and dst hold Size() blocks of blockN bytes.
+// The pairwise exchange is the default; Config.CollAlltoall can pin
+// the linear (post-everything) oracle instead.
 func (r *Rank) Alltoall(p *sim.Proc, src, dst Slice, blockN int) error {
-	cs := r.c.collEnter(p.Now(), causal.CollAlltoall)
-	err := r.alltoall(p, src, dst, blockN)
-	r.c.collExit(p.Now(), causal.CollAlltoall, cs)
+	algo, err := r.pickAlltoall()
+	if err != nil {
+		return err
+	}
+	cs := r.c.collEnter(p.Now(), causal.CollAlltoall, algo)
+	sp := r.m.collBegin(p.Now(), "alltoall", algoName(algo))
+	if algo == algoLinear {
+		err = r.alltoallLinear(p, src, dst, blockN)
+	} else {
+		err = r.alltoallPairwise(p, src, dst, blockN)
+	}
+	sp.End(p.Now())
+	r.c.collExit(p.Now(), causal.CollAlltoall, algo, cs)
 	return err
 }
 
-func (r *Rank) alltoall(p *sim.Proc, src, dst Slice, blockN int) error {
+func (r *Rank) alltoallPairwise(p *sim.Proc, src, dst Slice, blockN int) error {
 	n := r.w.Size()
 	if src.N < n*blockN || dst.N < n*blockN {
 		return fmt.Errorf("core: alltoall buffers too small")

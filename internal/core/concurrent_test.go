@@ -57,3 +57,40 @@ func TestConcurrentEnginesDeterminism(t *testing.T) {
 		t.Errorf("concurrent run dispatched %d events, solo run %d", a.events, events)
 	}
 }
+
+// TestConcurrentEnginesScaleDeterminism re-runs the isolation witness
+// at 1000 ranks: two whole thousand-rank ring-allreduce simulations on
+// real goroutines must not perturb each other's schedules. A mismatch
+// here is instance state leaking to package level under a load the
+// 4-rank witness can't generate (lazy connect, per-pair map growth,
+// WR/packet pools). -short shrinks to 96 ranks; -race skips (see
+// race_on_test.go).
+func TestConcurrentEnginesScaleDeterminism(t *testing.T) {
+	ranks := scaleDeterminismRanks(t)
+	type result struct {
+		fp     uint64
+		events int64
+		err    error
+	}
+	//simlint:ignore rawgo collecting results from deliberately-parallel engines; both join before any assertion
+	results := make(chan result, 2)
+	for i := 0; i < 2; i++ {
+		//simlint:ignore rawgo two whole scale simulations on real goroutines on purpose: cross-engine isolation at 1000 ranks is the point
+		go func() {
+			fp, events, _, err := runScaleWorkload(ranks)
+			results <- result{fp: fp, events: events, err: err}
+		}()
+	}
+	a, b := <-results, <-results
+	for _, r := range []result{a, b} {
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+	}
+	if a.fp != b.fp {
+		t.Errorf("concurrent scale engines diverged: fingerprints %#x vs %#x", a.fp, b.fp)
+	}
+	if a.events != b.events {
+		t.Errorf("concurrent scale engines diverged: %d vs %d events", a.events, b.events)
+	}
+}

@@ -9,6 +9,7 @@ package core_test
 import (
 	"testing"
 
+	"repro/internal/bench"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/perfmodel"
@@ -76,11 +77,65 @@ func runMixedWorkload() (uint64, int64, sim.Time, error) {
 	return c.Eng.Fingerprint(), c.Eng.EventsRun(), c.Eng.Now(), nil
 }
 
+// scaleDeterminismRanks picks the rank count for the thousand-rank
+// determinism extensions: the full 1000 normally, a two-leaf fat tree
+// under -short, skipped under -race (see race_on_test.go).
+func scaleDeterminismRanks(t *testing.T) int {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("thousand-rank runs exceed the race step's budget; the 4-rank mixed workload covers these paths under -race")
+	}
+	if testing.Short() {
+		return 96
+	}
+	return 1000
+}
+
+// runScaleWorkload is the thousand-rank extension body: a ring
+// allreduce over the fat-tree fabric with lazy connect, rank 0
+// verifying the reduced vector against the host-computed sum.
+func runScaleWorkload(ranks int) (uint64, int64, sim.Time, error) {
+	res, err := bench.ScaleAllreduce(perfmodel.Default(), bench.ScaleConfig{
+		Ranks: ranks, Elems: 1000, Seed: 7, Topo: "fattree", Algo: "ring", Verify: true,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return res.Fingerprint, res.Events, res.SimTime, nil
+}
+
 // TestDeterminismDoubleRun runs the workload twice on fresh clusters
 // and requires bit-identical schedules.
 func TestDeterminismDoubleRun(t *testing.T) {
 	fp1, n1, t1 := mixedWorkload(t)
 	fp2, n2, t2 := mixedWorkload(t)
+	if fp1 != fp2 {
+		t.Errorf("event-order fingerprints differ across runs: %#x vs %#x", fp1, fp2)
+	}
+	if n1 != n2 {
+		t.Errorf("events run differ across runs: %d vs %d", n1, n2)
+	}
+	if t1 != t2 {
+		t.Errorf("final virtual times differ across runs: %v vs %v", t1, t2)
+	}
+}
+
+// TestDeterminismDoubleRunScale is the double-run gate at three orders
+// of magnitude more ranks: two fresh 1000-rank ring-allreduce runs
+// (lazy connect, fat-tree fabric, ~20M events each) must produce
+// identical fingerprints, event counts and virtual end times. -short
+// shrinks the fabric to 96 ranks to stay CI-safe.
+func TestDeterminismDoubleRunScale(t *testing.T) {
+	ranks := scaleDeterminismRanks(t)
+	fp1, n1, t1, err := runScaleWorkload(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp2, n2, t2, err := runScaleWorkload(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%d ranks: fp %#x, %d events, end %v", ranks, fp1, n1, t1)
 	if fp1 != fp2 {
 		t.Errorf("event-order fingerprints differ across runs: %#x vs %#x", fp1, fp2)
 	}

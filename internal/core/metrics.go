@@ -85,6 +85,18 @@ func (m *rankMetrics) span(t sim.Time, name string) *metrics.Span {
 	return m.reg.Begin(t, m.actor, name)
 }
 
+// collBegin counts one collective call under its selected algorithm and
+// opens the call's span (nil when telemetry is off; Counter and Span
+// are nil-safe). The counter name is coll.<op>.<algo> so reports can
+// tell ring-allreduce traffic from naive-allreduce traffic.
+func (m *rankMetrics) collBegin(t sim.Time, op, algo string) *metrics.Span {
+	if m.reg == nil {
+		return nil
+	}
+	m.reg.Counter(m.actor, "coll."+op+"."+algo).Inc()
+	return m.reg.Begin(t, m.actor, "coll."+op).Attr("algo", algo)
+}
+
 // resolve classifies a request's protocol: it bumps the per-kind
 // counter and stamps the lifecycle span. Each request resolves exactly
 // once (the call sites are the protocol-decision points).

@@ -1,0 +1,6 @@
+//go:build !race
+
+package core_test
+
+// raceEnabled mirrors the -race build tag (see race_on_test.go).
+const raceEnabled = false

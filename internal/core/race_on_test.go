@@ -1,0 +1,10 @@
+//go:build race
+
+package core_test
+
+// raceEnabled mirrors the -race build tag. The thousand-rank scale
+// determinism tests bow out under the race detector: its ~10× slowdown
+// would push the ~20M-event runs past the CI race step's budget, and
+// the same code paths run race-checked at 4 ranks via the mixed
+// workload.
+const raceEnabled = true

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/ib"
 	"repro/internal/machine"
@@ -80,6 +81,13 @@ type Rank struct {
 	mrCache *MRCache
 	arena   *offArena
 
+	// active lists peer indices with live endpoints, sorted ascending,
+	// so the progress engine scans exactly the connected pairs instead
+	// of a thousand-entry mostly-nil peer table. Under eager connect it
+	// holds every peer; under lazy connect it grows as pairs first
+	// communicate.
+	active []int
+
 	// cqeBuf is the persistent completion buffer progress drains into
 	// (ibv-style PollInto), so the per-event CQ drain never allocates.
 	cqeBuf [16]ib.CQE
@@ -113,6 +121,16 @@ type Rank struct {
 	// arrivalFree recycles arrival records after their match, so
 	// steady-state unexpected traffic allocates no record per packet.
 	arrivalFree []*arrival
+
+	// wrFree recycles send work requests (and their cap-3 SGL backing)
+	// once their completion has been routed, so the per-packet path
+	// allocates no WR or SGE state in steady state. Recycling is
+	// disabled under an active fault plan: replay needs the formed WR
+	// to survive until its retry budget is spent.
+	wrFree []*ib.SendWR
+	// pktFree recycles the fault-mode packet snapshots sendPacket
+	// retains for replay.
+	pktFree [][]byte
 
 	wrSeq uint64
 	wrMap map[uint64]wrAction
@@ -239,29 +257,24 @@ func (r *Rank) setup(p *sim.Proc) error {
 	r.sendsBySeq = make([]map[uint64]*Request, n)
 	r.selfUnexpected = make(map[uint64]*arrival)
 	r.wrMap = make(map[uint64]wrAction)
-	dom := r.v.Domain()
-	for i := 0; i < n; i++ {
-		r.expRecv[i] = make(map[uint64]*Request)
-		r.unexpected[i] = make(map[uint64]*arrival)
-		r.earlyRTR[i] = make(map[uint64]header)
-		r.sendsBySeq[i] = make(map[uint64]*Request)
-		if i == r.id {
-			continue
+	if r.w.lazyConnect() {
+		// Lazy connect: endpoint pairs (and their per-pair maps) are
+		// built by ensurePeer at the pair's first message. Only the
+		// loopback map is needed up front.
+		r.expRecv[r.id] = make(map[uint64]*Request)
+	} else {
+		for i := 0; i < n; i++ {
+			r.expRecv[i] = make(map[uint64]*Request)
+			r.unexpected[i] = make(map[uint64]*arrival)
+			r.earlyRTR[i] = make(map[uint64]header)
+			r.sendsBySeq[i] = make(map[uint64]*Request)
+			if i == r.id {
+				continue
+			}
+			if _, err := r.makePeerHalf(p, i); err != nil {
+				return err
+			}
 		}
-		ps := &peerState{}
-		if ps.qp, err = r.v.CreateQP(p, r.pd, r.cq, r.cq); err != nil {
-			return err
-		}
-		ps.in, err = newRing(p, r.v, r.pd, dom, cfg.EagerSlots, cfg.EagerMax)
-		if err != nil {
-			return err
-		}
-		ps.staging = dom.Alloc(slotBytes(cfg.EagerMax))
-		ps.stagingMR, err = r.v.RegMR(p, r.pd, dom, ps.staging.Addr, len(ps.staging.Data))
-		if err != nil {
-			return err
-		}
-		r.peers[i] = ps
 	}
 	if cfg.Offload && r.v.SupportsOffload() {
 		var err error
@@ -300,6 +313,102 @@ func (r *Rank) connect(p *sim.Proc) error {
 	return nil
 }
 
+// makePeerHalf builds this rank's endpoint toward peer i (QP, eager
+// ring, staging buffer) plus the per-pair matching maps, and records i
+// in the active-peer list. It does not wire the QP; setup/connect (the
+// eager bootstrap) or ensurePeer (lazy) do that.
+func (r *Rank) makePeerHalf(p *sim.Proc, i int) (*peerState, error) {
+	if r.expRecv[i] == nil {
+		r.expRecv[i] = make(map[uint64]*Request)
+		r.unexpected[i] = make(map[uint64]*arrival)
+		r.earlyRTR[i] = make(map[uint64]header)
+		r.sendsBySeq[i] = make(map[uint64]*Request)
+	}
+	cfg := r.w.Cfg
+	dom := r.v.Domain()
+	ps := &peerState{}
+	var err error
+	if ps.qp, err = r.v.CreateQP(p, r.pd, r.cq, r.cq); err != nil {
+		return nil, err
+	}
+	ps.in, err = newRing(p, r.v, r.pd, dom, cfg.EagerSlots, cfg.EagerMax)
+	if err != nil {
+		return nil, err
+	}
+	ps.staging = dom.Alloc(slotBytes(cfg.EagerMax))
+	ps.stagingMR, err = r.v.RegMR(p, r.pd, dom, ps.staging.Addr, len(ps.staging.Data))
+	if err != nil {
+		return nil, err
+	}
+	r.peers[i] = ps
+	r.insertActive(i)
+	return ps, nil
+}
+
+// insertActive records a connected peer, keeping the list sorted so
+// progress scans peers in rank order regardless of connection order —
+// the property that keeps lazy-connect runs deterministic.
+func (r *Rank) insertActive(i int) {
+	at := sort.SearchInts(r.active, i)
+	r.active = append(r.active, 0)
+	copy(r.active[at+1:], r.active[at:])
+	r.active[at] = i
+}
+
+// ensurePeer returns the endpoint toward peer i, building and wiring
+// BOTH halves of the pair on first use under lazy connect. The peer's
+// resources are created in the caller's process context — the
+// simulation's stand-in for the out-of-band connection establishment a
+// process manager performs — so lazy bootstrap stays deterministic.
+func (r *Rank) ensurePeer(p *sim.Proc, i int) (*peerState, error) {
+	key := [2]int{r.id, i}
+	if i < r.id {
+		key = [2]int{i, r.id}
+	}
+	for {
+		if ps := r.peers[i]; ps != nil {
+			return ps, nil
+		}
+		ev := r.w.connInFlight[key]
+		if ev == nil {
+			break
+		}
+		// The peer is mid-bootstrap toward us (mutual first contact —
+		// e.g. a symmetric Sendrecv exchange): QP and ring creation
+		// yield to the engine, so without this wait both sides would
+		// build the pair and orphan each other's half.
+		ev.Wait(p)
+	}
+	claim := sim.NewEvent(r.w.Eng)
+	r.w.connInFlight[key] = claim
+	defer func() {
+		delete(r.w.connInFlight, key)
+		claim.Fire()
+	}()
+	peer := r.w.ranks[i]
+	mine, err := r.makePeerHalf(p, i)
+	if err != nil {
+		return nil, err
+	}
+	theirs, err := peer.makePeerHalf(p, r.id)
+	if err != nil {
+		return nil, err
+	}
+	mine.rlid, mine.rqpn = peer.v.HCA().LID, theirs.qp.QPN
+	if err := mine.qp.Connect(mine.rlid, mine.rqpn); err != nil {
+		return nil, err
+	}
+	mine.out = theirs.in.desc()
+	mine.credits = mine.out.slots
+	theirs.rlid, theirs.rqpn = r.v.HCA().LID, mine.qp.QPN
+	if err := theirs.qp.Connect(theirs.rlid, theirs.rqpn); err != nil {
+		return nil, err
+	}
+	theirs.out = mine.in.desc()
+	theirs.credits = theirs.out.slots
+	return mine, nil
+}
+
 // finalize drains queued outbound control packets and credit-starved
 // sends before the rank exits (MPI_Finalize semantics): a DONE stuck
 // behind ring flow control must still reach its peer or the peer hangs.
@@ -311,8 +420,9 @@ func (r *Rank) finalize(p *sim.Proc) {
 			return
 		}
 		pending := false
-		for _, ps := range r.peers {
-			if ps != nil && (len(ps.pendingCtrl) > 0 || len(ps.pendingSends) > 0 || len(ps.postponed) > 0) {
+		for _, i := range r.active {
+			ps := r.peers[i]
+			if len(ps.pendingCtrl) > 0 || len(ps.pendingSends) > 0 || len(ps.postponed) > 0 {
 				pending = true
 				break
 			}
@@ -426,6 +536,54 @@ func (r *Rank) failWR(p *sim.Proc, act wrAction, err error) {
 	}
 }
 
+// newSendWR hands out a pooled send work request with SGL capacity for
+// the three-element packet layout (header, payload, tail). handleCQE
+// recycles completed WRs when no fault plan is active, so the
+// per-packet path allocates no WR or SGE state in steady state.
+func (r *Rank) newSendWR() *ib.SendWR {
+	n := len(r.wrFree)
+	if n == 0 {
+		//simlint:ignore hotalloc pool refill: handleCQE recycles every completed WR, amortizing this over the run
+		return &ib.SendWR{SGL: make([]ib.SGE, 0, 3)}
+	}
+	wr := r.wrFree[n-1]
+	r.wrFree = r.wrFree[:n-1]
+	return wr
+}
+
+// recycleWR returns a routed work request to the free list, keeping
+// its SGL backing. Callers must only recycle WRs the transport cannot
+// touch again (completion routed, no fault plan that could replay it).
+func (r *Rank) recycleWR(wr *ib.SendWR) {
+	if wr == nil {
+		return
+	}
+	*wr = ib.SendWR{SGL: wr.SGL[:0]}
+	r.wrFree = append(r.wrFree, wr)
+}
+
+// snapPkt snapshots staged packet bytes for fault-mode replay, reusing
+// retired snapshot backing. Only called while a fault plan is active.
+func (r *Rank) snapPkt(b []byte) []byte {
+	n := len(r.pktFree)
+	if n == 0 || cap(r.pktFree[n-1]) < len(b) {
+		//simlint:ignore hotalloc pool refill: handleCQE recycles every snapshot, amortizing this over the run
+		return append([]byte(nil), b...)
+	}
+	s := r.pktFree[n-1]
+	r.pktFree = r.pktFree[:n-1]
+	//simlint:ignore hotalloc append reuses pooled backing; capacity was checked above
+	return append(s[:0], b...)
+}
+
+// recyclePkt returns a replay snapshot's backing to the pool.
+func (r *Rank) recyclePkt(b []byte) {
+	if b == nil {
+		return
+	}
+	r.pktFree = append(r.pktFree, b)
+}
+
 // sendPacket assembles and RDMA-writes one packet into the peer's ring.
 // The caller must hold a credit (credits > 0). Consumed local slots are
 // piggybacked back as credits on every outgoing header.
@@ -457,24 +615,21 @@ func (r *Rank) sendPacket(p *sim.Proc, dst int, h header, payload []byte, act wr
 		// but a replay must rewrite exactly these bytes (same psn) to
 		// the same slot.
 		act.slot = slot
-		act.pkt = append([]byte(nil), s[:hdrSize+len(payload)+tailSize]...)
+		act.pkt = r.snapPkt(s[:hdrSize+len(payload)+tailSize])
 	}
 	// Header SGE + data SGE + tail SGE, as the paper lays the packet out.
-	sgl := []ib.SGE{
-		{Addr: ps.staging.Addr, Len: hdrSize, LKey: ps.stagingMR.LKey},
-	}
+	wr := r.newSendWR()
+	wr.Opcode = ib.OpRDMAWrite
+	wr.Remote = ib.RemoteAddr{Addr: ps.out.slotAddr(slot), RKey: ps.out.rkey}
+	wr.Signaled = true
+	wr.SGL = append(wr.SGL, ib.SGE{Addr: ps.staging.Addr, Len: hdrSize, LKey: ps.stagingMR.LKey})
 	if len(payload) > 0 {
-		sgl = append(sgl, ib.SGE{Addr: ps.staging.Addr + hdrSize, Len: len(payload), LKey: ps.stagingMR.LKey})
+		wr.SGL = append(wr.SGL, ib.SGE{Addr: ps.staging.Addr + hdrSize, Len: len(payload), LKey: ps.stagingMR.LKey})
 	}
-	sgl = append(sgl, ib.SGE{Addr: ps.staging.Addr + uint64(hdrSize+len(payload)), Len: tailSize, LKey: ps.stagingMR.LKey})
+	wr.SGL = append(wr.SGL, ib.SGE{Addr: ps.staging.Addr + uint64(hdrSize+len(payload)), Len: tailSize, LKey: ps.stagingMR.LKey})
+	act.wr = wr
 	wrid := r.nextWR(act)
-	wr := &ib.SendWR{
-		WRID:     wrid,
-		Opcode:   ib.OpRDMAWrite,
-		SGL:      sgl,
-		Remote:   ib.RemoteAddr{Addr: ps.out.slotAddr(slot), RKey: ps.out.rkey},
-		Signaled: true,
-	}
+	wr.WRID = wrid
 	r.c.pktSend(p.Now(), dst, h, len(payload))
 	r.c.wrPost(p.Now(), dst, act.kind, wrid, len(payload))
 	return r.post(p, dst, wr)
@@ -503,6 +658,9 @@ func (r *Rank) Isend(p *sim.Proc, dst, tag int, s Slice) (*Request, error) {
 		r.c.sendPost(p.Now(), req)
 		r.selfSend(p, req)
 		return req, nil
+	}
+	if _, err := r.ensurePeer(p, dst); err != nil {
+		return nil, err
 	}
 	req.seq = r.sendSeq[dst]
 	r.sendSeq[dst]++
@@ -626,29 +784,21 @@ func (r *Rank) rndvWrite(p *sim.Proc, req *Request, rtr header) error {
 		req.complete(p, ErrTruncate)
 		return r.ctrlSend(p, req.peer, header{kind: pktNackW, seq: req.seq})
 	}
-	var sgl []ib.SGE
+	wr := r.newSendWR()
+	wr.Opcode = ib.OpRDMAWrite
+	wr.Remote = ib.RemoteAddr{Addr: rtr.raddr, RKey: rtr.rkey}
+	wr.Signaled = true
 	if req.offReg != nil {
-		sgl = []ib.SGE{{Addr: req.advAddr, Len: req.slice.N, LKey: req.offReg.lkey()}}
+		wr.SGL = append(wr.SGL, ib.SGE{Addr: req.advAddr, Len: req.slice.N, LKey: req.offReg.lkey()})
 	} else {
 		// Reuse the registration advertised with the RTS; it is pinned
 		// until this request completes.
-		sgl = []ib.SGE{{Addr: req.slice.Addr(), Len: req.slice.N, LKey: req.srcMR.LKey}}
+		wr.SGL = append(wr.SGL, ib.SGE{Addr: req.slice.Addr(), Len: req.slice.N, LKey: req.srcMR.LKey})
 	}
-	wrid := r.nextWR(wrAction{kind: wrRndvWrite, req: req, peer: req.peer})
-	wr := &ib.SendWR{
-		WRID:     wrid,
-		Opcode:   ib.OpRDMAWrite,
-		SGL:      sgl,
-		Remote:   ib.RemoteAddr{Addr: rtr.raddr, RKey: rtr.rkey},
-		Signaled: true,
-	}
-	if r.faultsOn() {
-		// Retain the WR for replay; its SGEs stay pinned until the
-		// request completes.
-		a := r.wrMap[wrid]
-		a.wr = wr
-		r.wrMap[wrid] = a
-	}
+	// The WR rides in the action for replay under faults and for
+	// recycling on completion otherwise.
+	wrid := r.nextWR(wrAction{kind: wrRndvWrite, req: req, peer: req.peer, wr: wr})
+	wr.WRID = wrid
 	req.state = stWriting
 	r.m.resolve(req, KindRecvRzv)
 	if r.m.reg != nil {
@@ -691,6 +841,11 @@ func (r *Rank) Irecv(p *sim.Proc, src, tag int, s Slice) (*Request, error) {
 		r.m.resolve(req, KindSelf)
 		r.selfRecv(p, req)
 		return req, nil
+	}
+	if src != AnySource {
+		if _, err := r.ensurePeer(p, src); err != nil {
+			return nil, err
+		}
 	}
 	// Drain arrived packets first: an RTS already in the ring turns a
 	// would-be receiver-first handshake into a direct sender-first read.
@@ -839,19 +994,13 @@ func (r *Rank) startRead(p *sim.Proc, req *Request, rts header) {
 	req.heldMRs = append(req.heldMRs, mr)
 	req.peer = int(rts.src)
 	req.status = Status{Source: int(rts.src), Tag: int(rts.tag), Len: rts.rsize}
-	wrid := r.nextWR(wrAction{kind: wrRndvRead, req: req, peer: int(rts.src)})
-	wr := &ib.SendWR{
-		WRID:     wrid,
-		Opcode:   ib.OpRDMARead,
-		SGL:      []ib.SGE{{Addr: req.slice.Addr(), Len: rts.rsize, LKey: mr.LKey}},
-		Remote:   ib.RemoteAddr{Addr: rts.raddr, RKey: rts.rkey},
-		Signaled: true,
-	}
-	if r.faultsOn() {
-		a := r.wrMap[wrid]
-		a.wr = wr
-		r.wrMap[wrid] = a
-	}
+	wr := r.newSendWR()
+	wr.Opcode = ib.OpRDMARead
+	wr.Remote = ib.RemoteAddr{Addr: rts.raddr, RKey: rts.rkey}
+	wr.Signaled = true
+	wr.SGL = append(wr.SGL, ib.SGE{Addr: req.slice.Addr(), Len: rts.rsize, LKey: mr.LKey})
+	wrid := r.nextWR(wrAction{kind: wrRndvRead, req: req, peer: int(rts.src), wr: wr})
+	wr.WRID = wrid
 	req.state = stReading
 	req.seq = rts.seq
 	if simul {
@@ -984,11 +1133,12 @@ func (r *Rank) deliverSelf(p *sim.Proc, send, recv *Request) {
 //simlint:hot
 func (r *Rank) progress(p *sim.Proc) bool {
 	did := false
-	// Ring packets, per peer, in order.
-	for i, ps := range r.peers {
-		if ps == nil {
-			continue
-		}
+	// Ring packets, per peer, in order. Iterating the sorted active
+	// list keeps the cost proportional to the rank's communication
+	// degree rather than the world size — the property that makes
+	// thousand-rank sparse workloads affordable.
+	for _, i := range r.active {
+		ps := r.peers[i]
 		for {
 			h, payload, ok := ps.in.peek()
 			if !ok {
@@ -1034,10 +1184,8 @@ func (r *Rank) progress(p *sim.Proc) bool {
 	// state (between the fault and the CQE that triggers recovery);
 	// recovery has reconnected the QP by the time the CQ drains.
 	if r.faultsOn() {
-		for _, ps := range r.peers {
-			if ps == nil {
-				continue
-			}
+		for _, i := range r.active {
+			ps := r.peers[i]
 			for len(ps.postponed) > 0 && ps.qp.State == ib.QPConnected {
 				wrid := ps.postponed[0]
 				ps.postponed = ps.postponed[1:]
@@ -1051,10 +1199,8 @@ func (r *Rank) progress(p *sim.Proc) bool {
 		}
 	}
 	// Retry credit-starved control packets, then eager sends.
-	for i, ps := range r.peers {
-		if ps == nil {
-			continue
-		}
+	for _, i := range r.active {
+		ps := r.peers[i]
 		for ps.credits > 1 && len(ps.pendingCtrl) > 0 {
 			h := ps.pendingCtrl[0]
 			ps.pendingCtrl = ps.pendingCtrl[1:]
@@ -1136,7 +1282,11 @@ func (r *Rank) handlePacket(p *sim.Proc, src int, h header, payload []byte) {
 		// can be recycled.
 		a := r.newArrival(h, nil)
 		if h.kind == pktEager && h.payload > 0 {
-			a.data = make([]byte, h.payload)
+			if cap(a.buf) < h.payload {
+				//simlint:ignore hotalloc pool growth: the record keeps its backing across recycles, so steady-state unexpected traffic reuses it
+				a.buf = make([]byte, h.payload)
+			}
+			a.data = a.buf[:h.payload]
 			copy(a.data, payload)
 			p.Sleep(r.w.Plat.CopyCost(r.v.Loc(), h.payload))
 		}
@@ -1229,6 +1379,15 @@ func (r *Rank) handleCQE(p *sim.Proc, e ib.CQE) {
 			act.req.complete(p, wrFailErr(e.Status))
 		}
 		return
+	}
+	// The hardware is done with the WR (and any fault-mode packet
+	// snapshot): return them to the pools. Under an active fault plan
+	// the WR stays retained — recovery may still replay it.
+	if act.wr != nil && !r.faultsOn() {
+		r.recycleWR(act.wr)
+	}
+	if act.pkt != nil {
+		r.recyclePkt(act.pkt)
 	}
 	switch act.kind {
 	case wrEager:

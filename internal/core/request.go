@@ -171,6 +171,11 @@ func (q *Request) complete(p *sim.Proc, err error) {
 type arrival struct {
 	h    header
 	data []byte // eager payload, copied out of the ring
+	// buf is the retained copy backing for unexpected eager payloads:
+	// the record pool keeps it across recycles so steady-state
+	// unexpected traffic reuses the same allocation instead of a fresh
+	// make([]byte) per packet.
+	buf []byte
 }
 
 // wrAction routes a CQ entry back to protocol state.

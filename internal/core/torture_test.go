@@ -8,8 +8,10 @@ package core_test
 // across two runs with the same seed.
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"testing"
 
 	"repro/internal/cluster"
@@ -250,6 +252,126 @@ func tortureFaults(seed uint64) *faults.Plan {
 	p.DMADelay = 0.1
 	p.DMAAbort = 0.1
 	return p
+}
+
+// tortureARElems are the per-round element counts of the allreduce
+// torture: payload sizes 64 B … 32.8 KB straddle the 8 KiB eager
+// threshold in both directions, so ring chunks travel eager and
+// rendezvous (and cross the offload-send threshold) under faults.
+var tortureARElems = []int{8, 129, 1024, 4100}
+
+// runTortureAllreduce executes seeded ring-allreduce rounds on a
+// 4-rank DCFA world under the given fault plan. Every rank checks the
+// reduced vector element-wise against the host-computed sum each round
+// — a replayed or deduplicated chunk that corrupted a partial
+// reduction shows up as a wrong element, not just a changed schedule.
+func runTortureAllreduce(t *testing.T, seed uint64, plan *faults.Plan) tortureResult {
+	t.Helper()
+	const ranks = 4
+	fill := func(g *tortureRNG, elems int) []float64 {
+		vs := make([]float64, elems)
+		for i := range vs {
+			vs[i] = float64(g.intn(512))
+		}
+		return vs
+	}
+	c := cluster.New(perfmodel.Default(), ranks)
+	inj := c.SetFaults(plan)
+	w := c.DCFAWorld(ranks, true)
+	w.Cfg.CollAllreduce = "ring"
+	err := w.Run(func(r *core.Rank) error {
+		p := r.Proc()
+		me := r.ID()
+		for rd, elems := range tortureARElems {
+			buf := r.Mem(elems * 8)
+			g := tortureRNG{s: seed + uint64(rd*31+me)}
+			core.PutF64s(buf.Data, fill(&g, elems))
+			if err := r.Allreduce(p, core.Whole(buf), core.OpSumF64); err != nil {
+				return fmt.Errorf("round %d: %w", rd, err)
+			}
+			want := make([]float64, elems)
+			for id := 0; id < ranks; id++ {
+				gg := tortureRNG{s: seed + uint64(rd*31+id)}
+				for i, v := range fill(&gg, elems) {
+					want[i] += v
+				}
+			}
+			for i := range want {
+				got := math.Float64frombits(binary.LittleEndian.Uint64(buf.Data[i*8:]))
+				if got != want[i] {
+					return fmt.Errorf("round %d: element %d = %v, want %v", rd, i, got, want[i])
+				}
+			}
+			if err := r.Barrier(p); err != nil {
+				return fmt.Errorf("round %d barrier: %w", rd, err)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("allreduce torture (seed %d): %v", seed, err)
+	}
+	res := tortureResult{fp: c.Eng.Fingerprint(), events: c.Eng.EventsRun(), now: c.Eng.Now(), inj: inj}
+	for i := 0; i < ranks; i++ {
+		s := w.Rank(i).Stats
+		res.stats.MsgsSent += s.MsgsSent
+		res.stats.EagerSends += s.EagerSends
+		res.stats.RndvSends += s.RndvSends
+		res.stats.Retries += s.Retries
+		res.stats.QPResets += s.QPResets
+		res.stats.ReplaysDeduped += s.ReplaysDeduped
+	}
+	return res
+}
+
+// TestTortureRingAllreduceUnderFaults: the ring allreduce — chunked
+// reduce-scatter plus allgather, the schedule the thousand-rank bench
+// runs — must survive IB and CMD faults on 4 DCFA ranks with balanced
+// recovery ledgers, bit-identically across same-seed runs.
+func TestTortureRingAllreduceUnderFaults(t *testing.T) {
+	plan := func(s uint64) *faults.Plan {
+		p := faults.NewPlan(s)
+		p.IBError = 0.05
+		// The collective issues far fewer delegation commands than the
+		// point-to-point torture, so CMD faults need a higher rate to
+		// fire reliably.
+		p.Cmd = 0.15
+		return p
+	}
+	a := runTortureAllreduce(t, 11, plan(11))
+	b := runTortureAllreduce(t, 11, plan(11))
+	if a.fp != b.fp || a.events != b.events || a.now != b.now {
+		t.Errorf("same seed diverged: fp %#x/%#x events %d/%d now %v/%v",
+			a.fp, b.fp, a.events, b.events, a.now, b.now)
+	}
+	if tallies(a.inj) != tallies(b.inj) {
+		t.Errorf("fault tallies diverged: %+v vs %+v", a.inj, b.inj)
+	}
+	if a.stats != b.stats {
+		t.Errorf("recovery stats diverged: %+v vs %+v", a.stats, b.stats)
+	}
+
+	// The plan must actually have exercised both fault layers.
+	if a.inj.IBFaults == 0 || a.inj.CmdFaults == 0 {
+		t.Errorf("expected IB and CMD injections, got %+v", a.inj)
+	}
+	// Ledger balance: every recoverable transport fault is matched by
+	// exactly one replay, and IB faults force QP resets.
+	if a.stats.Retries != a.inj.IBFaults {
+		t.Errorf("replays %d != injected IB faults %d", a.stats.Retries, a.inj.IBFaults)
+	}
+	if a.inj.IBFaults > 0 && a.stats.QPResets == 0 {
+		t.Error("IB faults occurred but no QP was ever reset")
+	}
+	// The ring chunks crossed the eager threshold in both directions.
+	if a.stats.EagerSends == 0 || a.stats.RndvSends == 0 {
+		t.Errorf("workload not mixed: eager=%d rndv=%d", a.stats.EagerSends, a.stats.RndvSends)
+	}
+
+	c := runTortureAllreduce(t, 12, plan(12))
+	if c.fp == a.fp && c.now == a.now {
+		t.Error("different seeds produced an identical run")
+	}
 }
 
 // TestTortureSameSeedIsBitIdentical runs the faulted workload twice

@@ -57,6 +57,41 @@ type Config struct {
 	// passive — value appends only, no engine interaction — so enabling
 	// it must not change the fingerprint.
 	Causal *causal.Recorder
+
+	// ConnectMode selects bootstrap wiring. "eager" builds every
+	// peer-pair endpoint (QP, eager ring, staging MR) up front — the
+	// historical all-pairs behavior, O(n²) resources across the job.
+	// "lazy" creates a pair's endpoints on both ranks at the pair's
+	// first Isend/Irecv, which is what makes thousand-rank jobs whose
+	// communication graph is sparse (ring, tree) feasible. "" or
+	// "auto" picks lazy at LazyConnectMin ranks and above.
+	ConnectMode string
+
+	// CollAllreduce, CollBcast, CollBarrier and CollAlltoall pin the
+	// collective algorithm ("" = size/topology-driven auto selection).
+	// Recognized names: allreduce "naive"|"ring"|"rd"; bcast
+	// "binomial"|"scatter-allgather"; barrier "dissemination"|"tree";
+	// alltoall "pairwise"|"linear".
+	CollAllreduce string
+	CollBcast     string
+	CollBarrier   string
+	CollAlltoall  string
+}
+
+// LazyConnectMin is the world size at which ConnectMode "auto"
+// switches from eager all-pairs bootstrap to lazy pairwise connect.
+const LazyConnectMin = 16
+
+// lazyConnect resolves the effective connect mode.
+func (w *World) lazyConnect() bool {
+	switch w.Cfg.ConnectMode {
+	case "lazy":
+		return true
+	case "eager":
+		return false
+	default:
+		return w.Size() >= LazyConnectMin
+	}
 }
 
 // ConfigFromPlatform derives the paper-tuned configuration.
@@ -89,6 +124,12 @@ type World struct {
 	syncN  int
 	syncEv *sim.Event
 	errs   []error
+
+	// connInFlight serializes lazy pair bootstrap: the first rank to
+	// touch a pair claims it here and builds both halves; a rank
+	// reaching ensurePeer for the same pair mid-build waits on the
+	// event instead of double-creating QPs (keyed lo-rank, hi-rank).
+	connInFlight map[[2]int]*sim.Event
 }
 
 // NewWorld builds a world of len(envs) ranks.
@@ -118,6 +159,7 @@ func NewWorld(eng *sim.Engine, plat *perfmodel.Platform, cfg Config, envs []Env)
 	}
 	w := &World{Eng: eng, Plat: plat, Cfg: cfg, envs: envs}
 	w.syncEv = sim.NewEvent(eng)
+	w.connInFlight = make(map[[2]int]*sim.Event)
 	for i, e := range envs {
 		w.ranks = append(w.ranks, &Rank{w: w, id: i, v: e.V})
 	}

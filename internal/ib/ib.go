@@ -20,13 +20,24 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/perfmodel"
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
-// Fabric is a single-switch InfiniBand subnet.
+// Fabric is an InfiniBand subnet. With Topo nil it behaves as a single
+// non-blocking switch: the only serialization is each HCA's egress
+// link, exactly the wiring the repository always modeled. With Topo set
+// the interior of the fabric (leaf/spine links with their own latency,
+// bandwidth and FIFO contention) sits between source egress and
+// destination memory.
 type Fabric struct {
 	Eng  *sim.Engine
 	Plat *perfmodel.Platform
 	hcas []*HCA
+
+	// Topo, when non-nil, is the switched-fabric interior. Ports are
+	// LID-1 (HCA attach order). Install it before traffic flows; nil
+	// keeps bit-identical single-switch behavior.
+	Topo topo.Topology
 
 	// Metrics, when non-nil, records per-QP work-request counts, RDMA
 	// bytes per direction pair (source memory kind -> destination
@@ -109,6 +120,30 @@ type HCA struct {
 
 // Fabric returns the owning subnet.
 func (h *HCA) Fabric() *Fabric { return h.fab }
+
+// deliverVia routes a data transfer whose last byte clears this HCA's
+// egress at arrive through the fabric interior toward dst, reserving
+// interior link occupancy. With no topology installed the fabric is a
+// non-blocking crossbar and arrive is already the delivery time.
+//
+//simlint:hot
+func (h *HCA) deliverVia(arrive sim.Time, dst *HCA, n int, bps float64) sim.Time {
+	if t := h.fab.Topo; t != nil {
+		return t.Deliver(arrive, int(h.LID)-1, int(dst.LID)-1, n, bps)
+	}
+	return arrive
+}
+
+// ctrlDelayTo is the extra latency-only interior crossing toward dst
+// for small control messages (read requests, atomic responses).
+//
+//simlint:hot
+func (h *HCA) ctrlDelayTo(dst *HCA) sim.Duration {
+	if t := h.fab.Topo; t != nil {
+		return t.CtrlDelay(int(h.LID)-1, int(dst.LID)-1)
+	}
+	return 0
+}
 
 // Open returns a verbs context whose post/poll costs follow the calling
 // location: loc is HostMem for host programs, MicMem for code running on

@@ -254,6 +254,7 @@ func (qp *QP) PostSend(p *sim.Proc, wr *SendWR) error {
 		}
 		rate := qp.capRate(minRate(plat.IBBandwidth, minRate(readRate, plat.HCAWriteHost)))
 		arrive := h.egress.ReserveRate(len(payload), rate)
+		arrive = h.deliverVia(arrive, rem.ctx.HCA, len(payload), rate)
 		h.BytesOut += int64(len(payload))
 		eng := h.fab.Eng
 		eng.At(arrive, func() {
@@ -297,6 +298,7 @@ func (qp *QP) PostSend(p *sim.Proc, wr *SendWR) error {
 		}
 		rate := qp.capRate(minRate(plat.IBBandwidth, minRate(readRate, writeRate)))
 		arrive := h.egress.ReserveRate(len(payload), rate)
+		arrive = h.deliverVia(arrive, rem.ctx.HCA, len(payload), rate)
 		h.BytesOut += int64(len(payload))
 		if fault, delivered := h.fab.Faults.IBWriteFault(); fault {
 			// Retry exhaustion: the QP errors when the wire attempt
@@ -378,7 +380,7 @@ func (qp *QP) PostSend(p *sim.Proc, wr *SendWR) error {
 		if reg := h.fab.Metrics; reg != nil {
 			wsp = reg.Begin(eng.Now(), h.actor, "wire.rdma-read").AttrInt("bytes", int64(total))
 		}
-		reqArrive := eng.Now() + plat.IBLatency
+		reqArrive := eng.Now() + plat.IBLatency + h.ctrlDelayTo(rem.ctx.HCA)
 		if h.fab.Faults.IBReadFault() {
 			// A failed read never writes local bytes; the requester's
 			// QP errors and the WR completes with retry exhaustion.
@@ -411,6 +413,7 @@ func (qp *QP) PostSend(p *sim.Proc, wr *SendWR) error {
 			payload := make([]byte, total)
 			copy(payload, src)
 			back := rem.ctx.HCA.egress.ReserveRate(total, rate)
+			back = rem.ctx.HCA.deliverVia(back, h, total, rate)
 			rem.ctx.HCA.BytesOut += int64(total)
 			eng.At(back, func() {
 				wsp.End(eng.Now())
@@ -445,6 +448,7 @@ func (qp *QP) PostSend(p *sim.Proc, wr *SendWR) error {
 		eng := h.fab.Eng
 		op := wr.Opcode
 		reqArrive := h.egress.ReserveRate(8, plat.IBBandwidth)
+		reqArrive = h.deliverVia(reqArrive, rem.ctx.HCA, 8, plat.IBBandwidth)
 		eng.At(reqArrive, func() {
 			target, _, err := rem.ctx.HCA.lookupMR(wr.Remote.RKey, wr.Remote.Addr, 8)
 			if err != nil {
@@ -470,7 +474,7 @@ func (qp *QP) PostSend(p *sim.Proc, wr *SendWR) error {
 				// atomic opcodes.
 			}
 			rem.ctx.HCA.Doorbell.Broadcast()
-			eng.At(eng.Now()+plat.IBLatency, func() {
+			eng.At(eng.Now()+plat.IBLatency+rem.ctx.HCA.ctrlDelayTo(h), func() {
 				dst, _, err := h.lookupMR(wr.SGL[0].LKey, wr.SGL[0].Addr, 8)
 				if err != nil {
 					qp.SendCQ.push(CQE{WRID: wr.WRID, Status: StatusLocProtErr, Opcode: op, QPN: qp.QPN})

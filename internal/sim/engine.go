@@ -144,6 +144,16 @@ const (
 	fnv64Prime  = 1099511628211
 )
 
+// Fingerprint sentinel process ids. Calendar events run by engine
+// callbacks mix callbackPID; lookahead clock advances (Sleep fast path,
+// no calendar round-trip) mix fastPathPID followed by the real process
+// id, so workloads with different sleep schedules keep distinct
+// fingerprints even when no heap event is dispatched.
+const (
+	callbackPID = uint64(1<<64 - 1)
+	fastPathPID = uint64(1<<64 - 2)
+)
+
 // NewEngine returns an empty simulation at virtual time zero.
 func NewEngine() *Engine {
 	return &Engine{fp: fnv64Offset}
@@ -257,7 +267,7 @@ func (e *Engine) Run() error {
 		}
 		e.now = ev.at
 		e.eventsRun++
-		pid := uint64(1<<64 - 1) // sentinel for engine-context callbacks
+		pid := callbackPID
 		if ev.proc != nil {
 			pid = uint64(ev.proc.id)
 		}

@@ -69,11 +69,22 @@ func (l *Link) Reserve(n int) Time {
 // Interconnect models use this when the rate is constrained by the
 // slower of several stages (e.g. an HCA DMA read feeding the wire).
 func (l *Link) ReserveRate(n int, bps float64) Time {
+	return l.ReserveRateAt(l.eng.now, n, bps)
+}
+
+// ReserveRateAt books a transfer like ReserveRate but starting no
+// earlier than at, which may lie in the virtual future: switched-fabric
+// models reserve a downstream hop for a packet that is still crossing
+// the upstream one, so each hop queues behind its own traffic from the
+// moment the packet could first reach it.
+func (l *Link) ReserveRateAt(at Time, n int, bps float64) Time {
 	if bps <= 0 {
 		panic("sim: non-positive reserve rate")
 	}
-	now := l.eng.now
-	start := now
+	start := l.eng.now
+	if at > start {
+		start = at
+	}
 	if l.nextFree > start {
 		start = l.nextFree
 	}

@@ -87,19 +87,39 @@ func (p *Proc) park(kind parkKind) {
 
 // Sleep advances this process's virtual clock by d. Other events run in
 // the meantime. Negative durations are treated as zero.
+//
+// Lookahead fast path: when no calendar event falls inside the sleep
+// window, nothing can observe the intermediate instants, so the clock
+// advances inline without a schedule+park round-trip. The advance is
+// folded into the fingerprint (fastPathPID sentinel) so different sleep
+// schedules stay distinguishable. This is what keeps thousand-rank
+// runs — millions of staging-copy sleeps — wall-clock sane.
 func (p *Proc) Sleep(d Duration) {
 	if d < 0 {
 		d = 0
 	}
 	p.busy += d
-	p.eng.schedule(p.eng.now+d, p, nil)
+	e := p.eng
+	if !e.stopped && (e.queue.empty() || e.queue[0].at > e.now+d) {
+		e.now += d
+		e.fpMix(uint64(e.now))
+		e.fpMix(fastPathPID)
+		e.fpMix(uint64(p.id))
+		return
+	}
+	e.schedule(e.now+d, p, nil)
 	p.park(parkScheduled)
 }
 
 // Yield reschedules the process at the current time, letting every other
-// event already queued for this instant run first.
+// event already queued for this instant run first. When nothing is
+// queued for this instant the round-trip is a no-op and is skipped.
 func (p *Proc) Yield() {
-	p.eng.schedule(p.eng.now, p, nil)
+	e := p.eng
+	if !e.stopped && (e.queue.empty() || e.queue[0].at > e.now) {
+		return
+	}
+	e.schedule(e.now, p, nil)
 	p.park(parkScheduled)
 }
 
